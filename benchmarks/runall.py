@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Regenerate every paper table/figure report in one pass.
+
+A plain script (no pytest) for readers who just want the artifacts:
+
+    python benchmarks/runall.py [--scale N] [--out DIR]
+
+At scale 1 (the paper's geometry) the full pass takes a couple of
+minutes; ``--scale 10`` gives a quick look.  Reports land in
+``benchmarks/results/`` (or ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=int, default=1)
+    ap.add_argument(
+        "--out", default=str(Path(__file__).parent / "results")
+    )
+    args = ap.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    scale = args.scale
+
+    from repro.bench import figures, tables
+    from repro.bench.report import format_series, format_table
+
+    def save(name: str, text: str) -> None:
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"== {name} ==")
+        print(text)
+        print()
+
+    t0 = time.time()
+
+    # Figures ----------------------------------------------------------
+    fig9 = figures.fig09_task_completion(scale=scale)
+    save(
+        "fig09_completion",
+        format_table(
+            ["system", "first(s)", "total(s)", "connections"],
+            [
+                [k, s["first_result"], s["makespan"], int(s["connections"])]
+                for k, s in fig9.summaries.items()
+            ],
+            title="Figure 9 — Query 1, 22 reduce tasks",
+        )
+        + "\n\n"
+        + format_series(
+            {k: c for k, c in fig9.curves.items() if "Reduce" in k},
+            title="output availability",
+        ),
+    )
+
+    counts = (22, 66, 176, 528) if scale == 1 else (22, 66, 176)
+    fig10 = figures.fig10_reduce_scaling(sidr_reduce_counts=counts, scale=scale)
+    save(
+        "fig10_reduce_scaling",
+        format_table(
+            ["config", "first(s)", "total(s)"],
+            [
+                [k, s["first_result"], s["makespan"]]
+                for k, s in fig10.summaries.items()
+            ],
+            title=(
+                "Figure 10 — SIDR reduce scaling "
+                f"(best vs SciHadoop {fig10.notes['sidr_best_vs_scihadoop']:.2f}x)"
+            ),
+        ),
+    )
+
+    fig11 = figures.fig11_filter_query(scale=scale)
+    save(
+        "fig11_filter_query",
+        format_table(
+            ["config", "first(s)", "total(s)"],
+            [
+                [k, s["first_result"], s["makespan"]]
+                for k, s in fig11.summaries.items()
+            ],
+            title="Figure 11 — Query 2 (filter)",
+        ),
+    )
+
+    fig12 = figures.fig12_variance(scale=scale, runs=10)
+    save(
+        "fig12_variance",
+        format_table(
+            ["config", "mean total(s)", "std total(s)", "max pointwise std"],
+            [
+                [k, s["mean_makespan"], s["std_makespan"], s["max_pointwise_std"]]
+                for k, s in fig12.summaries.items()
+            ],
+            title="Figure 12 — variance over 10 jittered runs",
+        ),
+    )
+
+    fig13 = figures.fig13_skew(scale=scale)
+    save(
+        "fig13_skew",
+        format_table(
+            ["config", "total(s)"],
+            [[k, s["makespan"]] for k, s in fig13.summaries.items()],
+            title=(
+                f"Figure 13 — key skew (SIDR {fig13.notes['speedup'] - 1:.0%} "
+                "faster; paper 42%)"
+            ),
+        ),
+    )
+
+    # Tables -----------------------------------------------------------
+    t3 = tables.table3_network_connections()
+    save(
+        "tab03_network_connections",
+        format_table(
+            ["maps/reduces", "Hadoop", "SIDR"],
+            [
+                [f"{r.num_maps}/{r.num_reduces}", r.hadoop_connections, r.sidr_connections]
+                for r in t3
+            ],
+            title="Table 3 — network connections",
+        ),
+    )
+
+    with tempfile.TemporaryDirectory() as d:
+        t2 = tables.table2_reduce_write_scaling(
+            d, cells_per_task=262_144, runs=3
+        )
+    save(
+        "tab02_contiguous_output",
+        format_table(
+            ["strategy", "reduces", "time(s)", "size(MB)", "seeks"],
+            [
+                [r.strategy, r.total_reduces, r.seconds_mean,
+                 r.file_size_bytes / (1 << 20), r.seeks]
+                for r in t2
+            ],
+            title="Table 2 — reduce write scaling",
+        ),
+    )
+
+    micro = tables.sec45_partition_micro()
+    save(
+        "sec45_partition_micro",
+        format_table(
+            ["function", "ms"],
+            [
+                ["default hash", micro.default_seconds * 1e3],
+                ["partition+", micro.partition_plus_seconds * 1e3],
+            ],
+            title=f"§4.5 — 6.48M keys (slowdown {micro.slowdown:.2f}x)",
+        ),
+    )
+
+    print(f"all reports regenerated in {time.time() - t0:.0f}s -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+* Skew-bound sweep (§3.1 footnote 1): smaller bounds tighten balance;
+  larger bounds give simpler unit shapes and (slightly) fewer
+  cross-boundary dependencies.
+* Store-vs-recompute of the dependency map (§3.2.1): SIDR stores the map
+  at job submission; the alternative recomputes each I_l at reduce
+  startup.
+* Split alignment: extraction-aligned splits eliminate cross-split
+  instances, shrinking dependency sets — at the cost of coarser split
+  size control.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.tables import (
+    ablation_skew_bound,
+    ablation_store_vs_recompute,
+)
+from repro.bench.workloads import query1_workload
+from repro.query.splits import aligned_slice_splits, slice_splits
+from repro.sidr.dependencies import compute_dependencies
+from repro.sidr.partition_plus import partition_plus
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return query1_workload()
+
+
+def test_skew_bound_sweep(benchmark, wl, record_report):
+    rows = benchmark.pedantic(
+        ablation_skew_bound,
+        kwargs={
+            "bounds": (100, 1_000, 10_000, 100_000),
+            "num_reduces": 66,
+            "workload": wl,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["skew bound", "unit volume", "max skew (cells)", "SIDR connections"],
+        [
+            [r.skew_bound, r.unit_volume, r.max_skew_cells, r.sidr_connections]
+            if r.feasible
+            else [r.skew_bound, "-", "-", "infeasible (too few instances)"]
+            for r in rows
+        ],
+        title="Ablation — partition+ skew bound (Query 1, r=66)",
+    )
+    record_report("ablation_skew_bound", table)
+    feasible = [r for r in rows if r.feasible]
+    assert feasible, "at least one feasible bound expected"
+    units = [r.unit_volume for r in feasible]
+    assert units == sorted(units)
+    for r in feasible:
+        assert r.max_skew_cells <= max(r.unit_volume, r.skew_bound)
+
+
+def test_store_vs_recompute(benchmark, wl, record_report):
+    res = benchmark.pedantic(
+        ablation_store_vs_recompute,
+        kwargs={"num_reduces": 176, "workload": wl},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["strategy", "seconds"],
+        [
+            ["store (full map at submission)", res.store_seconds],
+            ["recompute one I_l at startup", res.recompute_one_seconds],
+            ["recompute all (estimated)", res.recompute_all_seconds_est],
+        ],
+        title="Ablation — store vs recompute dependency maps (§3.2.1)",
+    )
+    record_report("ablation_store_recompute", table)
+    assert res.store_seconds > 0 and res.recompute_one_seconds > 0
+
+
+def test_split_alignment(benchmark, wl, record_report):
+    def run():
+        part = partition_plus(wl.plan.intermediate_space, 66)
+        unaligned = compute_dependencies(wl.plan, wl.splits, part)
+        aligned_splits = aligned_slice_splits(
+            wl.plan, num_splits=len(wl.splits)
+        )
+        aligned = compute_dependencies(wl.plan, aligned_splits, part)
+        return unaligned, aligned, len(aligned_splits)
+
+    unaligned, aligned, n_aligned = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["split generation", "splits", "sum |I_l|", "max |I_l|"],
+        [
+            ["block-sized (SciHadoop default)", len(wl.splits),
+             unaligned.sidr_connections, unaligned.max_dependency_size()],
+            ["extraction-aligned", n_aligned,
+             aligned.sidr_connections, aligned.max_dependency_size()],
+        ],
+        title="Ablation — split alignment vs dependency-set size (r=66)",
+    )
+    record_report("ablation_split_alignment", table)
+    # Aligned splits: no instance spans splits, so (normalized per split)
+    # dependency edges shrink.
+    assert (
+        aligned.sidr_connections / n_aligned
+        <= unaligned.sidr_connections / len(wl.splits)
+    )

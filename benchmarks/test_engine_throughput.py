@@ -1,0 +1,65 @@
+"""Engine micro-benchmarks: real-execution throughput.
+
+Not a paper experiment — a maintenance benchmark for the in-process
+engine itself, so regressions in the record-reader/shuffle/merge path
+show up.  Measures the paper's running example (weekly means) and a
+holistic median end to end on in-memory data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.engine import LocalEngine
+from repro.query.language import StructuralQuery
+from repro.query.operators import MeanOp, MedianOp
+from repro.query.splits import slice_splits
+from repro.scidata.generators import temperature_dataset
+from repro.sidr.planner import build_sidr_job
+
+
+@pytest.fixture(scope="module")
+def workload():
+    field = temperature_dataset(days=364, lat=40, lon=40, seed=3)
+    data = field.arrays["temperature"].astype(np.float64)
+    return field, data
+
+
+def _run(field, data, op, reduces=8, splits=16):
+    q = StructuralQuery(
+        variable="temperature", extraction_shape=(7, 5, 2), operator=op
+    )
+    plan = q.compile(field.metadata)
+    sp = slice_splits(plan, num_splits=splits)
+    job, barrier, _ = build_sidr_job(plan, sp, reduces, data)
+    return LocalEngine().run_serial(job, barrier)
+
+
+def test_weekly_mean_throughput(benchmark, workload):
+    field, data = workload
+    result = benchmark(lambda: _run(field, data, MeanOp()))
+    assert result.counters.get("map.input.records") > 0
+    benchmark.extra_info["cells"] = int(data.size)
+    benchmark.extra_info["cells_per_sec"] = int(
+        data.size / benchmark.stats["mean"]
+    )
+
+
+def test_median_throughput(benchmark, workload):
+    """Holistic operator: every cell value crosses the shuffle."""
+    field, data = workload
+    result = benchmark(lambda: _run(field, data, MedianOp()))
+    assert result.counters.get("reduce.input.groups") == 52 * 8 * 20
+
+
+def test_threaded_vs_serial_same_work(workload):
+    field, data = workload
+    q = StructuralQuery(
+        variable="temperature", extraction_shape=(7, 5, 2), operator=MeanOp()
+    )
+    plan = q.compile(field.metadata)
+    sp = slice_splits(plan, num_splits=16)
+    job, barrier, _ = build_sidr_job(plan, sp, 8, data)
+    eng = LocalEngine(map_workers=4, reduce_workers=3)
+    a = eng.run_serial(job, barrier)
+    b = eng.run_threaded(job, barrier)
+    assert a.all_records() == b.all_records()

@@ -1,0 +1,76 @@
+"""Figure 10: SIDR reduce-count scaling for Query 1.
+
+Paper (§4.1): with 22/66/176/528 reduce tasks, SIDR's time to first
+result and total time both fall; at 528 it finishes ~29% faster than
+SciHadoop and "nearly three times faster than Hadoop"; the reduce curve
+approaches the map curve; SciHadoop gains nothing from more reducers.
+"""
+
+import pytest
+
+from repro.bench.figures import fig10_reduce_scaling
+from repro.bench.report import format_series, format_table
+
+COUNTS = (22, 66, 176, 528)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_reduce_scaling(sidr_reduce_counts=COUNTS, scale=1)
+
+
+def test_fig10_benchmark(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig10_reduce_scaling,
+        kwargs={"sidr_reduce_counts": COUNTS, "scale": 1},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            "SciHadoop r=22",
+            result.summaries["SH-22"]["first_result"],
+            result.summaries["SH-22"]["makespan"],
+            0,
+        ]
+    ]
+    for r in COUNTS:
+        s = result.summaries[f"SS-{r}"]
+        rows.append(
+            [f"SIDR r={r}", s["first_result"], s["makespan"], int(s["early_reduces"])]
+        )
+    table = format_table(
+        ["configuration", "first result(s)", "total(s)", "early reduces"],
+        rows,
+        title=(
+            "Figure 10 — SIDR reduce-count scaling "
+            f"(best-vs-SciHadoop {result.notes['sidr_best_vs_scihadoop']:.2f}x; "
+            "paper: 1.29x at r=528)"
+        ),
+    )
+    series = format_series(
+        {k: c for k, c in result.curves.items() if "Reduce" in k},
+        title="output availability over time",
+    )
+    record_report("fig10_reduce_scaling", table + "\n\n" + series)
+    # Shape assertions (also enforced under --benchmark-only):
+    firsts = [result.summaries[f"SS-{r}"]["first_result"] for r in COUNTS]
+    assert firsts == sorted(firsts, reverse=True)
+    assert result.notes["sidr_best_vs_scihadoop"] > 1.05
+
+
+def test_total_time_improves_with_r(fig10):
+    s = fig10.summaries
+    assert s["SS-528"]["makespan"] < s["SS-22"]["makespan"]
+
+
+def test_curve_approaches_map(fig10):
+    s = fig10.summaries
+    gap_528 = s["SS-528"]["makespan"] - s["SS-528"]["last_map_finish"]
+    gap_22 = s["SS-22"]["makespan"] - s["SS-22"]["last_map_finish"]
+    assert gap_528 < 0.25 * gap_22
+
+
+def test_most_reduces_early_at_528(fig10):
+    s = fig10.summaries["SS-528"]
+    assert s["early_reduces"] > 0.9 * 528

@@ -1,0 +1,78 @@
+"""Figure 11: Query 2 (3-sigma filter) reduce completion.
+
+Paper (§4.1): each reduce carries almost no data, so completion curves
+approach optimal with fewer reduce tasks than Query 1, and "the reduction
+in total query time is much smaller than it was for Query 1" — the
+query's nature bounds SIDR's opportunity.
+"""
+
+import pytest
+
+from repro.bench.figures import fig10_reduce_scaling, fig11_filter_query
+from repro.bench.report import format_series, format_table
+
+COUNTS = (22, 66, 176)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_filter_query(sidr_reduce_counts=COUNTS, scale=1)
+
+
+def test_fig11_benchmark(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig11_filter_query,
+        kwargs={"sidr_reduce_counts": COUNTS, "scale": 1},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            "SciHadoop r=22",
+            result.summaries["SH-22"]["first_result"],
+            result.summaries["SH-22"]["makespan"],
+        ]
+    ]
+    for r in COUNTS:
+        s = result.summaries[f"SS-{r}"]
+        rows.append([f"SIDR r={r}", s["first_result"], s["makespan"]])
+    table = format_table(
+        ["configuration", "first result(s)", "total(s)"],
+        rows,
+        title="Figure 11 — Query 2 (filter) reduce completion",
+    )
+    series = format_series(
+        {k: c for k, c in result.curves.items() if "Reduce" in k},
+        title="output availability over time",
+    )
+    record_report("fig11_filter_query", table + "\n\n" + series)
+    # Reduce work is tiny: even r=22 ends close to its map phase.
+    s22 = result.summaries["SS-22"]
+    assert s22["makespan"] - s22["last_map_finish"] < 0.1 * s22["makespan"]
+
+
+def test_less_improvement_than_query1(fig11):
+    """SIDR's total-time gain on Query 2 < its gain on Query 1 (§4.1)."""
+    q1 = fig10_reduce_scaling(sidr_reduce_counts=(176,), scale=1)
+    gain_q1 = (
+        q1.summaries["SH-22"]["makespan"] / q1.summaries["SS-176"]["makespan"]
+    )
+    gain_q2 = (
+        fig11.summaries["SH-22"]["makespan"]
+        / fig11.summaries["SS-176"]["makespan"]
+    )
+    assert gain_q2 < gain_q1
+
+
+def test_fewer_tasks_reach_optimal(fig11):
+    """Curves approach optimal with fewer reduce tasks than Query 1: the
+    r=66 and r=176 makespans are nearly identical."""
+    s = fig11.summaries
+    assert s["SS-176"]["makespan"] == pytest.approx(
+        s["SS-66"]["makespan"], rel=0.15
+    )
+
+
+def test_first_results_still_early(fig11):
+    s = fig11.summaries
+    assert s["SS-22"]["first_result"] < 0.5 * s["SH-22"]["first_result"]

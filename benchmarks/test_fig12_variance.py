@@ -1,0 +1,70 @@
+"""Figure 12: variance in task completion over 10 jittered runs.
+
+Paper (§4.2): "With SIDR, data dependencies are small(er) barriers, so
+Reduce tasks display at least as much variance as the set of Map tasks
+they depend on.  Increasing the number of Reduce tasks diminishes that
+set (per Reduce task) and the probability of a Reduce task depending on
+several abnormally long-running Map tasks" — 22 vs 88 reduce tasks,
+averages and error bars over 10 runs.
+"""
+
+import pytest
+
+from repro.bench.figures import fig12_variance
+from repro.bench.report import format_series, format_table
+
+COUNTS = (22, 88)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_variance(reduce_counts=COUNTS, runs=10, scale=1)
+
+
+def test_fig12_benchmark(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig12_variance,
+        kwargs={"reduce_counts": COUNTS, "runs": 10, "scale": 1},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for r in COUNTS:
+        s = result.summaries[f"SS-{r}"]
+        rows.append(
+            [
+                f"SIDR r={r}",
+                s["mean_first"],
+                s["mean_makespan"],
+                s["std_makespan"],
+                s["max_pointwise_std"],
+            ]
+        )
+    table = format_table(
+        ["configuration", "mean first(s)", "mean total(s)",
+         "std total(s)", "max pointwise std"],
+        rows,
+        title="Figure 12 — completion variance over 10 jittered runs",
+    )
+    series = format_series(
+        result.curves, title="mean output availability over time"
+    )
+    record_report("fig12_variance", table + "\n\n" + series)
+    assert result.summaries["SS-22"]["std_makespan"] > 0
+
+
+def test_more_reducers_lower_variance(fig12):
+    """More reduce tasks -> smaller per-task dependency sets -> less
+    spread in the completion curve."""
+    assert fig12.notes["max_std_88"] <= fig12.notes["max_std_22"] * 1.25
+
+
+def test_mean_curves_monotone(fig12):
+    for name, c in fig12.curves.items():
+        assert list(c.fractions) == sorted(c.fractions), name
+
+
+def test_error_bars_meaningful(fig12):
+    """The jitter model produces non-degenerate spread at both counts."""
+    for r in COUNTS:
+        assert fig12.summaries[f"SS-{r}"]["max_pointwise_std"] > 0.005

@@ -1,0 +1,65 @@
+"""Figure 13: intermediate key skew under Hadoop's partition function.
+
+Paper (§4.3): patterned intermediate keys ("every intermediate key was
+even") hash to a single parity class, so half the reduce tasks receive no
+data and the other half receive double; "SIDR evenly distributes the work
+and completes 42% faster."
+"""
+
+import pytest
+
+from repro.bench.figures import fig13_skew
+from repro.bench.report import format_series, format_table
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return fig13_skew(num_reduces=22, scale=1)
+
+
+def test_fig13_benchmark(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig13_skew,
+        kwargs={"num_reduces": 22, "scale": 1},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            "stock (skewed)",
+            result.summaries["stock"]["first_result"],
+            result.summaries["stock"]["makespan"],
+        ],
+        [
+            "SIDR (balanced)",
+            result.summaries["SIDR"]["first_result"],
+            result.summaries["SIDR"]["makespan"],
+        ],
+    ]
+    table = format_table(
+        ["configuration", "first result(s)", "total(s)"],
+        rows,
+        title=(
+            "Figure 13 — key-skew pathology, 22 reduce tasks "
+            f"(SIDR {result.notes['speedup'] - 1:.0%} faster; paper: 42%)"
+        ),
+    )
+    series = format_series(
+        {k: c for k, c in result.curves.items() if "Reduce" in k},
+        title="task completion over time",
+    )
+    record_report("fig13_skew", table + "\n\n" + series)
+    assert result.notes["speedup"] > 1.25
+
+
+def test_speedup_direction_and_scale(fig13):
+    """Paper: 42% faster; require a substantial win at full scale."""
+    assert fig13.notes["speedup"] > 1.2
+
+
+def test_idle_half_commits_at_barrier(fig13):
+    c = fig13.curves["Reduce(stock,22)"]
+    # Half the tasks (the starved parity class) finish in a tight cluster
+    # right after the barrier; the loaded half takes much longer.
+    assert c.fraction_at(c.times[0] * 1.05) >= 0.45
+    assert c.times[-1] > 1.3 * c.times[0]

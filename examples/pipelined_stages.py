@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Pipelined computations over early results (paper §6, future work).
+
+"We will research integrating SIDR's ability to produce early, orderable,
+correct results for portions of the total output into pipe-lined
+computations."
+
+Scenario: a two-stage climate analysis over a year of daily temperatures.
+
+* Stage 1 — weekly means at 5x latitude down-sampling (the paper's
+  running example; extraction {7, 5, 1}).
+* Stage 2 — monthly (4-week) maxima of those weekly means (extraction
+  {4, 1, 1} over stage 1's output space).
+
+Because SIDR's stage-1 keyblocks commit early and are *correct* — not
+estimates, the §5 contrast with Hadoop Online, where "any subsequent
+computations that consume HOP's output must be re-run after each
+estimate" — stage-2 map tasks start the moment the keyblocks they read
+are final, well before stage 1 finishes.  The interleaving log printed
+below is the evidence.
+
+Run:  python examples/pipelined_stages.py
+"""
+
+import numpy as np
+
+from repro import StructuralQuery, get_operator, temperature_dataset
+from repro.sidr.pipeline import PipelinedQuery
+
+
+def main() -> None:
+    field = temperature_dataset(days=365, lat=40, lon=30, seed=17)
+    data = field.arrays["temperature"].astype(np.float64)
+
+    stage1 = StructuralQuery(
+        variable="temperature",
+        extraction_shape=(7, 5, 1),
+        operator=get_operator("mean"),
+    ).compile(field.metadata)
+
+    stage2 = StructuralQuery(
+        variable="weekly_mean",
+        extraction_shape=(4, 1, 1),
+        operator=get_operator("max"),
+    )
+
+    pipe = PipelinedQuery(
+        stage1,
+        stage2,
+        stage1_reduces=6,
+        stage2_reduces=3,
+        stage1_splits=16,
+        stage2_splits=6,
+    )
+    print("== Pipeline ==")
+    print(f"  stage 1: {stage1.describe()}")
+    print(f"  stage 2: {pipe.stage2.describe()}")
+
+    result = pipe.run(data)
+    oracle = pipe.reference(data)
+    worst = max(
+        abs(result.stage2_outputs[k] - oracle[k]) for k in oracle
+    )
+    assert worst < 1e-9
+    print(f"\nfinal output matches the composed serial oracle on all "
+          f"{len(oracle)} cells")
+
+    early = result.stage2_maps_before_stage1_done()
+    total_s2_maps = len(pipe.s2_splits)
+    print(f"\n== Pipelining evidence ==")
+    print(f"  {early}/{total_s2_maps} stage-2 map tasks ran BEFORE "
+          f"stage 1's final keyblock committed")
+
+    print("\n== Interleaving log (stage-1 keyblocks vs stage-2 work) ==")
+    for ev in result.events:
+        tag = {1: "stage1", 2: "STAGE2"}[ev.stage]
+        print(f"  [{ev.seq:3d}] {tag} {ev.kind} {ev.index}")
+
+
+if __name__ == "__main__":
+    main()

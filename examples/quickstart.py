@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Figure 1/2 temperature dataset (daily measurements over a
+lat/lon grid, written as an NCLite file), issues the weekly-average
+down-sampling query with extraction shape {7, 5, 1} (§3 Area 2), and runs
+it three ways:
+
+1. a direct serial oracle (plain numpy),
+2. a stock-Hadoop configuration (hash partitioner + global barrier),
+3. SIDR (partition+, dependency barriers, count-annotation validation),
+
+then shows what SIDR bought: early reduce starts, far fewer shuffle
+connections, and dense contiguous output regions.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    GlobalBarrier,
+    HashPartitioner,
+    JobConf,
+    LocalEngine,
+    StructuralQuery,
+    build_sidr_job,
+    get_operator,
+    make_reader_factory,
+    open_dataset,
+    slice_splits,
+    temperature_dataset,
+)
+from repro.mapreduce.mapper import ChunkAggregateMapper
+from repro.mapreduce.reducer import AggregateReducer
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="sidr-quickstart-"))
+
+    # ----------------------------------------------------------------- #
+    # 1. A year of daily temperatures (shrunk grid for a fast demo).
+    # ----------------------------------------------------------------- #
+    field = temperature_dataset(days=365, lat=50, lon=40, seed=7)
+    path = workdir / "temperature.nc"
+    ds = field.write(path)
+    print("== Dataset (paper Figure 1 metadata style) ==")
+    print(ds.to_cdl())
+
+    # ----------------------------------------------------------------- #
+    # 2. The structural query: weekly means, 5x latitude down-sample.
+    # ----------------------------------------------------------------- #
+    query = StructuralQuery(
+        variable="temperature",
+        extraction_shape=(7, 5, 1),
+        operator=get_operator("mean"),
+    )
+    plan = query.compile(ds.metadata)
+    print("\n== Query plan ==")
+    print(plan.describe())
+
+    splits = slice_splits(plan, num_splits=16)
+    data = field.arrays["temperature"].astype(np.float64)
+    oracle = plan.reference_output(data)
+    engine = LocalEngine(map_workers=4, reduce_workers=3)
+
+    # ----------------------------------------------------------------- #
+    # 3a. Stock Hadoop: hash partitioner + global barrier.
+    # ----------------------------------------------------------------- #
+    op = plan.operator
+    stock_job = JobConf(
+        name="stock-weekly-mean",
+        splits=splits,
+        reader_factory=make_reader_factory(str(path), plan),
+        mapper_factory=lambda: ChunkAggregateMapper(op),
+        reducer_factory=lambda: AggregateReducer(op),
+        partitioner=HashPartitioner(),
+        num_reduce_tasks=6,
+    )
+    stock = engine.run_threaded(stock_job, GlobalBarrier())
+
+    # ----------------------------------------------------------------- #
+    # 3b. SIDR: partition+, dependency barriers, count validation.
+    # ----------------------------------------------------------------- #
+    sidr_job, barrier, sidr_plan = build_sidr_job(
+        plan, splits, num_reduce_tasks=6, source=str(path)
+    )
+    sidr = engine.run_threaded(sidr_job, barrier)
+
+    # ----------------------------------------------------------------- #
+    # 4. Same answers, better execution.
+    # ----------------------------------------------------------------- #
+    for name, res in [("stock", stock), ("SIDR", sidr)]:
+        got = dict(res.all_records())
+        worst = max(abs(got[k] - oracle[k]) for k in oracle)
+        assert worst < 1e-9, f"{name} diverged from the oracle"
+    print("\n== Correctness ==")
+    print(f"both configurations match the serial oracle on all "
+          f"{len(oracle)} output cells")
+
+    print("\n== What SIDR changed ==")
+    print(f"  shuffle connections : stock {stock.shuffle_connections:4d}  "
+          f"(every reduce contacts every map)")
+    print(f"                        SIDR  {sidr.shuffle_connections:4d}  "
+          f"(only actual dependencies, paper Table 3)")
+    print(f"  early reduce starts : stock {stock.counters.get('barrier.early.starts')}  "
+          f"(global barrier, Figure 4 left)")
+    print(f"                        SIDR  {sidr.counters.get('barrier.early.starts')}  "
+          f"(dependency barriers, Figure 4 right)")
+
+    print("\n== Contiguous output regions (paper §4.4) ==")
+    for l in range(sidr_plan.num_reduce_tasks):
+        regions = ", ".join(
+            f"corner={list(s.corner)} shape={list(s.shape)}"
+            for s in sidr_plan.output_region(l)
+        )
+        print(f"  reduce {l}: {regions}")
+
+    ds.close()
+    print(f"\nworkspace: {workdir}")
+
+
+if __name__ == "__main__":
+    main()

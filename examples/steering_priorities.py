@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Computational steering via keyblock prioritization (paper §3.4).
+
+"If the user believes that a certain portion of the output would likely
+contain the salient result(s), those keyblocks can be scheduled first,
+as opposed to waiting for them to be scheduled organically."
+
+Scenario: a scientist is watching a windspeed simulation and cares about
+the *last* weeks of the run (where the storm develops).  Stock scheduling
+delivers keyblocks roughly in index order, so the interesting region
+arrives last.  With SIDR priorities the region of interest is scheduled
+first; the simulated cluster shows the interesting keyblocks completing
+far earlier — the paper's burst-buffer scenario (grab the important
+answers while the data is still on the staging nodes) follows the same
+mechanics.
+
+Run:  python examples/steering_priorities.py
+"""
+
+from repro.bench.workloads import SystemVariant, query1_workload, sim_spec
+from repro.sim.cluster import ClusterConfig
+from repro.sim.jobsim import ExecutionMode, simulate_job
+from repro.sim.workload import SimJobSpec
+
+
+def main() -> None:
+    # 1/10-scale Query 1 for a fast demo; r=24 keyblocks.
+    wl = query1_workload(scale=10)
+    r = 24
+    interesting = set(range(r - 4, r))  # the final 4 keyblocks (late weeks)
+
+    base = sim_spec(wl, SystemVariant.SIDR, r)
+    # Priorities: interesting blocks first (lower = earlier).
+    priorities = tuple(
+        0.0 if l in interesting else 1.0 for l in range(r)
+    )
+    steered = SimJobSpec(
+        name=base.name + "-steered",
+        splits=base.splits,
+        distribution=base.distribution,
+        reduce_output_bytes=base.reduce_output_bytes,
+        dense_output=base.dense_output,
+        reduce_weights=base.reduce_weights,
+        priorities=priorities,
+    )
+
+    organic_tl = simulate_job(base, mode=ExecutionMode.SIDR, seed=0)
+    steered_tl = simulate_job(steered, mode=ExecutionMode.SIDR, seed=0)
+
+    def region_done(tl):
+        return max(tl.reduce_finish[l] for l in interesting)
+
+    print("== Steering the output region of interest ==")
+    print(f"  keyblocks of interest : {sorted(interesting)} "
+          f"(the final simulated weeks)")
+    print(f"  organic scheduling    : region final at "
+          f"{region_done(organic_tl):7.0f}s "
+          f"(query completes {organic_tl.makespan:7.0f}s)")
+    print(f"  prioritized scheduling: region final at "
+          f"{region_done(steered_tl):7.0f}s "
+          f"(query completes {steered_tl.makespan:7.0f}s)")
+    speedup = region_done(organic_tl) / region_done(steered_tl)
+    print(f"  -> region of interest available {speedup:.1f}x sooner")
+
+    # The rest of the query is unharmed: total work is identical, only
+    # the order changed.
+    delta = abs(steered_tl.makespan - organic_tl.makespan)
+    print(f"  total query time changed by only "
+          f"{delta / organic_tl.makespan:.1%}")
+
+    print("\n== Per-keyblock completion (first 6 and the steered 4) ==")
+    for l in list(range(6)) + sorted(interesting):
+        print(
+            f"  keyblock {l:3d}: organic {organic_tl.reduce_finish[l]:7.0f}s"
+            f"   steered {steered_tl.reduce_finish[l]:7.0f}s"
+            f"{'   <- prioritized' if l in interesting else ''}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Query 1 at paper scale on the simulated cluster (Figures 9 & 10).
+
+Replays the paper's headline experiment: a median query over the 348 GB
+windspeed dataset {7200, 360, 720, 50} with extraction shape
+{2, 36, 36, 10}, on the simulated 24-worker cluster (4 map + 3 reduce
+slots per node, 128 MB splits -> 2,781 map tasks), under all three
+systems and then with SIDR's reduce count swept.
+
+The printed series correspond to the paper's "Fraction of Total Output
+Available" axes; the summary lines carry the numbers quoted in §4.1.
+
+Run:  python examples/windspeed_median_sim.py         (~20 s)
+      python examples/windspeed_median_sim.py --fast  (1/10 scale, ~3 s)
+"""
+
+import sys
+
+from repro.bench.figures import fig09_task_completion, fig10_reduce_scaling
+from repro.bench.report import format_series
+
+
+def main() -> None:
+    scale = 10 if "--fast" in sys.argv else 1
+    counts = (22, 66, 176) if scale > 1 else (22, 66, 176, 528)
+
+    print("=== Figure 9: Hadoop vs SciHadoop vs SIDR, 22 reduce tasks ===")
+    fig9 = fig09_task_completion(num_reduces=22, scale=scale)
+    print(
+        format_series(
+            {k: c for k, c in fig9.curves.items() if k.startswith("Reduce")},
+            title="reduce-task output availability over time",
+        )
+    )
+    for label, name in [("H", "Hadoop"), ("SH", "SciHadoop"), ("SS", "SIDR")]:
+        s = fig9.summaries[label]
+        print(
+            f"  {name:10s} first result {s['first_result']:7.0f}s   "
+            f"complete {s['makespan']:7.0f}s   "
+            f"connections {int(s['connections']):,}"
+        )
+    print(
+        f"  -> SIDR vs Hadoop speedup: "
+        f"{fig9.summaries['H']['makespan'] / fig9.summaries['SS']['makespan']:.2f}x"
+    )
+
+    print("\n=== Figure 10: SIDR reduce-count scaling ===")
+    fig10 = fig10_reduce_scaling(sidr_reduce_counts=counts, scale=scale)
+    print(
+        format_series(
+            {k: c for k, c in fig10.curves.items() if k.startswith("Reduce")},
+            title="reduce-task output availability over time",
+        )
+    )
+    for r in counts:
+        s = fig10.summaries[f"SS-{r}"]
+        print(
+            f"  SIDR r={r:4d}: first {s['first_result']:6.0f}s  "
+            f"complete {s['makespan']:6.0f}s  "
+            f"early reduces {int(s['early_reduces'])}"
+        )
+    print(
+        f"  -> best SIDR vs SciHadoop: "
+        f"{fig10.notes['sidr_best_vs_scihadoop']:.2f}x "
+        f"(paper: 1.29x at 528 reduce tasks)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` works in offline environments whose
+setuptools lacks the ``wheel`` package required by PEP 660 editable
+installs (pip falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,330 @@
+"""Extraction shapes: the K -> K' key translation (paper §2.4.2, §3).
+
+An extraction shape is "a concrete representation of the units of data
+that the operator ... will be applied to" (§2.4.2): the input space K is
+logically tiled by instances of the shape and each instance becomes one
+intermediate key in K'.  SIDR leverages it to solve the paper's opaque
+Area 2 (Map input key -> Map output key) and Area 3 (exact intermediate
+keyspace K'_T) deterministically:
+
+* ``translate(k)``    — k' = (k - origin) // shape  (element-wise, §3)
+* ``image(slab)``     — the K' region a K region produces data for
+* ``preimage(k')``    — the K region that feeds one intermediate key
+* ``intermediate_space(input_shape)`` — the exact shape of K'_T
+
+Truncation semantics: the paper's weekly-average example "throws away the
+data from the 365-th day" (§3 Area 3), i.e. trailing input that does not
+fill a whole extraction-shape instance is dropped.  That is the default
+(``truncate=True``); ``truncate=False`` keeps clipped edge instances
+(ceil semantics), which some queries want (e.g. counting cells per
+region at the boundary).
+
+:class:`StridedExtraction` adds the paper's strided access: "reading data
+at regularly spaced intervals can be described by adding an additional
+n-dimensional array indicating the stride lengths between extraction
+shape instances" (§2.4.2).  Cells in the gaps between instances belong to
+no intermediate key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arrays.shape import (
+    Coord,
+    Shape,
+    as_coord,
+    ceil_div,
+    coord_sub,
+)
+from repro.arrays.slab import Slab
+from repro.errors import GeometryError, QueryError, RankMismatchError
+
+
+@dataclass(frozen=True)
+class ExtractionShape:
+    """Dense extraction: instances tile K starting at ``origin`` with no
+    gaps.
+
+    Parameters
+    ----------
+    shape:
+        Extents of one instance (e.g. ``{7, 5, 1}`` for weekly averages
+        down-sampled 5x in latitude, §3 Area 2).
+    origin:
+        Global coordinate of the first instance's corner; defaults to the
+        zero vector.  Queries over a subset of a dataset set this to the
+        subset corner so translation stays in global coordinates.
+    truncate:
+        Drop trailing partial instances (paper default) or keep them.
+    """
+
+    shape: Shape
+    origin: Coord | None = None
+    truncate: bool = True
+
+    def __post_init__(self) -> None:
+        shape = as_coord(self.shape)
+        if any(s <= 0 for s in shape):
+            raise GeometryError(f"extraction shape must be positive: {shape!r}")
+        origin = (
+            tuple(0 for _ in shape)
+            if self.origin is None
+            else as_coord(self.origin)
+        )
+        if len(origin) != len(shape):
+            raise RankMismatchError("extraction origin/shape rank mismatch")
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "origin", origin)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def cells_per_key(self) -> int:
+        """|K| cells contributing to each k' — used by the count-annotation
+        correctness check (§3.2.1 approach 2)."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    # ------------------------------------------------------------------ #
+    # Scalar translation
+    # ------------------------------------------------------------------ #
+    def translate(self, key: Coord) -> Coord:
+        """Map a K key to its K' key (paper §3 Area 2)."""
+        if len(key) != self.rank:
+            raise RankMismatchError(
+                f"key rank {len(key)} != extraction rank {self.rank}"
+            )
+        rel = coord_sub(key, self.origin)
+        if any(x < 0 for x in rel):
+            raise GeometryError(
+                f"key {key!r} precedes extraction origin {self.origin!r}"
+            )
+        return tuple(x // s for x, s in zip(rel, self.shape))
+
+    def translate_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`translate` over an ``(n, rank)`` array."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 2 or keys.shape[1] != self.rank:
+            raise RankMismatchError(
+                f"expected (n, {self.rank}) key array, got {keys.shape}"
+            )
+        rel = keys - np.asarray(self.origin, dtype=np.int64)
+        if rel.size and (rel < 0).any():
+            raise GeometryError("key array contains keys before origin")
+        return rel // np.asarray(self.shape, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Region translation
+    # ------------------------------------------------------------------ #
+    def image(self, region: Slab, intermediate_space: Shape | None = None) -> Slab:
+        """K' region that a K region produces intermediate keys for.
+
+        When ``intermediate_space`` is given (the query's K'_T shape) the
+        image is clipped to it — under truncate semantics, input cells in
+        a dropped trailing instance produce no key at all.
+        """
+        if region.rank != self.rank:
+            raise RankMismatchError("region/extraction rank mismatch")
+        if region.is_empty:
+            return Slab(tuple(0 for _ in self.shape), tuple(0 for _ in self.shape))
+        rel_lo = coord_sub(region.corner, self.origin)
+        if any(x < 0 for x in rel_lo):
+            raise GeometryError(
+                f"region {region!r} precedes extraction origin {self.origin!r}"
+            )
+        lo = tuple(x // s for x, s in zip(rel_lo, self.shape))
+        rel_hi = coord_sub(region.end, self.origin)
+        hi = tuple(ceil_div(x, s) for x, s in zip(rel_hi, self.shape))
+        img = Slab.from_extent(lo, hi)
+        if intermediate_space is not None:
+            img = img.intersect(Slab.whole(intermediate_space))
+        return img
+
+    def preimage(self, key: Coord) -> Slab:
+        """K region whose cells all map to intermediate key ``key``."""
+        if len(key) != self.rank:
+            raise RankMismatchError("key/extraction rank mismatch")
+        corner = tuple(
+            o + k * s for o, k, s in zip(self.origin, key, self.shape)
+        )
+        return Slab(corner, self.shape)
+
+    def preimage_slab(self, region: Slab) -> Slab:
+        """K region feeding an entire K' region (union of preimages)."""
+        if region.is_empty:
+            return Slab(self.origin, tuple(0 for _ in self.shape))
+        corner = tuple(
+            o + k * s for o, k, s in zip(self.origin, region.corner, self.shape)
+        )
+        shape = tuple(e * s for e, s in zip(region.shape, self.shape))
+        return Slab(corner, shape)
+
+    # ------------------------------------------------------------------ #
+    # Intermediate keyspace
+    # ------------------------------------------------------------------ #
+    def intermediate_space(self, input_shape: Shape) -> Shape:
+        """Exact K'_T shape for an input region of ``input_shape`` starting
+        at the extraction origin (paper §3 Area 3: "dividing the length of
+        each dimension in K_T by the entry in the corresponding dimension
+        of the extraction shape")."""
+        if len(input_shape) != self.rank:
+            raise RankMismatchError("input shape rank mismatch")
+        if self.truncate:
+            out = tuple(d // s for d, s in zip(input_shape, self.shape))
+        else:
+            out = tuple(ceil_div(d, s) for d, s in zip(input_shape, self.shape))
+        if any(x == 0 for x in out):
+            raise QueryError(
+                f"extraction shape {self.shape!r} larger than input "
+                f"{input_shape!r} in some dimension; no complete instance"
+            )
+        return out
+
+    def covered_input(self, input_shape: Shape) -> Slab:
+        """The K region actually consumed (truncation drops the rest)."""
+        inter = self.intermediate_space(input_shape)
+        return self.preimage_slab(Slab.whole(inter))
+
+
+@dataclass(frozen=True)
+class StridedExtraction:
+    """Extraction-shape instances placed every ``stride`` cells.
+
+    ``stride[d] >= shape[d]`` is required; equal strides degenerate to a
+    dense :class:`ExtractionShape`.  Cells falling between instances map
+    to no intermediate key (``translate`` returns ``None``).
+    """
+
+    shape: Shape
+    stride: Shape
+    origin: Coord | None = None
+    truncate: bool = True
+
+    def __post_init__(self) -> None:
+        shape = as_coord(self.shape)
+        stride = as_coord(self.stride)
+        if len(shape) != len(stride):
+            raise RankMismatchError("extraction shape/stride rank mismatch")
+        if any(s <= 0 for s in shape):
+            raise GeometryError(f"extraction shape must be positive: {shape!r}")
+        if any(st < sh for st, sh in zip(stride, shape)):
+            raise GeometryError(
+                f"stride {stride!r} smaller than shape {shape!r}"
+            )
+        origin = (
+            tuple(0 for _ in shape)
+            if self.origin is None
+            else as_coord(self.origin)
+        )
+        if len(origin) != len(shape):
+            raise RankMismatchError("extraction origin rank mismatch")
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "stride", stride)
+        object.__setattr__(self, "origin", origin)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def cells_per_key(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def translate(self, key: Coord) -> Coord | None:
+        """K' key for ``key``, or ``None`` when the cell lies in a stride
+        gap and is not consumed by the query."""
+        if len(key) != self.rank:
+            raise RankMismatchError("key rank mismatch")
+        rel = coord_sub(key, self.origin)
+        if any(x < 0 for x in rel):
+            raise GeometryError(f"key {key!r} precedes origin {self.origin!r}")
+        out = []
+        for x, st, sh in zip(rel, self.stride, self.shape):
+            q, r = divmod(x, st)
+            if r >= sh:
+                return None
+            out.append(q)
+        return tuple(out)
+
+    def translate_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized translate: returns ``(kprime, mask)`` where ``mask``
+        marks keys that fall inside an instance."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 2 or keys.shape[1] != self.rank:
+            raise RankMismatchError("key array rank mismatch")
+        rel = keys - np.asarray(self.origin, dtype=np.int64)
+        if rel.size and (rel < 0).any():
+            raise GeometryError("key array contains keys before origin")
+        stride = np.asarray(self.stride, dtype=np.int64)
+        shape = np.asarray(self.shape, dtype=np.int64)
+        q, r = np.divmod(rel, stride)
+        mask = (r < shape).all(axis=1)
+        return q, mask
+
+    def preimage(self, key: Coord) -> Slab:
+        """K region (one instance) feeding intermediate key ``key``."""
+        corner = tuple(
+            o + k * st for o, k, st in zip(self.origin, key, self.stride)
+        )
+        return Slab(corner, self.shape)
+
+    def image(self, region: Slab, intermediate_space: Shape | None = None) -> Slab:
+        """Smallest K' slab containing the keys ``region`` produces.
+
+        Because of stride gaps a region may produce no keys yet still have
+        a non-empty bounding image; the dependency analysis treats the
+        image as a (safe) over-approximation.
+        """
+        if region.is_empty:
+            return Slab(tuple(0 for _ in self.shape), tuple(0 for _ in self.shape))
+        rel_lo = coord_sub(region.corner, self.origin)
+        if any(x < 0 for x in rel_lo):
+            raise GeometryError("region precedes origin")
+        lo = []
+        for x, st, sh in zip(rel_lo, self.stride, self.shape):
+            q, r = divmod(x, st)
+            # If the region starts past the end of instance q in this dim,
+            # the first contributing instance is q+1.
+            lo.append(q if r < sh else q + 1)
+        rel_hi = coord_sub(region.end, self.origin)
+        # One past the last instance whose start precedes the region end.
+        hi = [ceil_div(x, st) for x, st in zip(rel_hi, self.stride)]
+        img = Slab.from_extent(tuple(lo), tuple(hi))
+        if intermediate_space is not None:
+            img = img.intersect(Slab.whole(intermediate_space))
+        return img
+
+    def intermediate_space(self, input_shape: Shape) -> Shape:
+        """K'_T shape: number of (whole, under truncate) instances that fit."""
+        if len(input_shape) != self.rank:
+            raise RankMismatchError("input shape rank mismatch")
+        out = []
+        for d, st, sh in zip(input_shape, self.stride, self.shape):
+            if self.truncate:
+                # instance i occupies [i*st, i*st + sh); count i with
+                # i*st + sh <= d
+                n = 0 if d < sh else (d - sh) // st + 1
+            else:
+                n = ceil_div(d, st)
+            out.append(n)
+        if any(x == 0 for x in out):
+            raise QueryError(
+                f"no complete strided instance of {self.shape!r}/{self.stride!r} "
+                f"fits in input {input_shape!r}"
+            )
+        return tuple(out)
+
+
+def dense(shape: Shape, origin: Coord | None = None, truncate: bool = True) -> ExtractionShape:
+    """Convenience constructor for a dense extraction shape."""
+    return ExtractionShape(shape=shape, origin=origin, truncate=truncate)

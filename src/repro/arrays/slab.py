@@ -1,0 +1,245 @@
+"""Slab: an axis-aligned box in an n-dimensional integer grid.
+
+The paper specifies units of work "via pairs of n-dimensional coordinates
+specifying a corner and a shape in the input data set" (§2.1).  A
+:class:`Slab` is exactly that pair.  Input splits, keyblocks, output
+regions and dataset subsets are all slabs (or small unions of slabs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.arrays.shape import (
+    Coord,
+    Shape,
+    as_coord,
+    coord_add,
+    coord_max,
+    coord_min,
+    coord_sub,
+    volume,
+)
+from repro.errors import GeometryError, RankMismatchError
+
+
+@dataclass(frozen=True, slots=True)
+class Slab:
+    """A half-open axis-aligned region ``[corner, corner + shape)``.
+
+    Immutable and hashable, so slabs can be dict keys (keyblock routing
+    tables) and set members (dependency sets).
+    """
+
+    corner: Coord
+    shape: Shape
+
+    def __post_init__(self) -> None:
+        corner = as_coord(self.corner)
+        shape = as_coord(self.shape)
+        if len(corner) != len(shape):
+            raise RankMismatchError(
+                f"corner rank {len(corner)} != shape rank {len(shape)}"
+            )
+        if any(s < 0 for s in shape):
+            raise GeometryError(f"negative extent in slab shape {shape!r}")
+        object.__setattr__(self, "corner", corner)
+        object.__setattr__(self, "shape", shape)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.corner)
+
+    @property
+    def end(self) -> Coord:
+        """Exclusive upper corner, ``corner + shape``."""
+        return coord_add(self.corner, self.shape)
+
+    @property
+    def volume(self) -> int:
+        """Number of cells contained in the slab."""
+        return volume(self.shape)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when any extent is zero."""
+        return any(s == 0 for s in self.shape)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_extent(cls, corner: Iterable[int], end: Iterable[int]) -> "Slab":
+        """Build a slab from inclusive corner and exclusive end corners."""
+        c = as_coord(corner)
+        e = as_coord(end)
+        if len(c) != len(e):
+            raise RankMismatchError("corner/end rank mismatch")
+        shape = tuple(max(0, hi - lo) for lo, hi in zip(c, e))
+        return cls(c, shape)
+
+    @classmethod
+    def whole(cls, shape: Iterable[int]) -> "Slab":
+        """The slab covering an entire space of the given shape (origin 0)."""
+        s = as_coord(shape)
+        return cls(tuple(0 for _ in s), s)
+
+    # ------------------------------------------------------------------ #
+    # Set operations
+    # ------------------------------------------------------------------ #
+    def contains(self, coord: Coord) -> bool:
+        """True if ``coord`` lies inside the slab."""
+        if len(coord) != self.rank:
+            raise RankMismatchError(
+                f"coord rank {len(coord)} != slab rank {self.rank}"
+            )
+        return all(
+            lo <= x < lo + ext
+            for x, lo, ext in zip(coord, self.corner, self.shape)
+        )
+
+    def contains_slab(self, other: "Slab") -> bool:
+        """True if ``other`` lies entirely within this slab.
+
+        An empty ``other`` is contained in everything.
+        """
+        if other.is_empty:
+            return True
+        return all(
+            so >= s and so + eo <= s + e
+            for so, eo, s, e in zip(
+                other.corner, other.shape, self.corner, self.shape
+            )
+        )
+
+    def intersect(self, other: "Slab") -> "Slab":
+        """The overlapping region (possibly empty, clamped at this corner)."""
+        if other.rank != self.rank:
+            raise RankMismatchError("slab rank mismatch in intersect")
+        lo = coord_max(self.corner, other.corner)
+        hi = coord_min(self.end, other.end)
+        shape = tuple(max(0, h - l) for l, h in zip(lo, hi))
+        # Normalize empty intersections to a canonical empty slab at lo so
+        # that equality of empty results is predictable.
+        return Slab(lo, shape)
+
+    def overlaps(self, other: "Slab") -> bool:
+        """True if the slabs share at least one cell."""
+        return not self.intersect(other).is_empty
+
+    def translate(self, offset: Coord) -> "Slab":
+        """The slab shifted by ``offset``."""
+        return Slab(coord_add(self.corner, offset), self.shape)
+
+    def relative_to(self, origin: Coord) -> "Slab":
+        """The slab expressed in coordinates relative to ``origin``."""
+        return Slab(coord_sub(self.corner, origin), self.shape)
+
+    # ------------------------------------------------------------------ #
+    # Iteration and slicing
+    # ------------------------------------------------------------------ #
+    def iter_coords(self) -> Iterator[Coord]:
+        """Yield every cell coordinate in row-major (C) order.
+
+        Intended for tests and small regions; bulk paths use numpy.
+        """
+        if self.is_empty:
+            return
+        idx = list(self.corner)
+        end = self.end
+        rank = self.rank
+        while True:
+            yield tuple(idx)
+            d = rank - 1
+            while d >= 0:
+                idx[d] += 1
+                if idx[d] < end[d]:
+                    break
+                idx[d] = self.corner[d]
+                d -= 1
+            if d < 0:
+                return
+
+    def as_slices(self) -> tuple[slice, ...]:
+        """Numpy-compatible slice tuple selecting this slab from an array
+        whose origin is the global origin."""
+        return tuple(slice(lo, lo + ext) for lo, ext in zip(self.corner, self.shape))
+
+    def as_local_slices(self, origin: Coord) -> tuple[slice, ...]:
+        """Slice tuple relative to an array whose [0,...] cell sits at
+        ``origin`` in global coordinates."""
+        rel = self.relative_to(origin)
+        return tuple(slice(lo, lo + ext) for lo, ext in zip(rel.corner, rel.shape))
+
+    def split_axis(self, axis: int, at: int) -> tuple["Slab", "Slab"]:
+        """Split into two slabs at global coordinate ``at`` along ``axis``.
+
+        ``at`` must lie within ``[corner[axis], end[axis]]``; either half
+        may be empty when ``at`` equals a boundary.
+        """
+        if not (0 <= axis < self.rank):
+            raise GeometryError(f"axis {axis} out of range for rank {self.rank}")
+        lo, hi = self.corner[axis], self.end[axis]
+        if not (lo <= at <= hi):
+            raise GeometryError(
+                f"split point {at} outside [{lo}, {hi}] on axis {axis}"
+            )
+        first_shape = list(self.shape)
+        first_shape[axis] = at - lo
+        second_corner = list(self.corner)
+        second_corner[axis] = at
+        second_shape = list(self.shape)
+        second_shape[axis] = hi - at
+        return (
+            Slab(self.corner, tuple(first_shape)),
+            Slab(tuple(second_corner), tuple(second_shape)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Slab(corner={list(self.corner)}, shape={list(self.shape)})"
+
+
+def bounding_box(slabs: Iterable[Slab]) -> Slab:
+    """Smallest slab containing every non-empty slab in ``slabs``."""
+    it = iter(slabs)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise GeometryError("bounding_box of no slabs") from None
+    lo = first.corner
+    hi = first.end
+    for s in it:
+        lo = coord_min(lo, s.corner)
+        hi = coord_max(hi, s.end)
+    return Slab.from_extent(lo, hi)
+
+
+def slabs_disjoint(slabs: Sequence[Slab]) -> bool:
+    """True when no two slabs in the sequence overlap (O(n^2) check)."""
+    for i in range(len(slabs)):
+        for j in range(i + 1, len(slabs)):
+            if slabs[i].overlaps(slabs[j]):
+                return False
+    return True
+
+
+def slabs_cover(space: Slab, slabs: Sequence[Slab]) -> bool:
+    """True when the slabs exactly tile ``space``: pairwise disjoint,
+    all inside the space, and their volumes sum to the space's volume.
+
+    Disjointness + containment + volume equality is necessary and
+    sufficient for an exact cover of an integer grid region.
+    """
+    if not slabs_disjoint(slabs):
+        return False
+    total = 0
+    for s in slabs:
+        if not space.contains_slab(s):
+            return False
+        total += s.volume
+    return total == space.volume

@@ -1,0 +1,93 @@
+"""Tiling a space with instances of a unit shape.
+
+partition+ (paper §3.1, Figure 7) works by logically tiling the
+intermediate keyspace K' with instances of a chosen n-dimensional unit
+shape and grouping contiguous runs of instances into keyblocks.  The
+extraction shape (§2.4.2) similarly tiles the input keyspace K.  This
+module implements that tiling: mapping cells to tiles, tiles to slabs,
+and enumerating tiles that overlap a region.
+
+Edge tiles are clipped to the space boundary, matching the paper's
+convention of throwing away trailing partial data only when the query
+says so (the query layer decides whether the space itself was truncated;
+the tiler always covers the space it is given).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.arrays.shape import Coord, Shape, ceil_div, coord_floordiv
+from repro.arrays.slab import Slab
+from repro.errors import GeometryError, RankMismatchError
+
+
+def _check(space: Shape, tile: Shape) -> None:
+    if len(space) != len(tile):
+        raise RankMismatchError(
+            f"space rank {len(space)} != tile rank {len(tile)}"
+        )
+    if any(t <= 0 for t in tile):
+        raise GeometryError(f"tile shape must be positive, got {tile!r}")
+
+
+def grid_shape(space: Shape, tile: Shape) -> Shape:
+    """Extents of the tile grid: ``ceil(space / tile)`` per dimension."""
+    _check(space, tile)
+    return tuple(ceil_div(s, t) for s, t in zip(space, tile))
+
+
+def tile_count(space: Shape, tile: Shape) -> int:
+    """Total number of tiles covering the space."""
+    n = 1
+    for g in grid_shape(space, tile):
+        n *= g
+    return n
+
+
+def tile_of_coord(coord: Coord, tile: Shape) -> Coord:
+    """Grid coordinate of the tile containing ``coord``."""
+    return coord_floordiv(coord, tile)
+
+
+def tile_slab(tile_coord: Coord, tile: Shape, space: Shape) -> Slab:
+    """The region of ``space`` covered by the tile at ``tile_coord``,
+    clipped to the space boundary."""
+    _check(space, tile)
+    if len(tile_coord) != len(tile):
+        raise RankMismatchError("tile_coord rank mismatch")
+    grid = grid_shape(space, tile)
+    for g, tc in zip(grid, tile_coord):
+        if not (0 <= tc < g):
+            raise GeometryError(
+                f"tile coordinate {tile_coord!r} outside grid {grid!r}"
+            )
+    corner = tuple(tc * t for tc, t in zip(tile_coord, tile))
+    shape = tuple(
+        min(t, s - c) for t, s, c in zip(tile, space, corner)
+    )
+    return Slab(corner, shape)
+
+
+def tiles_overlapping(region: Slab, tile: Shape) -> Slab:
+    """The slab *in tile-grid coordinates* of tiles overlapping ``region``.
+
+    This is the core of dependency analysis (§3.2): given an input split's
+    image in K', the overlapping keyblock-unit tiles determine which
+    keyblocks depend on that split.
+    """
+    if len(region.corner) != len(tile):
+        raise RankMismatchError("region/tile rank mismatch")
+    if region.is_empty:
+        return Slab(tuple(0 for _ in tile), tuple(0 for _ in tile))
+    lo = tuple(c // t for c, t in zip(region.corner, tile))
+    hi = tuple(ceil_div(c + e, t) for c, e, t in zip(region.corner, region.shape, tile))
+    return Slab.from_extent(lo, hi)
+
+
+def iter_tiles(space: Shape, tile: Shape) -> Iterator[tuple[Coord, Slab]]:
+    """Yield ``(tile_coord, clipped_slab)`` for every tile in row-major
+    order of the tile grid."""
+    grid = grid_shape(space, tile)
+    for tc in Slab.whole(grid).iter_coords():
+        yield tc, tile_slab(tc, tile, space)

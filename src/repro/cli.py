@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Four subcommands mirroring the library's main entry points::
+
+    python -m repro.cli info    FILE                 # show NCLite metadata
+    python -m repro.cli query   FILE --variable V --extract 7,5,1 \\
+                                --operator mean [--reduces 4] [--stride ...]
+    python -m repro.cli simulate --figure 9|10|11|12|13 [--scale 10]
+    python -m repro.cli tables  --table 2|3|partition
+
+``query`` executes a structural query for real through the SIDR engine
+(dependency barriers + count validation) and prints the output records;
+``simulate`` regenerates a paper figure on the simulated cluster;
+``tables`` regenerates a paper table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.errors import ReproError
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(x) for x in text.split(","))
+    except ValueError:
+        raise SystemExit(f"invalid shape {text!r}; expected e.g. 7,5,1")
+    if not shape:
+        raise SystemExit("empty shape")
+    return shape
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.scidata.dataset import open_dataset
+
+    with open_dataset(args.file) as ds:
+        print(ds.to_cdl())
+        for v in ds.metadata.variables:
+            shape = ds.variable_shape(v.name)
+            nbytes = ds.metadata.variable_nbytes(v.name)
+            print(
+                f"// variable {v.name}: shape {list(shape)}, "
+                f"{nbytes / (1 << 20):.1f} MiB"
+            )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.mapreduce.engine import LocalEngine
+    from repro.query.language import StructuralQuery
+    from repro.query.operators import get_operator
+    from repro.query.splits import slice_splits
+    from repro.scidata.dataset import open_dataset
+    from repro.sidr.planner import build_sidr_job
+
+    params = {}
+    if args.threshold is not None:
+        params["threshold"] = args.threshold
+    op = get_operator(args.operator, **params)
+    q = StructuralQuery(
+        variable=args.variable,
+        extraction_shape=_parse_shape(args.extract),
+        operator=op,
+        stride=_parse_shape(args.stride) if args.stride else None,
+    )
+    with open_dataset(args.file) as ds:
+        plan = q.compile(ds.metadata)
+    print(f"# {plan.describe()}", file=sys.stderr)
+    splits = slice_splits(plan, num_splits=args.splits)
+    job, barrier, sidr = build_sidr_job(
+        plan, splits, args.reduces, source=args.file
+    )
+    res = LocalEngine().run_threaded(job, barrier)
+    print(
+        f"# {len(splits)} map tasks, {args.reduces} reduce tasks, "
+        f"{res.counters.get('barrier.early.starts')} early starts, "
+        f"{res.shuffle_connections} shuffle connections",
+        file=sys.stderr,
+    )
+    limit = args.limit
+    for i, (k, v) in enumerate(res.all_records()):
+        if limit and i >= limit:
+            print(f"... ({plan.num_intermediate_keys - limit} more)")
+            break
+        print(f"{','.join(map(str, k))}\t{v}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.bench import figures
+    from repro.bench.report import format_series, format_table
+
+    fns = {
+        "9": lambda: figures.fig09_task_completion(scale=args.scale),
+        "10": lambda: figures.fig10_reduce_scaling(
+            scale=args.scale,
+            sidr_reduce_counts=(22, 66, 176) if args.scale > 1 else (22, 66, 176, 528),
+        ),
+        "11": lambda: figures.fig11_filter_query(scale=args.scale),
+        "12": lambda: figures.fig12_variance(scale=args.scale, runs=args.runs),
+        "13": lambda: figures.fig13_skew(scale=args.scale),
+    }
+    if args.figure not in fns:
+        raise SystemExit(f"unknown figure {args.figure}; pick from {sorted(fns)}")
+    result = fns[args.figure]()
+    print(
+        format_series(
+            {k: c for k, c in result.curves.items() if "Reduce" in k},
+            title=f"{result.figure} — output availability over time",
+        )
+    )
+    rows = [
+        [name] + [f"{v:.1f}" for v in s.values()]
+        for name, s in result.summaries.items()
+    ]
+    headers = ["run"] + list(next(iter(result.summaries.values())).keys())
+    print()
+    print(format_table(headers, rows, title="summaries"))
+    if result.notes:
+        for k, v in result.notes.items():
+            print(f"note: {k} = {v:.3f}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.bench import tables as T
+    from repro.bench.report import format_table
+
+    if args.table == "3":
+        rows = T.table3_network_connections()
+        print(
+            format_table(
+                ["maps/reduces", "Hadoop", "SIDR"],
+                [
+                    [f"{r.num_maps}/{r.num_reduces}", r.hadoop_connections, r.sidr_connections]
+                    for r in rows
+                ],
+                title="Table 3 — network connections",
+            )
+        )
+    elif args.table == "2":
+        with tempfile.TemporaryDirectory() as d:
+            rows = T.table2_reduce_write_scaling(d)
+        print(
+            format_table(
+                ["strategy", "reduces", "time (s)", "size (MB)", "seeks"],
+                [
+                    [r.strategy, r.total_reduces, r.seconds_mean,
+                     r.file_size_bytes / (1 << 20), r.seeks]
+                    for r in rows
+                ],
+                title="Table 2 — reduce write scaling (laptop scale)",
+            )
+        )
+    elif args.table == "partition":
+        res = T.sec45_partition_micro()
+        print(
+            format_table(
+                ["function", "time (ms)"],
+                [
+                    ["default hash", res.default_seconds * 1e3],
+                    ["partition+", res.partition_plus_seconds * 1e3],
+                ],
+                title=f"§4.5 — {res.num_keys / 1e6:.2f}M keys "
+                f"(slowdown {res.slowdown:.2f}x)",
+            )
+        )
+    else:
+        raise SystemExit(f"unknown table {args.table!r}; pick 2, 3, or partition")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="SIDR (SC '13) reproduction: query, simulate, report.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="show NCLite file metadata")
+    p_info.add_argument("file")
+    p_info.set_defaults(fn=cmd_info)
+
+    p_query = sub.add_parser("query", help="run a structural query via SIDR")
+    p_query.add_argument("file")
+    p_query.add_argument("--variable", required=True)
+    p_query.add_argument("--extract", required=True, metavar="D0,D1,...")
+    p_query.add_argument("--stride", default=None, metavar="D0,D1,...")
+    p_query.add_argument(
+        "--operator", default="mean",
+        help="sum|count|mean|min|max|stddev|median|filter_gt",
+    )
+    p_query.add_argument("--threshold", type=float, default=None)
+    p_query.add_argument("--reduces", type=int, default=4)
+    p_query.add_argument("--splits", type=int, default=16)
+    p_query.add_argument("--limit", type=int, default=20,
+                         help="max output rows (0 = all)")
+    p_query.set_defaults(fn=cmd_query)
+
+    p_sim = sub.add_parser("simulate", help="regenerate a paper figure")
+    p_sim.add_argument("--figure", required=True, choices=list("9") + ["10", "11", "12", "13"])
+    p_sim.add_argument("--scale", type=int, default=1,
+                       help="divide the dataset's time dim (10 = fast)")
+    p_sim.add_argument("--runs", type=int, default=10,
+                       help="runs for figure 12")
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_tab = sub.add_parser("tables", help="regenerate a paper table")
+    p_tab.add_argument("--table", required=True)
+    p_tab.set_defaults(fn=cmd_tables)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

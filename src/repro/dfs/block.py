@@ -1,0 +1,55 @@
+"""HDFS block identity and placement records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DfsError
+
+#: Default HDFS block size used throughout the paper's evaluation (§4).
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Identity of one block: owning file plus its index within the file."""
+
+    path: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise DfsError(f"negative block index {self.index}")
+
+
+@dataclass(frozen=True)
+class Block:
+    """A placed block: identity, byte extent within the file, replicas.
+
+    ``replicas`` is ordered: the first entry is the primary (the writer's
+    local copy under the default placement policy).
+    """
+
+    block_id: BlockId
+    offset: int
+    length: int
+    replicas: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise DfsError(f"block {self.block_id} has non-positive length")
+        if self.offset < 0:
+            raise DfsError(f"block {self.block_id} has negative offset")
+        if not self.replicas:
+            raise DfsError(f"block {self.block_id} has no replicas")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise DfsError(f"block {self.block_id} has duplicate replicas")
+
+    @property
+    def end(self) -> int:
+        """Exclusive byte end of this block within the file."""
+        return self.offset + self.length
+
+    def overlaps_range(self, start: int, length: int) -> bool:
+        """True when the byte range [start, start+length) touches the block."""
+        return start < self.end and start + length > self.offset

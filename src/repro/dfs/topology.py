@@ -1,0 +1,123 @@
+"""Cluster topology: hosts, racks, locality levels.
+
+Hadoop's map scheduling walks "a tree structure representing different
+levels of data locality" (§3.3): tasks whose input is on the requesting
+host, then on its rack, then anywhere.  The topology object answers the
+distance queries that tree needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DfsError
+
+
+class LocalityLevel(enum.IntEnum):
+    """Distance between a compute host and a data replica.
+
+    Lower is better; the integer values order scheduling preference.
+    """
+
+    NODE_LOCAL = 0
+    RACK_LOCAL = 1
+    OFF_RACK = 2
+
+
+@dataclass(frozen=True)
+class Host:
+    """A DataNode/TaskTracker machine."""
+
+    name: str
+    rack: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DfsError("host name must be non-empty")
+        if not self.rack:
+            raise DfsError(f"host {self.name!r} must belong to a rack")
+
+
+@dataclass(frozen=True)
+class Rack:
+    """A named rack with an ordered tuple of member hosts."""
+
+    name: str
+    hosts: tuple[Host, ...]
+
+
+class ClusterTopology:
+    """Immutable host/rack layout with O(1) distance queries."""
+
+    def __init__(self, hosts: list[Host]) -> None:
+        if not hosts:
+            raise DfsError("topology needs at least one host")
+        names = [h.name for h in hosts]
+        if len(set(names)) != len(names):
+            raise DfsError("duplicate host names in topology")
+        self._hosts: dict[str, Host] = {h.name: h for h in hosts}
+        self._order: tuple[str, ...] = tuple(names)
+        racks: dict[str, list[Host]] = {}
+        for h in hosts:
+            racks.setdefault(h.rack, []).append(h)
+        self._racks: dict[str, Rack] = {
+            name: Rack(name, tuple(members)) for name, members in racks.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def uniform(
+        cls, num_hosts: int, hosts_per_rack: int = 8, prefix: str = "node"
+    ) -> "ClusterTopology":
+        """Evenly racked cluster, the shape of the paper's 24-worker setup."""
+        if num_hosts <= 0 or hosts_per_rack <= 0:
+            raise DfsError("num_hosts and hosts_per_rack must be positive")
+        hosts = [
+            Host(f"{prefix}{i:03d}", f"rack{i // hosts_per_rack}")
+            for i in range(num_hosts)
+        ]
+        return cls(hosts)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host_names(self) -> tuple[str, ...]:
+        return self._order
+
+    @property
+    def racks(self) -> tuple[Rack, ...]:
+        return tuple(self._racks.values())
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise DfsError(f"unknown host {name!r}") from None
+
+    def rack_of(self, host_name: str) -> str:
+        return self.host(host_name).rack
+
+    def rack_hosts(self, rack: str) -> tuple[Host, ...]:
+        try:
+            return self._racks[rack].hosts
+        except KeyError:
+            raise DfsError(f"unknown rack {rack!r}") from None
+
+    def distance(self, host_a: str, host_b: str) -> LocalityLevel:
+        """Locality level between two hosts."""
+        a = self.host(host_a)
+        b = self.host(host_b)
+        if a.name == b.name:
+            return LocalityLevel.NODE_LOCAL
+        if a.rack == b.rack:
+            return LocalityLevel.RACK_LOCAL
+        return LocalityLevel.OFF_RACK
+
+    def best_locality(self, host: str, replica_hosts: tuple[str, ...]) -> LocalityLevel:
+        """Best (lowest) locality level from ``host`` to any replica."""
+        if not replica_hosts:
+            return LocalityLevel.OFF_RACK
+        return min(self.distance(host, r) for r in replica_hosts)

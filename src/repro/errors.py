@@ -1,0 +1,65 @@
+"""Exception hierarchy for the SIDR reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch library errors without also swallowing programming mistakes such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid n-dimensional geometry (negative extents, rank mismatch...)."""
+
+
+class RankMismatchError(GeometryError):
+    """Two coordinate objects of different rank were combined."""
+
+
+class FormatError(ReproError):
+    """A scientific data file is malformed or truncated."""
+
+
+class DatasetError(ReproError):
+    """Logical misuse of a dataset (unknown variable, out-of-bounds slab...)."""
+
+
+class DfsError(ReproError):
+    """Simulated distributed filesystem error."""
+
+
+class JobConfigError(ReproError):
+    """A MapReduce job was configured inconsistently."""
+
+
+class ShuffleError(ReproError):
+    """Intermediate data routing violated an invariant."""
+
+
+class BarrierViolationError(ShuffleError):
+    """A reduce task attempted to run before its data dependencies were met.
+
+    This is the error that guards SIDR's central correctness claim: with
+    dependency barriers (rather than the global barrier) a reduce task must
+    never observe an incomplete key group.
+    """
+
+
+class QueryError(ReproError):
+    """A structural query is invalid for the dataset it targets."""
+
+
+class PartitionError(ReproError):
+    """partition+ could not produce a valid keyblock decomposition."""
+
+
+class SchedulerError(ReproError):
+    """Task scheduling invariant violated (slot overflow, double schedule...)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation internal error (causality, resource misuse)."""

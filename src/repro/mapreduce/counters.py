@@ -1,0 +1,50 @@
+"""Hadoop-style job counters.
+
+Counters are the engine's observable accounting — tests assert on them
+(e.g. map output records == reduce input records) and the benchmark
+harness reports them (e.g. shuffle bytes per configuration).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter as _Counter
+
+
+class Counters:
+    """Thread-safe named counters grouped Hadoop-style.
+
+    Well-known counter names used by the engine:
+
+    * ``map.input.records`` / ``map.output.records``
+    * ``combine.input.records`` / ``combine.output.records``
+    * ``shuffle.segments`` / ``shuffle.bytes`` / ``shuffle.connections``
+    * ``reduce.input.groups`` / ``reduce.input.records`` /
+      ``reduce.output.records``
+    * ``barrier.early.starts`` — reduce tasks that began before the last
+      map finished (always 0 under the global barrier)
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: _Counter[str] = _Counter()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        with self._lock, other._lock:
+            self._values.update(other._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self.as_dict().items()))
+        return f"Counters({items})"

@@ -1,0 +1,507 @@
+"""LocalEngine: executes MapReduce jobs for real, with pluggable barriers.
+
+Two execution modes:
+
+* **serial** — deterministic single-threaded execution.  Maps run in
+  split order; after each map commits, any reduce whose barrier is now
+  satisfied runs immediately.  The logical event order in the trace shows
+  exactly which reduces fired before which maps — the paper's Figure 4
+  as a trace.
+* **threaded** — maps run on a map pool (default 4 workers per the
+  paper's 4 map slots) and reduces on a reduce pool (3 workers);
+  wall-clock timestamps in the trace let integration tests observe
+  genuine overlap of reduce execution with map execution under the
+  dependency barrier.
+
+The engine enforces, not merely assumes, the barrier: a reduce task's
+fetch set is checked against completed maps and a
+:class:`~repro.errors.BarrierViolationError` is raised if execution would
+consume an incomplete key group.  When the job carries a count-annotation
+validator (§3.2.1 approach 2), every reduce start is additionally
+validated against the expected source-record tally.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.errors import BarrierViolationError, JobConfigError, ShuffleError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.shuffle import MapOutputFile, ShuffleStore
+from repro.mapreduce.sortmerge import group_sorted, merge_segments, sort_records
+from repro.mapreduce.types import KeyValue, MapTaskId, ReduceTaskId
+
+
+# --------------------------------------------------------------------- #
+# Barrier policies
+# --------------------------------------------------------------------- #
+class BarrierPolicy(ABC):
+    """Decides when a reduce task may run and which maps it fetches from."""
+
+    @abstractmethod
+    def ready(self, partition: int, completed_maps: frozenset[int], total_maps: int) -> bool:
+        """May reduce task ``partition`` begin processing now?"""
+
+    @abstractmethod
+    def fetch_set(self, partition: int, total_maps: int) -> frozenset[int]:
+        """Map tasks this reduce task must fetch from."""
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__
+
+
+class GlobalBarrier(BarrierPolicy):
+    """Stock MapReduce: no reduce runs until every map has finished
+    (Figure 4 left), and every reduce contacts every map (§4.6)."""
+
+    def ready(self, partition: int, completed_maps: frozenset[int], total_maps: int) -> bool:
+        return len(completed_maps) == total_maps
+
+    def fetch_set(self, partition: int, total_maps: int) -> frozenset[int]:
+        return frozenset(range(total_maps))
+
+
+class DependencyBarrier(BarrierPolicy):
+    """SIDR: reduce task ``l`` waits only for its dependency set I_l
+    (Figure 4 right) and fetches only from those maps."""
+
+    def __init__(self, dependencies: dict[int, frozenset[int]]) -> None:
+        if not dependencies:
+            raise JobConfigError("empty dependency map")
+        self._deps = {int(p): frozenset(m) for p, m in dependencies.items()}
+
+    def dependencies_of(self, partition: int) -> frozenset[int]:
+        try:
+            return self._deps[partition]
+        except KeyError:
+            raise JobConfigError(
+                f"no dependency entry for partition {partition}"
+            ) from None
+
+    def ready(self, partition: int, completed_maps: frozenset[int], total_maps: int) -> bool:
+        return self.dependencies_of(partition) <= completed_maps
+
+    def fetch_set(self, partition: int, total_maps: int) -> frozenset[int]:
+        return self.dependencies_of(partition)
+
+
+class ReduceStartValidator(Protocol):
+    """Hook validating a reduce start (count-annotation approach 2)."""
+
+    def validate(self, partition: int, tallied_source_records: int) -> None:
+        """Raise :class:`BarrierViolationError` when the tally is short."""
+        ...
+
+
+# --------------------------------------------------------------------- #
+# Trace
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TraceEvent:
+    """One engine event: logical sequence + wall clock + task identity."""
+
+    seq: int
+    wall: float
+    kind: str          # "map" | "reduce"
+    event: str         # "start" | "finish"
+    index: int
+
+
+class EngineTrace:
+    """Append-only, thread-safe event log."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = []
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    def record(self, kind: str, event: str, index: int) -> TraceEvent:
+        with self._lock:
+            ev = TraceEvent(
+                seq=self._seq,
+                wall=time.perf_counter() - self._t0,
+                kind=kind,
+                event=event,
+                index=index,
+            )
+            self._events.append(ev)
+            self._seq += 1
+            return ev
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def seq_of(self, kind: str, event: str, index: int) -> int:
+        """Logical sequence number of the first matching event (-1 if absent)."""
+        for ev in self.events:
+            if ev.kind == kind and ev.event == event and ev.index == index:
+                return ev.seq
+        return -1
+
+    def reduce_starts_before_last_map(self) -> int:
+        """Number of reduce tasks that started before the final map
+        finished — the early-start count Figures 9-11 are built on."""
+        events = self.events
+        map_finishes = [e.seq for e in events if e.kind == "map" and e.event == "finish"]
+        if not map_finishes:
+            return 0
+        last_map = max(map_finishes)
+        return sum(
+            1
+            for e in events
+            if e.kind == "reduce" and e.event == "start" and e.seq < last_map
+        )
+
+
+# --------------------------------------------------------------------- #
+# Result
+# --------------------------------------------------------------------- #
+@dataclass
+class JobResult:
+    """Everything a completed job produced."""
+
+    job_name: str
+    outputs: dict[int, list[KeyValue]]
+    counters: Counters
+    trace: EngineTrace
+    shuffle_connections: int
+    empty_fetches: int
+
+    def all_records(self) -> list[KeyValue]:
+        """All output records across partitions, sorted by key — the
+        canonical form tests compare across engine configurations."""
+        records: list[KeyValue] = []
+        for part in sorted(self.outputs):
+            records.extend(self.outputs[part])
+        return sorted(records, key=lambda kv: kv[0])
+
+
+# --------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------- #
+class LocalEngine:
+    """Executes a :class:`JobConf` with a given barrier policy."""
+
+    def __init__(
+        self,
+        *,
+        map_workers: int = 4,
+        reduce_workers: int = 3,
+    ) -> None:
+        if map_workers <= 0 or reduce_workers <= 0:
+            raise JobConfigError("worker counts must be positive")
+        self.map_workers = map_workers
+        self.reduce_workers = reduce_workers
+
+    # ------------------------------------------------------------------ #
+    # Map task
+    # ------------------------------------------------------------------ #
+    def _run_map(
+        self,
+        job: JobConf,
+        split_index: int,
+        store: ShuffleStore,
+        counters: Counters,
+        trace: EngineTrace,
+    ) -> None:
+        trace.record("map", "start", split_index)
+        split = job.splits[split_index]
+        mapper = job.mapper_factory()
+        mapper.setup()
+        # Partition intermediate records as they are produced — Hadoop
+        # partitions in-line with map execution (§4.5).
+        buckets: dict[int, list[KeyValue]] = {}
+        source_counts: dict[int, int] = {}
+        n = job.num_reduce_tasks
+        records_in = 0
+        records_out = 0
+
+        def consume(kv_iter) -> None:
+            nonlocal records_out
+            for k2, v2 in kv_iter:
+                p = job.partitioner.partition(k2, n)
+                if not (0 <= p < n):
+                    raise ShuffleError(
+                        f"partitioner returned {p} for {n} reduce tasks"
+                    )
+                buckets.setdefault(p, []).append((k2, v2))
+                records_out += 1
+
+        for k, v in job.reader_factory(split):
+            records_in += 1
+            consume(mapper.map(k, v))
+        consume(mapper.cleanup())
+        counters.increment("map.input.records", records_in)
+        counters.increment("map.output.records", records_out)
+
+        # Source-count annotation: before combining, every intermediate
+        # record represents exactly one source record of this map.  (For
+        # chunked structural readers each record already aggregates a
+        # chunk; the reader is responsible for emitting per-record source
+        # counts via the value's `source_count` attribute/key.)
+        files: list[MapOutputFile] = []
+        for p, recs in buckets.items():
+            src = 0
+            for _k, v in recs:
+                src += _source_count_of(v)
+            source_counts[p] = src
+            if job.combiner_factory is not None:
+                combiner = job.combiner_factory()
+                counters.increment("combine.input.records", len(recs))
+                combined: list[KeyValue] = []
+                for k2, vals in group_sorted(sort_records(recs)):
+                    combined.extend(combiner.reduce(k2, vals))
+                recs = combined
+                counters.increment("combine.output.records", len(recs))
+            files.append(
+                MapOutputFile(
+                    map_id=MapTaskId(split_index),
+                    partition=p,
+                    records=tuple(sort_records(recs)),
+                    source_records=src,
+                )
+            )
+        if files:
+            store.spill(files)
+        else:
+            store.spill_empty(MapTaskId(split_index))
+        counters.increment("shuffle.segments", len(files))
+        trace.record("map", "finish", split_index)
+
+    # ------------------------------------------------------------------ #
+    # Reduce task
+    # ------------------------------------------------------------------ #
+    def _run_reduce(
+        self,
+        job: JobConf,
+        partition: int,
+        barrier: BarrierPolicy,
+        store: ShuffleStore,
+        counters: Counters,
+        trace: EngineTrace,
+        completed_at_start: frozenset[int],
+    ) -> list[KeyValue]:
+        trace.record("reduce", "start", partition)
+        total = job.num_map_tasks
+        if not barrier.ready(partition, completed_at_start, total):
+            raise BarrierViolationError(
+                f"reduce {partition} scheduled before barrier satisfied"
+            )
+        fetch_from = barrier.fetch_set(partition, total)
+        if job.contact_all_maps:
+            fetch_from = frozenset(range(total))
+        missing = fetch_from - completed_at_start
+        if missing:
+            raise BarrierViolationError(
+                f"reduce {partition} would fetch from unfinished maps {sorted(missing)}"
+            )
+        validator = job.context.get("reduce_start_validator")
+        if validator is not None:
+            tally = store.total_source_records(
+                barrier.fetch_set(partition, total), partition
+            )
+            validator.validate(partition, tally)
+
+        segments = []
+        bytes_approx = 0
+        for m in sorted(fetch_from):
+            f = store.fetch(m, partition)
+            if f is not None and f.num_records:
+                segments.append(f.records)
+                bytes_approx += f.num_records
+        counters.increment("shuffle.bytes", bytes_approx)
+
+        reducer = job.reducer_factory()
+        reducer.setup()
+        out: list[KeyValue] = []
+        groups = 0
+        records = 0
+        for key, values in group_sorted(merge_segments(segments)):
+            groups += 1
+            records += len(values)
+            out.extend(reducer.reduce(key, values))
+        out.extend(reducer.cleanup())
+        counters.increment("reduce.input.groups", groups)
+        counters.increment("reduce.input.records", records)
+        counters.increment("reduce.output.records", len(out))
+        trace.record("reduce", "finish", partition)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Serial execution
+    # ------------------------------------------------------------------ #
+    def run_serial(
+        self,
+        job: JobConf,
+        barrier: BarrierPolicy | None = None,
+        *,
+        on_reduce_complete: Callable[[int, list[KeyValue]], None] | None = None,
+    ) -> JobResult:
+        """Deterministic execution: maps in split order, each reduce fires
+        at the earliest logical point its barrier allows.
+
+        ``on_reduce_complete(partition, records)`` fires the moment a
+        reduce task commits — *during* the run, possibly before later
+        maps execute.  This is the hook pipelined consumers use to start
+        downstream work on early results (paper §6).
+        """
+        barrier = barrier or GlobalBarrier()
+        store = ShuffleStore()
+        counters = Counters()
+        trace = EngineTrace()
+        total_maps = job.num_map_tasks
+        outputs: dict[int, list[KeyValue]] = {}
+        pending = set(range(job.num_reduce_tasks))
+        completed: set[int] = set()
+        last_map_done = False
+
+        for i in range(total_maps):
+            self._run_map(job, i, store, counters, trace)
+            completed.add(i)
+            last_map_done = len(completed) == total_maps
+            fired = [
+                p
+                for p in sorted(pending)
+                if barrier.ready(p, frozenset(completed), total_maps)
+            ]
+            for p in fired:
+                pending.discard(p)
+                if not last_map_done:
+                    counters.increment("barrier.early.starts")
+                outputs[p] = self._run_reduce(
+                    job, p, barrier, store, counters, trace, frozenset(completed)
+                )
+                if on_reduce_complete is not None:
+                    on_reduce_complete(p, outputs[p])
+        if pending:
+            raise BarrierViolationError(
+                f"reduces {sorted(pending)} never became ready; dependency "
+                "map must be incomplete"
+            )
+        return JobResult(
+            job_name=job.name,
+            outputs=outputs,
+            counters=counters,
+            trace=trace,
+            shuffle_connections=store.connections,
+            empty_fetches=store.empty_fetches,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Threaded execution
+    # ------------------------------------------------------------------ #
+    def run_threaded(
+        self,
+        job: JobConf,
+        barrier: BarrierPolicy | None = None,
+        *,
+        on_reduce_complete: Callable[[int, list[KeyValue]], None] | None = None,
+    ) -> JobResult:
+        """Concurrent execution with separate map and reduce pools.
+
+        Reduce tasks are submitted the moment their barrier is satisfied,
+        so under a :class:`DependencyBarrier` they genuinely overlap with
+        still-running maps — the wall-clock counterpart of Figure 4(b).
+        ``on_reduce_complete`` fires on the reduce worker thread as each
+        partition commits.
+        """
+        barrier = barrier or GlobalBarrier()
+        store = ShuffleStore()
+        counters = Counters()
+        trace = EngineTrace()
+        total_maps = job.num_map_tasks
+        outputs: dict[int, list[KeyValue]] = {}
+        lock = threading.Lock()
+        completed: set[int] = set()
+        pending = set(range(job.num_reduce_tasks))
+        errors: list[BaseException] = []
+        reduce_futures = []
+
+        with ThreadPoolExecutor(max_workers=self.map_workers) as map_pool, \
+                ThreadPoolExecutor(max_workers=self.reduce_workers) as reduce_pool:
+
+            def reduce_job(p: int, snapshot: frozenset[int]) -> None:
+                try:
+                    out = self._run_reduce(
+                        job, p, barrier, store, counters, trace, snapshot
+                    )
+                    with lock:
+                        outputs[p] = out
+                    if on_reduce_complete is not None:
+                        on_reduce_complete(p, out)
+                except BaseException as exc:  # propagate to caller
+                    with lock:
+                        errors.append(exc)
+
+            def on_map_done(i: int) -> None:
+                with lock:
+                    completed.add(i)
+                    snapshot = frozenset(completed)
+                    fired = [
+                        p
+                        for p in sorted(pending)
+                        if barrier.ready(p, snapshot, total_maps)
+                    ]
+                    for p in fired:
+                        pending.discard(p)
+                        if len(snapshot) < total_maps:
+                            counters.increment("barrier.early.starts")
+                        reduce_futures.append(
+                            reduce_pool.submit(reduce_job, p, snapshot)
+                        )
+
+            def map_job(i: int) -> None:
+                try:
+                    self._run_map(job, i, store, counters, trace)
+                    on_map_done(i)
+                except BaseException as exc:
+                    with lock:
+                        errors.append(exc)
+
+            map_futures = [map_pool.submit(map_job, i) for i in range(total_maps)]
+            wait(map_futures)
+            with lock:
+                still_pending = set(pending)
+            if still_pending and not errors:
+                with lock:
+                    errors.append(
+                        BarrierViolationError(
+                            f"reduces {sorted(still_pending)} never ready"
+                        )
+                    )
+            wait(reduce_futures)
+
+        if errors:
+            raise errors[0]
+        return JobResult(
+            job_name=job.name,
+            outputs=outputs,
+            counters=counters,
+            trace=trace,
+            shuffle_connections=store.connections,
+            empty_fetches=store.empty_fetches,
+        )
+
+
+def _source_count_of(value: Any) -> int:
+    """Source-record count carried by an intermediate value.
+
+    Structural record readers attach the number of input cells a chunk
+    represents (``source_count`` attribute or dict key); plain values
+    count as one source record each.
+    """
+    if isinstance(value, dict) and "source_count" in value:
+        return int(value["source_count"])
+    sc = getattr(value, "source_count", None)
+    if sc is not None:
+        return int(sc)
+    return 1

@@ -1,0 +1,88 @@
+"""Mapper interface and a library of structural-query mappers.
+
+A mapper consumes the (k, v) records a record reader emits for its split
+and yields intermediate (k', v') records.  The generator style (yield
+rather than an emit callback) keeps user code simple while preserving
+Hadoop's streaming contract: the engine may consume output incrementally.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.mapreduce.types import KeyValue
+
+
+class Mapper(ABC):
+    """User map function: one input record in, zero or more out."""
+
+    @abstractmethod
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        """Yield intermediate (k', v') records for one input record."""
+
+    def setup(self) -> None:
+        """Called once per map task before the first record."""
+
+    def cleanup(self) -> Iterator[KeyValue]:
+        """Called once after the last record; may yield trailing records."""
+        return iter(())
+
+
+class IdentityMapper(Mapper):
+    """Pass records through unchanged."""
+
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        yield (key, value)
+
+
+class FunctionMapper(Mapper):
+    """Adapter wrapping a plain function ``f(key, value) -> iterable``."""
+
+    def __init__(self, fn: Callable[[Any, Any], Iterable[KeyValue]]) -> None:
+        self._fn = fn
+
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        yield from self._fn(key, value)
+
+
+class ChunkAggregateMapper(Mapper):
+    """Structural-query mapper for chunked records.
+
+    The scientific record reader emits ``(k', chunk)`` records where the
+    key is already translated to K' and the chunk holds the cells of one
+    extraction-shape instance present in this split (an instance may span
+    splits, so the chunk can be partial).  This mapper applies a partial
+    aggregation where the operator allows (distributive/algebraic
+    operators), or forwards raw cells for holistic ones (median) — the
+    per-operator choice is delegated to the operator object.
+    """
+
+    def __init__(self, operator: "Any") -> None:
+        # `operator` is a repro.query.operators.StructuralOperator; typed
+        # loosely to keep the mapreduce package independent of query.
+        self._op = operator
+
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        yield (key, self._op.map_partial(value))
+
+
+class ThresholdFilterMapper(Mapper):
+    """Query 2's mapper: keep cells whose value exceeds a threshold.
+
+    Emits ``(k', list_of_passing_values)`` per chunk; empty chunks emit
+    an empty list so the reduce side still learns that the region was
+    examined (needed for the count-annotation bookkeeping).
+    """
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        arr = np.asarray(getattr(value, "data", value), dtype=np.float64)
+        count = getattr(value, "source_count", arr.size)
+        passing = arr[arr > self.threshold]
+        yield (key, {"values": passing.tolist(), "source_count": int(count)})

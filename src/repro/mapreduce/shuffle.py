@@ -1,0 +1,183 @@
+"""Shuffle: map-side spill, reduce-side fetch.
+
+Each map task spills one :class:`MapOutputFile` per keyblock it produced
+data for.  Files carry the §3.2.1 (approach 2) annotation: "a field ...
+that indicates how many ⟨k,v⟩ are represented by the set of all ⟨k',v'⟩
+in that file", letting a reduce task tally source records "without having
+to read and parse those files".
+
+The :class:`ShuffleStore` plays the role of the TaskTracker map-output
+servers: reduce tasks fetch their keyblock's files from it, and every
+fetch from a distinct map task counts as one network connection — the
+quantity Table 3 reports.  Stock Hadoop "requires that every Reduce task
+contact every completed Map task" (§4.6), even those holding no data for
+it; SIDR contacts only the maps in its dependency set.  Both behaviours
+are implemented here and selected by the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ShuffleError
+from repro.mapreduce.types import KeyValue, MapTaskId
+
+
+@dataclass(frozen=True)
+class MapOutputFile:
+    """Sorted run of intermediate records for one (map task, keyblock).
+
+    ``source_records`` is the count annotation: how many *input* (k, v)
+    records were consumed to produce these records.  With a combiner the
+    record count shrinks but ``source_records`` does not — that is the
+    whole point of the annotation (§3.2.1: "the Reduce task does not know
+    how many ⟨k,v⟩ were combined to produce a given ⟨k',v'⟩").
+    """
+
+    map_id: MapTaskId
+    partition: int
+    records: tuple[KeyValue, ...]
+    source_records: int
+
+    def __post_init__(self) -> None:
+        if self.partition < 0:
+            raise ShuffleError(f"negative partition {self.partition}")
+        if self.source_records < 0:
+            raise ShuffleError("negative source record count")
+        keys = [k for k, _ in self.records]
+        if any(b < a for a, b in zip(keys, keys[1:])):
+            raise ShuffleError(
+                f"map output file {self.map_id}/{self.partition} not sorted"
+            )
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class MapOutputIndex:
+    """Per-map summary: which partitions it produced data for.
+
+    This is what SIDR's planner predicts ahead of time; tests compare the
+    prediction against this ground truth (the routing-correctness
+    invariant).
+    """
+
+    map_id: MapTaskId
+    partitions: frozenset[int]
+    records_per_partition: dict[int, int]
+    source_per_partition: dict[int, int]
+
+
+class ShuffleStore:
+    """Thread-safe store of spilled map output, with fetch accounting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._files: dict[tuple[int, int], MapOutputFile] = {}
+        self._indexes: dict[int, MapOutputIndex] = {}
+        self._connections = 0
+        self._empty_fetches = 0
+
+    # ------------------------------------------------------------------ #
+    # Map side
+    # ------------------------------------------------------------------ #
+    def spill(self, files: list[MapOutputFile]) -> None:
+        """Commit one map task's output atomically (Hadoop commits task
+        output atomically, §2.3)."""
+        if not files:
+            raise ShuffleError("map task must spill at least an index entry")
+        map_id = files[0].map_id
+        if any(f.map_id != map_id for f in files):
+            raise ShuffleError("spill mixes files from different map tasks")
+        with self._lock:
+            if map_id.index in self._indexes:
+                raise ShuffleError(f"map task {map_id} already spilled")
+            for f in files:
+                self._files[(map_id.index, f.partition)] = f
+            self._indexes[map_id.index] = MapOutputIndex(
+                map_id=map_id,
+                partitions=frozenset(
+                    f.partition for f in files if f.num_records > 0
+                ),
+                records_per_partition={
+                    f.partition: f.num_records for f in files
+                },
+                source_per_partition={
+                    f.partition: f.source_records for f in files
+                },
+            )
+
+    def spill_empty(self, map_id: MapTaskId) -> None:
+        """Record a map task that produced no output at all."""
+        with self._lock:
+            if map_id.index in self._indexes:
+                raise ShuffleError(f"map task {map_id} already spilled")
+            self._indexes[map_id.index] = MapOutputIndex(
+                map_id=map_id,
+                partitions=frozenset(),
+                records_per_partition={},
+                source_per_partition={},
+            )
+
+    # ------------------------------------------------------------------ #
+    # Reduce side
+    # ------------------------------------------------------------------ #
+    def fetch(self, map_index: int, partition: int) -> MapOutputFile | None:
+        """Fetch one map's output for one partition.
+
+        Counts one connection whether or not data exists — contacting a
+        map that produced nothing for you is precisely the waste stock
+        Hadoop incurs (§4.6).
+        """
+        with self._lock:
+            if map_index not in self._indexes:
+                raise ShuffleError(
+                    f"fetch from map {map_index} before it completed"
+                )
+            self._connections += 1
+            f = self._files.get((map_index, partition))
+            if f is None or f.num_records == 0:
+                self._empty_fetches += 1
+            return f
+
+    def index_of(self, map_index: int) -> MapOutputIndex:
+        with self._lock:
+            try:
+                return self._indexes[map_index]
+            except KeyError:
+                raise ShuffleError(f"map {map_index} has not spilled") from None
+
+    def completed_maps(self) -> frozenset[int]:
+        with self._lock:
+            return frozenset(self._indexes)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def connections(self) -> int:
+        with self._lock:
+            return self._connections
+
+    @property
+    def empty_fetches(self) -> int:
+        with self._lock:
+            return self._empty_fetches
+
+    def total_source_records(self, map_indexes: frozenset[int] | None, partition: int) -> int:
+        """Sum of count annotations destined for ``partition`` across the
+        given maps (all completed maps when ``None``) — the reduce-side
+        tally of §3.2.1 approach 2."""
+        with self._lock:
+            maps = self._indexes.keys() if map_indexes is None else map_indexes
+            total = 0
+            for m in maps:
+                idx = self._indexes.get(m)
+                if idx is None:
+                    raise ShuffleError(f"map {m} has not completed")
+                total += idx.source_per_partition.get(partition, 0)
+            return total

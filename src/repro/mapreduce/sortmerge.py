@@ -1,0 +1,64 @@
+"""Sort-merge machinery for the reduce side.
+
+"Prior to the application of the Reduce function, Reduce tasks merge all
+their data into a sorted list, combining all key/value pairs with the
+same k' key into a pair consisting of a single instance of the key and a
+list containing all the values" (§2.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.mapreduce.types import KeyValue
+
+
+def merge_segments(segments: Sequence[Sequence[KeyValue]]) -> Iterator[KeyValue]:
+    """K-way merge of individually sorted record runs.
+
+    Mirrors Hadoop's merge phase: each spilled map-output file is already
+    sorted, so the reduce side only merges.  Keys must be mutually
+    orderable; ties preserve segment order (stable), which keeps value
+    order deterministic for tests.
+    """
+    return heapq.merge(*segments, key=lambda kv: kv[0])
+
+
+def group_sorted(records: Iterable[KeyValue]) -> Iterator[tuple[Any, list[Any]]]:
+    """Group a sorted record stream into (key, [values]) runs.
+
+    The single pass holds only one group in memory at a time, like
+    Hadoop's ``ValuesIterator`` — a reduce task never needs all groups
+    resident at once.
+    """
+    it = iter(records)
+    try:
+        key, value = next(it)
+    except StopIteration:
+        return
+    current_key = key
+    bucket = [value]
+    for k, v in it:
+        if k < current_key:
+            # A regression in key order means a segment lied about being
+            # sorted; grouping would silently split the key across calls,
+            # violating MapReduce guarantee 2.
+            from repro.errors import ShuffleError
+
+            raise ShuffleError(
+                f"unsorted record stream: {k!r} after {current_key!r}"
+            )
+        if k == current_key:
+            bucket.append(v)
+        else:
+            yield current_key, bucket
+            current_key = k
+            bucket = [v]
+    yield current_key, bucket
+
+
+def sort_records(records: Iterable[KeyValue]) -> list[KeyValue]:
+    """Stable sort of records by key (map-side spill sort)."""
+    return sorted(records, key=lambda kv: kv[0])

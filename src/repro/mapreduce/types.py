@@ -1,0 +1,36 @@
+"""Core identifiers and record types for the MapReduce engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+#: A (key, value) record.  Keys must be hashable and totally orderable
+#: among themselves (coordinate tuples are); values are arbitrary.
+KeyValue = tuple[Any, Any]
+
+
+class TaskKind(enum.Enum):
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+@dataclass(frozen=True, order=True)
+class MapTaskId:
+    """Identity of a map task == index of the input split it processes."""
+
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"m{self.index:06d}"
+
+
+@dataclass(frozen=True, order=True)
+class ReduceTaskId:
+    """Identity of a reduce task == index of the keyblock it owns."""
+
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"r{self.index:06d}"

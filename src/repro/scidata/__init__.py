@@ -1,0 +1,66 @@
+"""NCLite: a NetCDF-like scientific file format substrate.
+
+The paper's datasets live in NetCDF files: "scientific file formats
+typically encode structural metadata alongside data in a single file"
+(§2.1), exposed through a coordinate-based read/write API.  NCLite is a
+minimal self-describing binary format with the same properties:
+
+* a header carrying dimensions, variables and attributes
+  (:mod:`repro.scidata.metadata` — printable in NetCDF CDL style,
+  mirroring the paper's Figure 1);
+* a row-major dense payload per variable, read and written by
+  ``(corner, shape)`` slab rather than byte offset
+  (:mod:`repro.scidata.nclite`, :mod:`repro.scidata.dataset`);
+* synthetic dataset generators reproducing the paper's workloads —
+  daily temperatures (Figure 2), hourly windspeed (Query 1), normally
+  distributed fields (Query 2) (:mod:`repro.scidata.generators`);
+* the two sparse-output strategies the paper contrasts with SIDR's
+  contiguous output in §4.4/Table 2: sentinel-filled full-space files and
+  coordinate/value pair files (:mod:`repro.scidata.sparse`).
+"""
+
+from repro.scidata.metadata import (
+    Attribute,
+    DatasetMetadata,
+    Dimension,
+    Variable,
+    DTYPES,
+)
+from repro.scidata.nclite import read_header, write_nclite, NCLITE_MAGIC
+from repro.scidata.dataset import Dataset, create_dataset, open_dataset
+from repro.scidata.generators import (
+    SyntheticField,
+    normal_field,
+    planar_wave_field,
+    temperature_dataset,
+    windspeed_dataset,
+    normal_dataset,
+)
+from repro.scidata.sparse import (
+    ContiguousWriter,
+    CoordinatePairWriter,
+    SentinelFileWriter,
+)
+
+__all__ = [
+    "Attribute",
+    "DatasetMetadata",
+    "Dimension",
+    "Variable",
+    "DTYPES",
+    "read_header",
+    "write_nclite",
+    "NCLITE_MAGIC",
+    "Dataset",
+    "create_dataset",
+    "open_dataset",
+    "SyntheticField",
+    "normal_field",
+    "planar_wave_field",
+    "temperature_dataset",
+    "windspeed_dataset",
+    "normal_dataset",
+    "ContiguousWriter",
+    "CoordinatePairWriter",
+    "SentinelFileWriter",
+]

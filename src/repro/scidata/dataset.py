@@ -1,0 +1,222 @@
+"""Coordinate-based dataset access.
+
+:class:`Dataset` is the NCLite analogue of the NetCDF library API the
+paper builds on: data is read and written "via functions that take
+coordinate arguments in lieu of byte-offsets and then translate those
+coordinates into accesses in the underlying file" (§2.1).
+
+Slab reads/writes are translated into the minimal set of contiguous byte
+runs (via :func:`repro.arrays.linearize.slab_to_index_runs`), which is
+exactly the mechanism that makes *dense, contiguous* output cheap and
+sparse scattered output expensive — the effect Table 2 measures.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arrays.linearize import count_index_runs, slab_to_index_runs
+from repro.arrays.shape import Shape, volume
+from repro.arrays.slab import Slab
+from repro.errors import DatasetError
+from repro.scidata.metadata import DatasetMetadata, simple_metadata
+from repro.scidata.nclite import (
+    Header,
+    read_header,
+    write_nclite,
+    write_nclite_empty,
+)
+
+
+@dataclass
+class IOStats:
+    """Accounting of physical file activity, consumed by tests and the
+    Table 2 benchmark."""
+
+    seeks: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_calls: int = 0
+    write_calls: int = 0
+
+    def reset(self) -> None:
+        self.seeks = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_calls = 0
+        self.write_calls = 0
+
+
+class Dataset:
+    """An open NCLite file with slab-granular coordinate access."""
+
+    def __init__(self, path: str | os.PathLike, mode: str = "r") -> None:
+        if mode not in ("r", "r+"):
+            raise DatasetError(f"unsupported mode {mode!r}; use 'r' or 'r+'")
+        self._path = os.fspath(path)
+        self._mode = mode
+        self._header: Header = read_header(path)
+        self._fh = open(path, "rb" if mode == "r" else "r+b")
+        self.io_stats = IOStats()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def metadata(self) -> DatasetMetadata:
+        return self._header.metadata
+
+    def variable_shape(self, name: str) -> Shape:
+        return self.metadata.variable_shape(name)
+
+    def variable_space(self, name: str) -> Slab:
+        """The full K_T slab of a variable."""
+        return Slab.whole(self.variable_shape(name))
+
+    def to_cdl(self) -> str:
+        return self.metadata.to_cdl(os.path.basename(self._path).split(".")[0])
+
+    # ------------------------------------------------------------------ #
+    # Slab IO
+    # ------------------------------------------------------------------ #
+    def _var_layout(self, name: str) -> tuple[int, np.dtype, Shape]:
+        var = self.metadata.variable(name)
+        space = self.metadata.variable_shape(name)
+        base = self._header.offsets[name]
+        return base, var.numpy_dtype.newbyteorder("<"), space
+
+    def _check_slab(self, name: str, slab: Slab, space: Shape) -> None:
+        if slab.rank != len(space):
+            raise DatasetError(
+                f"slab rank {slab.rank} != variable {name!r} rank {len(space)}"
+            )
+        if not Slab.whole(space).contains_slab(slab):
+            raise DatasetError(
+                f"slab {slab!r} outside variable {name!r} space {space!r}"
+            )
+
+    def read_slab(self, name: str, slab: Slab) -> np.ndarray:
+        """Read ``slab`` of variable ``name`` into a new C-order array of
+        the slab's shape."""
+        base, dtype, space = self._var_layout(name)
+        self._check_slab(name, slab, space)
+        out = np.empty(slab.volume, dtype=dtype)
+        itemsize = dtype.itemsize
+        pos = 0
+        for lo, hi in slab_to_index_runs(slab, space):
+            n = hi - lo
+            self._fh.seek(base + lo * itemsize)
+            chunk = self._fh.read(n * itemsize)
+            if len(chunk) != n * itemsize:
+                raise DatasetError(
+                    f"short read in {self._path} variable {name!r}"
+                )
+            out[pos : pos + n] = np.frombuffer(chunk, dtype=dtype)
+            self.io_stats.seeks += 1
+            self.io_stats.read_calls += 1
+            self.io_stats.bytes_read += n * itemsize
+            pos += n
+        return out.reshape(slab.shape)
+
+    def write_slab(self, name: str, slab: Slab, data: np.ndarray) -> None:
+        """Write ``data`` (shape must equal the slab's) into the variable."""
+        if self._mode != "r+":
+            raise DatasetError("dataset opened read-only")
+        base, dtype, space = self._var_layout(name)
+        self._check_slab(name, slab, space)
+        data = np.ascontiguousarray(data, dtype=dtype)
+        if tuple(data.shape) != slab.shape:
+            raise DatasetError(
+                f"data shape {data.shape} != slab shape {slab.shape}"
+            )
+        flat = data.reshape(-1)
+        itemsize = dtype.itemsize
+        pos = 0
+        for lo, hi in slab_to_index_runs(slab, space):
+            n = hi - lo
+            self._fh.seek(base + lo * itemsize)
+            self._fh.write(flat[pos : pos + n].tobytes())
+            self.io_stats.seeks += 1
+            self.io_stats.write_calls += 1
+            self.io_stats.bytes_written += n * itemsize
+            pos += n
+
+    def write_runs_estimate(self, name: str, slab: Slab) -> int:
+        """Number of seek+write operations a slab write will issue —
+        the physical-IO cost model the Table 2 benchmark reports."""
+        _, _, space = self._var_layout(name)
+        return count_index_runs(slab, space)
+
+    def read_all(self, name: str) -> np.ndarray:
+        """Entire variable (test/laptop scale only)."""
+        return self.read_slab(name, self.variable_space(name))
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Dataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        vars_ = ", ".join(v.name for v in self.metadata.variables)
+        return f"Dataset({self._path!r}, variables=[{vars_}])"
+
+
+def open_dataset(path: str | os.PathLike, mode: str = "r") -> Dataset:
+    """Open an existing NCLite file."""
+    return Dataset(path, mode=mode)
+
+
+def create_dataset(
+    path: str | os.PathLike,
+    metadata: DatasetMetadata | None = None,
+    arrays: dict[str, np.ndarray] | None = None,
+    *,
+    var_name: str | None = None,
+    data: np.ndarray | None = None,
+    fill: float | int | None = None,
+    mode: str = "r",
+) -> Dataset:
+    """Create an NCLite file and open it.
+
+    Two convenience forms:
+
+    * full form — pass ``metadata`` plus either ``arrays`` (payloads) or
+      ``fill`` (pre-allocated constant payloads);
+    * quick form — pass ``var_name`` + ``data`` and metadata is derived
+      from the array (auto-named dimensions), matching how tests and the
+      examples build small inputs.
+    """
+    if metadata is None:
+        if var_name is None or data is None:
+            raise DatasetError(
+                "create_dataset needs either metadata or var_name+data"
+            )
+        from repro.scidata.metadata import dtype_name
+
+        metadata = simple_metadata(
+            var_name, tuple(data.shape), dtype=dtype_name(data.dtype)
+        )
+        arrays = {var_name: data}
+    if arrays is not None:
+        write_nclite(path, metadata, arrays)
+    else:
+        write_nclite_empty(path, metadata, fill=0 if fill is None else fill)
+    return Dataset(path, mode=mode)

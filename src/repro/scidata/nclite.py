@@ -1,0 +1,154 @@
+"""NCLite on-disk format.
+
+Layout::
+
+    offset 0   : 8-byte magic  b"NCLITE\\x01\\n"
+    offset 8   : u32 little-endian header length H
+    offset 12  : H bytes of JSON-encoded metadata (DatasetMetadata.to_dict
+                 plus a per-variable payload offset table)
+    offset 12+H: variable payloads, each a row-major (C-order)
+                 little-endian dense array, in declaration order
+
+The header carries explicit payload offsets so a reader can seek straight
+to any slab of any variable — the property scientific formats provide and
+that SciHadoop's coordinate-based record readers depend on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.scidata.metadata import DatasetMetadata
+
+NCLITE_MAGIC = b"NCLITE\x01\n"
+_LEN_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Header:
+    """Decoded NCLite header: metadata plus payload offset table."""
+
+    metadata: DatasetMetadata
+    offsets: dict[str, int]  # variable name -> absolute byte offset
+    data_start: int
+
+
+def encode_header(metadata: DatasetMetadata) -> tuple[bytes, dict[str, int]]:
+    """Serialize the header, computing payload offsets.
+
+    Offsets depend on the header length, which depends on the offsets;
+    NCLite sidesteps the fixed point by storing offsets *relative to the
+    data section* and letting the reader add ``data_start``.
+    """
+    rel = {}
+    cursor = 0
+    for v in metadata.variables:
+        rel[v.name] = cursor
+        cursor += metadata.variable_nbytes(v.name)
+    doc = {"meta": metadata.to_dict(), "offsets": rel, "total_data": cursor}
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    header = (
+        NCLITE_MAGIC
+        + len(payload).to_bytes(_LEN_BYTES, "little")
+        + payload
+    )
+    return header, rel
+
+
+def read_header(path: str | os.PathLike) -> Header:
+    """Read and validate an NCLite header without touching the payload."""
+    with open(path, "rb") as fh:
+        magic = fh.read(len(NCLITE_MAGIC))
+        if magic != NCLITE_MAGIC:
+            raise FormatError(f"{path}: not an NCLite file (bad magic {magic!r})")
+        raw_len = fh.read(_LEN_BYTES)
+        if len(raw_len) != _LEN_BYTES:
+            raise FormatError(f"{path}: truncated header length")
+        hlen = int.from_bytes(raw_len, "little")
+        payload = fh.read(hlen)
+        if len(payload) != hlen:
+            raise FormatError(f"{path}: truncated header (want {hlen} bytes)")
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+            meta = DatasetMetadata.from_dict(doc["meta"])
+            rel = {str(k): int(v) for k, v in doc["offsets"].items()}
+            total = int(doc["total_data"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise FormatError(f"{path}: malformed header JSON: {exc}") from exc
+        data_start = len(NCLITE_MAGIC) + _LEN_BYTES + hlen
+        # Sanity: declared payload size must match the file, or the file is
+        # truncated/corrupt and coordinate reads would return garbage.
+        size = os.fstat(fh.fileno()).st_size
+        if size != data_start + total:
+            raise FormatError(
+                f"{path}: payload size mismatch (header says {total} bytes, "
+                f"file has {size - data_start})"
+            )
+        offsets = {name: data_start + off for name, off in rel.items()}
+        return Header(metadata=meta, offsets=offsets, data_start=data_start)
+
+
+def write_nclite(
+    path: str | os.PathLike,
+    metadata: DatasetMetadata,
+    arrays: dict[str, np.ndarray],
+) -> None:
+    """Write a complete NCLite file from in-memory arrays.
+
+    Every variable in ``metadata`` must be present in ``arrays`` with the
+    exact declared shape and a dtype castable to the declared one.
+    """
+    for v in metadata.variables:
+        if v.name not in arrays:
+            raise FormatError(f"missing payload for variable {v.name!r}")
+        arr = arrays[v.name]
+        want = metadata.variable_shape(v.name)
+        if tuple(arr.shape) != want:
+            raise FormatError(
+                f"variable {v.name!r}: payload shape {arr.shape} != "
+                f"declared {want}"
+            )
+    header, _rel = encode_header(metadata)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        for v in metadata.variables:
+            arr = np.ascontiguousarray(
+                arrays[v.name], dtype=v.numpy_dtype.newbyteorder("<")
+            )
+            fh.write(arr.tobytes())
+    os.replace(tmp, path)
+
+
+def write_nclite_empty(
+    path: str | os.PathLike,
+    metadata: DatasetMetadata,
+    fill: float | int = 0,
+) -> None:
+    """Create an NCLite file with all variables filled with ``fill``.
+
+    Used to pre-allocate output files that reduce tasks then write slabs
+    into (the sentinel-file strategy of §4.4 pre-fills with a sentinel).
+    The fill is written in bounded chunks so creating a file much larger
+    than RAM stays safe.
+    """
+    header, _rel = encode_header(metadata)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    chunk_cells = 1 << 20
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        for v in metadata.variables:
+            dtype = v.numpy_dtype.newbyteorder("<")
+            total = metadata.variable_cells(v.name)
+            block = np.full(min(chunk_cells, total), fill, dtype=dtype).tobytes()
+            remaining = total
+            while remaining > 0:
+                n = min(chunk_cells, remaining)
+                fh.write(block[: n * dtype.itemsize])
+                remaining -= n
+    os.replace(tmp, path)

@@ -1,0 +1,131 @@
+"""Early-result tracking (paper §3.4, Figures 9-11).
+
+SIDR "can produce prioritized, correct results for portions of the output
+space with only a fraction of the input processed."  This module answers
+two questions:
+
+* given the set of *completed map tasks*, which keyblocks' data
+  dependencies are fully satisfied (their output is determined, even if
+  the reduce has not run yet) — the steering/burst-buffer readiness test;
+* given per-task completion times, the "fraction of total output
+  available over time" curve the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.sidr.dependencies import DependencyMap
+from repro.sidr.keyblocks import KeyBlockPartition
+
+
+@dataclass(frozen=True)
+class CompletionCurve:
+    """Monotone step curve: at ``times[i]``, ``fractions[i]`` of the
+    output (weighted by keys) is available."""
+
+    times: tuple[float, ...]
+    fractions: tuple[float, ...]
+
+    def first_result_time(self) -> float:
+        """Time of the first completed keyblock (inf when none)."""
+        return self.times[0] if self.times else float("inf")
+
+    def completion_time(self) -> float:
+        return self.times[-1] if self.times else float("inf")
+
+    def fraction_at(self, t: float) -> float:
+        """Fraction of output available at time ``t``."""
+        idx = np.searchsorted(np.asarray(self.times), t, side="right")
+        return self.fractions[idx - 1] if idx > 0 else 0.0
+
+    def time_at_fraction(self, f: float) -> float:
+        """Earliest time at which at least fraction ``f`` is available."""
+        for t, frac in zip(self.times, self.fractions):
+            if frac >= f:
+                return t
+        return float("inf")
+
+
+class EarlyResultTracker:
+    """Incremental readiness tracking over map completions."""
+
+    def __init__(self, deps: DependencyMap, partition: KeyBlockPartition) -> None:
+        if deps.num_blocks != partition.num_blocks:
+            raise SchedulerError("deps/partition block count mismatch")
+        self._deps = deps
+        self._partition = partition
+        self._completed_maps: set[int] = set()
+        self._remaining: list[set[int]] = [set(d) for d in deps.dependencies]
+        self._ready: set[int] = {
+            l for l, r in enumerate(self._remaining) if not r
+        }
+
+    def on_map_complete(self, split_index: int) -> frozenset[int]:
+        """Record a map completion; return keyblocks that just became
+        fully determined."""
+        if split_index in self._completed_maps:
+            raise SchedulerError(f"map {split_index} completed twice")
+        self._completed_maps.add(split_index)
+        newly: set[int] = set()
+        for l in self._deps.producers[split_index]:
+            rem = self._remaining[l]
+            rem.discard(split_index)
+            if not rem and l not in self._ready:
+                self._ready.add(l)
+                newly.add(l)
+        return frozenset(newly)
+
+    @property
+    def ready_blocks(self) -> frozenset[int]:
+        """Keyblocks whose dependencies are all complete."""
+        return frozenset(self._ready)
+
+    def ready_fraction(self) -> float:
+        """Fraction of output keys whose value is already determined."""
+        total = sum(b.num_keys for b in self._partition.blocks)
+        done = sum(self._partition.blocks[l].num_keys for l in self._ready)
+        return done / total if total else 0.0
+
+    def maps_needed_for(self, block: int) -> frozenset[int]:
+        """Outstanding map tasks blocking keyblock ``block``."""
+        return frozenset(self._remaining[block])
+
+
+def completion_curve(
+    partition: KeyBlockPartition,
+    reduce_finish_times: Sequence[float],
+) -> CompletionCurve:
+    """Build the output-availability curve from reduce completion times.
+
+    ``reduce_finish_times[l]`` is when keyblock ``l``'s output committed;
+    the fraction axis weights each keyblock by its key count, matching
+    the paper's "Fraction of Total Output Available" axis.
+    """
+    if len(reduce_finish_times) != partition.num_blocks:
+        raise SchedulerError("one finish time per keyblock required")
+    total = sum(b.num_keys for b in partition.blocks)
+    order = sorted(range(partition.num_blocks), key=lambda l: reduce_finish_times[l])
+    times: list[float] = []
+    fracs: list[float] = []
+    done = 0
+    for l in order:
+        done += partition.blocks[l].num_keys
+        times.append(float(reduce_finish_times[l]))
+        fracs.append(done / total)
+    return CompletionCurve(tuple(times), tuple(fracs))
+
+
+def task_completion_curve(finish_times: Iterable[float]) -> CompletionCurve:
+    """Unweighted task-count completion curve (used for map curves)."""
+    ts = sorted(float(t) for t in finish_times)
+    n = len(ts)
+    if n == 0:
+        return CompletionCurve((), ())
+    return CompletionCurve(
+        tuple(ts), tuple((i + 1) / n for i in range(n))
+    )

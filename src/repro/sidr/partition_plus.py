@@ -1,0 +1,164 @@
+"""partition+: structure-aware partitioning of K'_T (paper §3.1, Fig. 7).
+
+The algorithm, as the paper describes it:
+
+1. select an upper bound on permissible skew (user-supplied or derived
+   from the query);
+2. choose an n-dimensional **unit shape** whose volume does not exceed
+   that bound;
+3. count how many instances of the unit shape tile K'_T;
+4. assign each keyblock ``floor-or-ceil(instances / r)`` *consecutive*
+   instances so blocks "differ, at most, by one instance of the chosen
+   shape", allowing "the final partition to be smaller than the rest so
+   that the other partitions consist of simpler shapes" (§3.1).
+
+Unit shapes are restricted to row-contiguous form — ``(1, ..., 1, u_d,
+full, ..., full)`` — so that consecutive instances occupy consecutive
+row-major cell ranges in K'.  That restriction is what footnote 1 of the
+paper alludes to ("accepting a small amount of skew to create keyblocks
+of simpler shapes can result in more efficient communications"): the
+resulting keyblocks are contiguous both as intermediate-key ranges and
+as output regions.
+
+Skew guarantee fine print: the balance guarantee is in *instances*
+(leading blocks differ by at most one; the final block may be smaller).
+When the unit shape divides K'_T evenly — the common case, since the
+default unit is a whole K' row — the cell-count skew is therefore also
+bounded by one unit volume.  When edge tiles clip, per-instance cell
+counts vary and cell skew can exceed one unit volume; callers that need
+a strict cell bound should pick a skew bound that divides the row (the
+§3.1 footnote's trade-off, measurable with
+``benchmarks/test_ablations.py::test_skew_bound_sweep``).
+"""
+
+from __future__ import annotations
+
+from repro.arrays.linearize import coord_to_index
+from repro.arrays.shape import Shape, ceil_div, volume
+from repro.arrays.slab import Slab
+from repro.arrays.tiling import grid_shape
+from repro.errors import PartitionError
+from repro.sidr.keyblocks import KeyBlock, KeyBlockPartition
+
+
+def choose_unit_shape(space: Shape, skew_bound: int) -> Shape:
+    """Largest row-contiguous unit shape with volume <= ``skew_bound``.
+
+    Walk dimensions from fastest-varying to slowest: take each dimension's
+    full extent while the running volume stays within the bound; the
+    first dimension that no longer fits takes ``bound // volume`` cells
+    (at least one); everything slower takes extent 1.
+    """
+    if skew_bound <= 0:
+        raise PartitionError(f"skew bound must be positive, got {skew_bound}")
+    if volume(space) == 0:
+        raise PartitionError("cannot partition an empty keyspace")
+    unit = [1] * len(space)
+    vol = 1
+    for d in range(len(space) - 1, -1, -1):
+        if vol * space[d] <= skew_bound:
+            unit[d] = space[d]
+            vol *= space[d]
+        else:
+            unit[d] = max(1, skew_bound // vol)
+            vol *= unit[d]
+            break
+    return tuple(unit)
+
+
+def default_skew_bound(space: Shape, num_reducers: int) -> int:
+    """System-chosen skew bound when the query does not specify one
+    ("chosen by the system based on the query", §3.1).
+
+    Two constraints pull in opposite directions: the unit shape should be
+    one whole K' row when possible (simple routing, dense output rows),
+    but it must be small enough that at least ``num_reducers`` instances
+    exist.  The bound is therefore one row, capped at the ideal
+    per-reducer share — never more than ``|K'_T| / r`` cells.
+    """
+    if num_reducers <= 0:
+        raise PartitionError("num_reducers must be positive")
+    share = volume(space) // num_reducers
+    if share < 1:
+        raise PartitionError(
+            f"more reducers ({num_reducers}) than intermediate keys "
+            f"({volume(space)})"
+        )
+    row = volume(space[1:]) if len(space) > 1 else 1
+    return max(1, min(row, share))
+
+
+def _instance_start_cell(instance_idx: int, unit: Shape, space: Shape, grid: Shape) -> int:
+    """Row-major cell index where instance ``instance_idx`` begins.
+
+    Because unit shapes are row-contiguous, instances in grid row-major
+    order stitch into one monotone cell order; the start cell of an
+    instance is the cell index of its corner.
+    """
+    # Grid coordinate of the instance.
+    g = []
+    idx = instance_idx
+    for d in range(len(grid) - 1, -1, -1):
+        g.append(idx % grid[d])
+        idx //= grid[d]
+    g.reverse()
+    corner = tuple(gc * u for gc, u in zip(g, unit))
+    return coord_to_index(corner, space)
+
+
+def partition_plus(
+    space: Shape,
+    num_reducers: int,
+    *,
+    skew_bound: int | None = None,
+) -> KeyBlockPartition:
+    """Partition K'_T into ``num_reducers`` contiguous, balanced keyblocks.
+
+    Raises :class:`PartitionError` when the keyspace has fewer unit-shape
+    instances than reducers — the caller should lower the reducer count
+    (matching Hadoop practice: more reduce tasks than keys wastes slots).
+    """
+    if num_reducers <= 0:
+        raise PartitionError("num_reducers must be positive")
+    bound = skew_bound if skew_bound is not None else default_skew_bound(space, num_reducers)
+    unit = choose_unit_shape(space, bound)
+    grid = grid_shape(space, unit)
+    instances = volume(grid)
+    if instances < num_reducers:
+        raise PartitionError(
+            f"only {instances} unit-shape instances for {num_reducers} "
+            f"reducers (unit {unit!r} over {space!r}); reduce the reducer "
+            "count or the skew bound"
+        )
+    base, extra = divmod(instances, num_reducers)
+    blocks: list[KeyBlock] = []
+    icursor = 0
+    total_cells = volume(space)
+    for r in range(num_reducers):
+        # Larger blocks first so the final partition is the smaller one
+        # ("reducing the load on the last Reduce task", §3.1).
+        count = base + (1 if r < extra else 0)
+        ilo, ihi = icursor, icursor + count
+        clo = _instance_start_cell(ilo, unit, space, grid)
+        chi = (
+            total_cells
+            if ihi == instances
+            else _instance_start_cell(ihi, unit, space, grid)
+        )
+        blocks.append(
+            KeyBlock(
+                index=r,
+                instance_range=(ilo, ihi),
+                cell_range=(clo, chi),
+                space=tuple(space),
+            )
+        )
+        icursor = ihi
+    part = KeyBlockPartition(
+        space=tuple(space),
+        unit_shape=unit,
+        blocks=tuple(blocks),
+        skew_bound=bound,
+    )
+    part.validate()
+    return part

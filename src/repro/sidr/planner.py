@@ -1,0 +1,153 @@
+"""SIDRPlan: the complete routing structure for one job (paper §3).
+
+``build_plan`` runs the whole SIDR front-end — partition+, dependency
+analysis, expected-count computation — "based solely on information
+found in, or derived from, the query specification combined with the
+input metadata" (§3.1).  The resulting plan plugs into:
+
+* the real engine — ``plan.partitioner`` (a RangePartitioner over the
+  keyblock boundaries), ``plan.barrier`` (a DependencyBarrier over I_l),
+  ``plan.validator`` (count-annotation checks), via
+  :meth:`SIDRPlan.configure_job` / :func:`build_sidr_job`;
+* the simulator — dependency sets and keyblock sizes drive the
+  SIDR scheduler's timing model;
+* output writing — ``plan.output_region(l)`` is the contiguous slab of
+  the output space keyblock ``l`` owns (§4.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.arrays.slab import Slab
+from repro.errors import PartitionError
+from repro.mapreduce.engine import DependencyBarrier
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.mapper import ChunkAggregateMapper, Mapper
+from repro.mapreduce.partitioner import RangePartitioner
+from repro.mapreduce.reducer import AggregateReducer, CombinerAdapter, Reducer
+from repro.query.language import QueryPlan
+from repro.query.recordreader import make_reader_factory
+from repro.query.splits import CoordinateSplit
+from repro.sidr.annotations import CountAnnotationValidator
+from repro.sidr.dependencies import DependencyMap, compute_dependencies
+from repro.sidr.keyblocks import KeyBlockPartition
+from repro.sidr.partition_plus import partition_plus
+from repro.sidr.scheduler import SidrSchedulePolicy
+
+
+@dataclass(frozen=True)
+class SIDRPlan:
+    """Everything SIDR pre-computes for a query."""
+
+    query_plan: QueryPlan
+    splits: tuple[CoordinateSplit, ...]
+    partition: KeyBlockPartition
+    deps: DependencyMap
+    priorities: tuple[float, ...] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Engine-facing pieces
+    # ------------------------------------------------------------------ #
+    @property
+    def num_reduce_tasks(self) -> int:
+        return self.partition.num_blocks
+
+    @property
+    def partitioner(self) -> RangePartitioner:
+        return RangePartitioner(
+            self.partition.space, self.partition.cell_boundaries()
+        )
+
+    @property
+    def barrier(self) -> DependencyBarrier:
+        return DependencyBarrier(self.deps.dependency_barrier())
+
+    def validator(self, *, exact: bool = True) -> CountAnnotationValidator:
+        return CountAnnotationValidator.for_plan(
+            self.query_plan, self.partition, exact=exact
+        )
+
+    def schedule_policy(self) -> SidrSchedulePolicy:
+        return SidrSchedulePolicy(deps=self.deps, priorities=self.priorities)
+
+    # ------------------------------------------------------------------ #
+    # Output geometry (§4.4)
+    # ------------------------------------------------------------------ #
+    def output_region(self, block: int) -> tuple[Slab, ...]:
+        """The contiguous region(s) of the output space keyblock ``block``
+        owns — what its reduce task writes with the ContiguousWriter."""
+        return self.partition.blocks[block].slabs
+
+    # ------------------------------------------------------------------ #
+    # Job assembly
+    # ------------------------------------------------------------------ #
+    def configure_job(
+        self,
+        source: Any,
+        *,
+        name: str | None = None,
+        use_combiner: bool = True,
+        validate_counts: bool = True,
+    ) -> tuple[JobConf, DependencyBarrier]:
+        """Build an engine-ready (JobConf, barrier) pair for this plan."""
+        qp = self.query_plan
+        op = qp.operator
+        combiner: Callable[[], Reducer] | None = None
+        if use_combiner:
+            combiner = lambda: CombinerAdapter(op)  # noqa: E731
+        job = JobConf(
+            name=name or f"sidr-{op.name}-{qp.variable}",
+            splits=list(self.splits),
+            reader_factory=make_reader_factory(source, qp),
+            mapper_factory=lambda: ChunkAggregateMapper(op),
+            reducer_factory=lambda: AggregateReducer(op),
+            partitioner=self.partitioner,
+            num_reduce_tasks=self.num_reduce_tasks,
+            combiner_factory=combiner,
+            contact_all_maps=False,
+        )
+        if validate_counts:
+            job.context["reduce_start_validator"] = self.validator()
+        job.context["sidr_plan"] = self
+        return job, self.barrier
+
+
+def build_plan(
+    query_plan: QueryPlan,
+    splits: Sequence[CoordinateSplit],
+    num_reduce_tasks: int,
+    *,
+    skew_bound: int | None = None,
+    priorities: Sequence[float] | None = None,
+) -> SIDRPlan:
+    """Run the SIDR front-end: partition+ then dependency analysis."""
+    partition = partition_plus(
+        query_plan.intermediate_space, num_reduce_tasks, skew_bound=skew_bound
+    )
+    deps = compute_dependencies(query_plan, splits, partition)
+    prio = tuple(priorities) if priorities is not None else None
+    if prio is not None and len(prio) != partition.num_blocks:
+        raise PartitionError("priorities length must equal keyblock count")
+    return SIDRPlan(
+        query_plan=query_plan,
+        splits=tuple(splits),
+        partition=partition,
+        deps=deps,
+        priorities=prio,
+    )
+
+
+def build_sidr_job(
+    query_plan: QueryPlan,
+    splits: Sequence[CoordinateSplit],
+    num_reduce_tasks: int,
+    source: Any,
+    **plan_kwargs: Any,
+) -> tuple[JobConf, DependencyBarrier, SIDRPlan]:
+    """One-call convenience: plan + engine job."""
+    plan = build_plan(query_plan, splits, num_reduce_tasks, **plan_kwargs)
+    job, barrier = plan.configure_job(source)
+    return job, barrier, plan

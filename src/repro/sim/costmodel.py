@@ -1,0 +1,174 @@
+"""Task cost model.
+
+What is *simulated* (event-driven): slot occupancy, scheduling order,
+locality decisions, barrier release times, shuffle overlap, reduce
+waves.  What is *parameterized* (this class): sustained transfer rates
+and per-cell compute costs, i.e. the physics of one task once its inputs
+are decided.  The defaults are calibrated to the paper's testbed — 2007
+Opterons, 7200-RPM disks, 1 GbE — so that Query 1's timeline lands in
+the same range as Figure 9; the calibration reasoning is documented in
+EXPERIMENTS.md.
+
+Map task time  = read(split bytes, locality) + cpu(cells)
+                 + spill(map output bytes) + overhead
+Reduce time    = copy residual (see jobsim) + merge(bytes)
+                 + cpu(reduce cells) + write(output bytes, strategy)
+                 + overhead
+
+Rates are per-slot steady-state figures: with every map slot busy, the
+node's three data disks sustain roughly ``disk_rate_per_slot`` for each
+of the four readers.  Duration jitter is multiplicative and drawn from a
+seeded RNG — Figure 12's variance bars come from sweeping the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Deterministic per-task costs plus seeded jitter."""
+
+    #: Local sequential read rate available to one busy map slot.  Three
+    #: 7200-RPM disks (~75 MB/s sustained each) across 4 slots, minus
+    #: decode overhead.
+    disk_rate_per_slot: float = 35.0 * MB
+    #: Remote read rate for one map task: network transfer plus the
+    #: remote node's disk contention — substantially below local disk.
+    remote_read_rate: float = 18.0 * MB
+    #: Baseline shuffle transfer rate for one fetch stream.
+    net_rate_per_task: float = 40.0 * MB
+    #: Aggregate cluster shuffle capacity available to copying reducers
+    #: (per-node share of the 1 GbE links times the node count is set by
+    #: the caller via num_nodes; this is the per-node figure).
+    shuffle_bw_per_node: float = 40.0 * MB
+    #: One reducer's parallel fetchers can pull at most this rate even
+    #: when the cluster is otherwise idle (Hadoop's 10 parallel copies
+    #: against one gigabit NIC).
+    fetch_rate_cap: float = 100.0 * MB
+    #: Floor on the per-reducer fetch rate under heavy sharing.
+    fetch_rate_floor: float = 15.0 * MB
+    #: Map-side spill write rate.
+    spill_rate: float = 55.0 * MB
+    #: Reduce-side merge processing rate (sort-merge over fetched runs).
+    merge_rate: float = 150.0 * MB
+    #: Map compute cost per input cell, seconds (decode + translate + op).
+    map_cpu_per_cell: float = 1.0e-6
+    #: Reduce compute cost per intermediate byte.
+    reduce_cpu_per_byte: float = 4.0e-9
+    #: Dense sequential output write rate (SIDR's contiguous writer).
+    write_rate_dense: float = 50.0 * MB
+    #: Effective sparse/sentinel output write rate (seek-bound).
+    write_rate_sparse: float = 20.0 * MB
+    #: Fixed per-task scheduling/JVM overhead, seconds ("each additional
+    #: Reduce task adds a small, fixed overhead to the query", §4.1).
+    task_overhead: float = 1.5
+    #: Per-fetch connection setup cost, seconds.
+    fetch_latency: float = 0.01
+    #: Shuffle-interference coefficient: reduce tasks actively copying
+    #: intermediate data contend with map-side reads (map-output servers
+    #: share the data disks).  A map starting while ``C`` reducers are
+    #: copying cluster-wide has its IO slowed by
+    #: ``1 + shuffle_interference * C / num_nodes``.  Stock Hadoop keeps
+    #: every scheduled reducer copying for the whole map phase (it
+    #: fetches from every map, §4.6); SIDR reducers copy only while their
+    #: dependency window is open — this asymmetry is why the paper's SIDR
+    #: map curve runs ahead of SciHadoop's (Figure 9).
+    shuffle_interference: float = 0.35
+    #: Multiplicative lognormal jitter sigma (0 disables).
+    jitter_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "disk_rate_per_slot",
+            "remote_read_rate",
+            "net_rate_per_task",
+            "spill_rate",
+            "merge_rate",
+            "write_rate_dense",
+            "write_rate_sparse",
+        ):
+            if getattr(self, name) <= 0:
+                raise SimulationError(f"{name} must be positive")
+        if self.jitter_sigma < 0:
+            raise SimulationError("jitter_sigma must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    def jitter(self, rng: random.Random) -> float:
+        """Multiplicative duration factor ~ lognormal(0, sigma)."""
+        if self.jitter_sigma == 0:
+            return 1.0
+        return math.exp(rng.gauss(0.0, self.jitter_sigma))
+
+    def read_time(self, bytes_: int, local_fraction: float) -> float:
+        """Split read time given the fraction of bytes that are node-local."""
+        if not (0.0 <= local_fraction <= 1.0):
+            raise SimulationError(f"bad local fraction {local_fraction}")
+        local = bytes_ * local_fraction
+        remote = bytes_ - local
+        return local / self.disk_rate_per_slot + remote / self.remote_read_rate
+
+    def map_duration(
+        self,
+        *,
+        read_bytes: int,
+        cells: int,
+        output_bytes: int,
+        local_fraction: float,
+        rng: random.Random,
+        io_slowdown: float = 1.0,
+    ) -> float:
+        if io_slowdown < 1.0:
+            raise SimulationError(f"io_slowdown {io_slowdown} < 1")
+        io = (
+            self.read_time(read_bytes, local_fraction)
+            + output_bytes / self.spill_rate
+        )
+        base = (
+            io * io_slowdown
+            + cells * self.map_cpu_per_cell
+            + self.task_overhead
+        )
+        return base * self.jitter(rng)
+
+    def effective_fetch_rate(self, active_copiers: int, num_nodes: int) -> float:
+        """Per-reducer shuffle ingest rate given cluster-wide copy load.
+
+        Stock Hadoop keeps every scheduled reducer copying for the whole
+        map phase, so each gets a thin share; a SIDR reducer usually
+        copies while few others do and gets near the cap — this is the
+        second half of the interference asymmetry (the first slows maps,
+        this one speeds SIDR's copies).
+        """
+        if num_nodes <= 0:
+            raise SimulationError("num_nodes must be positive")
+        share = self.shuffle_bw_per_node * num_nodes / max(active_copiers, 1)
+        return min(self.fetch_rate_cap, max(self.fetch_rate_floor, share))
+
+    def fetch_time(self, bytes_: int, rate: float | None = None) -> float:
+        return self.fetch_latency + bytes_ / (rate or self.net_rate_per_task)
+
+    def reduce_processing_time(
+        self,
+        *,
+        input_bytes: int,
+        output_bytes: int,
+        dense_output: bool,
+        rng: random.Random,
+    ) -> float:
+        """Post-copy reduce time: merge + reduce function + output write."""
+        write_rate = self.write_rate_dense if dense_output else self.write_rate_sparse
+        base = (
+            input_bytes / self.merge_rate
+            + input_bytes * self.reduce_cpu_per_byte
+            + output_bytes / write_rate
+            + self.task_overhead
+        )
+        return base * self.jitter(rng)

@@ -1,0 +1,354 @@
+"""The simulated job driver.
+
+Replays one MapReduce job on the simulated cluster under one of two
+execution modes:
+
+* ``ExecutionMode.STOCK`` — stock Hadoop/SciHadoop scheduling (§2.3,
+  §3.3): all maps eligible immediately and picked locality-first when a
+  map slot frees; reduce tasks scheduled in monotonically increasing ID
+  order into free reduce slots; the **global barrier** holds every
+  reduce's processing until the last map finishes; every reduce fetches
+  from every map (§4.6).
+* ``ExecutionMode.SIDR`` — reduce tasks scheduled first (by priority,
+  §3.4), map tasks eligible only once a scheduled reduce depends on them
+  (§3.3); each reduce's barrier is its **dependency set** and it fetches
+  only from producers (§3.2).
+
+Shuffle-copy timing uses the exact single-server queue bound: chunks
+become available at ``max(reduce scheduled, producing map finish)`` and
+are fetched one at a time; the copy completes at
+
+    max_j ( avail_(j) + sum_{k >= j} cost_(k) )
+
+over chunks sorted by availability — which correctly captures both
+regimes the paper describes: a reduce scheduled early overlaps its
+copying with map execution and pays only the tail, while a reduce
+scheduled after its maps (a later wave) pays the full copy.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.cluster import ClusterConfig, SimCluster
+from repro.sim.costmodel import CostModel
+from repro.sim.events import Simulator
+from repro.sim.timeline import TaskTimeline
+from repro.sim.workload import SimJobSpec
+
+
+class ExecutionMode(enum.Enum):
+    STOCK = "stock"
+    SIDR = "sidr"
+
+
+def _task_rng(seed: int, kind: str, index: int) -> random.Random:
+    """Deterministic per-task RNG, independent of scheduling order."""
+    return random.Random((seed * 1_000_003 + index) * 2 + (0 if kind == "map" else 1))
+
+
+@dataclass
+class _ReduceState:
+    index: int
+    host: str
+    scheduled_at: float
+    barrier: frozenset[int]
+    producer_bytes: dict[int, float]
+    barrier_remaining: int
+    done: bool = False
+    copy_active: bool = False
+
+
+class _JobSim:
+    def __init__(
+        self,
+        spec: SimJobSpec,
+        cluster_config: ClusterConfig,
+        cost: CostModel,
+        mode: ExecutionMode,
+        seed: int,
+    ) -> None:
+        self.spec = spec
+        self.cost = cost
+        self.mode = mode
+        self.seed = seed
+        self.sim = Simulator()
+        self.cluster = SimCluster(cluster_config)
+        self.timeline = TaskTimeline(
+            mode=mode.value,
+            num_maps=spec.num_maps,
+            num_reduces=spec.num_reduces,
+            map_start=[0.0] * spec.num_maps,
+            map_finish=[0.0] * spec.num_maps,
+            reduce_scheduled=[0.0] * spec.num_reduces,
+            reduce_processing_start=[0.0] * spec.num_reduces,
+            reduce_finish=[0.0] * spec.num_reduces,
+            reduce_weights=list(spec.weights()),
+        )
+        # --- map state -------------------------------------------------
+        self.pending_maps: set[int] = set(range(spec.num_maps))
+        self.eligible: set[int] = (
+            set(range(spec.num_maps)) if mode is ExecutionMode.STOCK else set()
+        )
+        self.map_finish_time: dict[int, float] = {}
+        self._host_queues: dict[str, deque[int]] = {
+            h: deque() for h in self.cluster.host_names
+        }
+        for sp in spec.splits:
+            for h in sp.preferred_hosts:
+                if h in self._host_queues:
+                    self._host_queues[h].append(sp.index)
+        self._global_queue: deque[int] = deque(range(spec.num_maps))
+        # --- reduce state ----------------------------------------------
+        self.reduce_order = self._reduce_schedule_order()
+        self._next_reduce = 0
+        self.reduce_states: dict[int, _ReduceState] = {}
+        self._reduce_host_rr = 0
+        self.maps_done = 0
+        self.reduces_done = 0
+        self.connections = 0
+        #: Reduce tasks currently copying intermediate data; drives the
+        #: shuffle-interference slowdown of concurrently starting maps.
+        self.active_copiers = 0
+
+    # ------------------------------------------------------------------ #
+    def _reduce_schedule_order(self) -> list[int]:
+        idx = list(range(self.spec.num_reduces))
+        if self.mode is ExecutionMode.SIDR and self.spec.priorities is not None:
+            return sorted(idx, key=lambda l: (self.spec.priorities[l], l))
+        return idx  # stock Hadoop: monotonically increasing IDs (§3.3)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling passes
+    # ------------------------------------------------------------------ #
+    def schedule_reduces(self) -> None:
+        while self._next_reduce < len(self.reduce_order):
+            hosts = self.cluster.hosts_with_free_reduce_slots()
+            if not hosts:
+                return
+            # Round-robin over hosts for balance.
+            host = hosts[self._reduce_host_rr % len(hosts)]
+            self._reduce_host_rr += 1
+            l = self.reduce_order[self._next_reduce]
+            self._next_reduce += 1
+            self._start_reduce(l, host)
+
+    def _start_reduce(self, l: int, host: str) -> None:
+        self.cluster.acquire_reduce_slot(host)
+        now = self.sim.now
+        self.timeline.reduce_scheduled[l] = now
+        producers = self.spec.distribution.producers_of(l, self.spec.num_maps)
+        shares_bytes = {
+            m: self.spec.distribution.share(m, l)
+            * self.spec.splits[m].output_bytes
+            for m in producers
+        }
+        if self.mode is ExecutionMode.STOCK:
+            barrier = frozenset(range(self.spec.num_maps))  # global barrier
+        else:
+            barrier = producers  # I_l
+        remaining = sum(1 for m in barrier if m not in self.map_finish_time)
+        st = _ReduceState(
+            index=l,
+            host=host,
+            scheduled_at=now,
+            barrier=barrier,
+            producer_bytes=shares_bytes,
+            barrier_remaining=remaining,
+        )
+        self.reduce_states[l] = st
+        if remaining < len(barrier) and barrier:
+            self._activate_copier(st)
+        if self.mode is ExecutionMode.SIDR:
+            newly = producers - self.eligible
+            self.eligible |= newly
+            if newly:
+                self.schedule_maps()
+        if remaining == 0:
+            self._begin_reduce_processing(st)
+
+    def _activate_copier(self, st: _ReduceState) -> None:
+        if not st.copy_active:
+            st.copy_active = True
+            self.active_copiers += 1
+
+    def _deactivate_copier(self, st: _ReduceState) -> None:
+        if st.copy_active:
+            st.copy_active = False
+            self.active_copiers -= 1
+
+    # ------------------------------------------------------------------ #
+    def schedule_maps(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for host in self.cluster.hosts_with_free_map_slots():
+                m = self._pick_map_for(host)
+                if m is not None:
+                    self._start_map(m, host)
+                    progress = True
+
+    def _pick_map_for(self, host: str) -> int | None:
+        # Locality tree walk (§3.3): node-local first, then anything.
+        q = self._host_queues[host]
+        while q:
+            m = q[0]
+            if m in self.pending_maps and m in self.eligible:
+                q.popleft()
+                return m
+            if m not in self.pending_maps:
+                q.popleft()  # lazy cleanup of scheduled entries
+                continue
+            break  # pending but ineligible: leave for later, try global
+        # Fall through to the global queue for a non-local assignment.
+        gq = self._global_queue
+        scanned = 0
+        n = len(gq)
+        while scanned < n:
+            m = gq[0]
+            if m not in self.pending_maps:
+                gq.popleft()
+                n -= 1
+                continue
+            if m in self.eligible:
+                gq.popleft()
+                return m
+            gq.rotate(-1)  # keep FIFO order among ineligible entries
+            scanned += 1
+        return None
+
+    def _start_map(self, m: int, host: str) -> None:
+        self.cluster.acquire_map_slot(host)
+        self.pending_maps.discard(m)
+        sp = self.spec.splits[m]
+        now = self.sim.now
+        self.timeline.map_start[m] = now
+        slowdown = 1.0 + (
+            self.cost.shuffle_interference
+            * self.active_copiers
+            / self.cluster.config.num_nodes
+        )
+        dur = self.cost.map_duration(
+            read_bytes=sp.read_bytes,
+            cells=sp.cells,
+            output_bytes=sp.output_bytes,
+            local_fraction=sp.local_fraction_on(host),
+            rng=_task_rng(self.seed, "map", m),
+            io_slowdown=slowdown,
+        )
+        self.sim.schedule(dur, lambda: self._finish_map(m, host))
+
+    def _finish_map(self, m: int, host: str) -> None:
+        now = self.sim.now
+        self.timeline.map_finish[m] = now
+        self.map_finish_time[m] = now
+        self.maps_done += 1
+        self.cluster.release_map_slot(host)
+        for st in self.reduce_states.values():
+            if st.done:
+                continue
+            if m in st.barrier:
+                self._activate_copier(st)
+                if st.barrier_remaining > 0:
+                    st.barrier_remaining -= 1
+                    if st.barrier_remaining == 0:
+                        self._begin_reduce_processing(st)
+        self.schedule_maps()
+
+    # ------------------------------------------------------------------ #
+    def _begin_reduce_processing(self, st: _ReduceState) -> None:
+        l = st.index
+        # Fetch set: stock Hadoop contacts every map (§4.6); SIDR only its
+        # producers.
+        if self.mode is ExecutionMode.STOCK:
+            fetch = range(self.spec.num_maps)
+            self.connections += self.spec.num_maps
+        else:
+            fetch = sorted(st.barrier)
+            self.connections += len(st.barrier)
+        rate = self.cost.effective_fetch_rate(
+            self.active_copiers, self.cluster.config.num_nodes
+        )
+        avail = []
+        costs = []
+        for m in fetch:
+            avail.append(max(st.scheduled_at, self.map_finish_time[m]))
+            costs.append(
+                self.cost.fetch_time(st.producer_bytes.get(m, 0.0), rate)
+            )
+        if avail:
+            a = np.asarray(avail)
+            c = np.asarray(costs)
+            order = np.argsort(a, kind="stable")
+            a = a[order]
+            c = c[order]
+            # Single-server queue: completion = max_j (a_j + suffix cost).
+            suffix = np.cumsum(c[::-1])[::-1]
+            copy_end = float(np.max(a + suffix))
+        else:
+            copy_end = self.sim.now
+        copy_end = max(copy_end, self.sim.now)
+        input_bytes = sum(st.producer_bytes.values())
+        proc = self.cost.reduce_processing_time(
+            input_bytes=int(input_bytes),
+            output_bytes=self.spec.reduce_output_bytes[l],
+            dense_output=self.spec.dense_output,
+            rng=_task_rng(self.seed, "reduce", l),
+        )
+        self.timeline.reduce_processing_start[l] = copy_end
+        # The copy window closes at copy_end; map-side interference stops.
+        self.sim.schedule_at(copy_end, lambda: self._deactivate_copier(st))
+        self.sim.schedule_at(copy_end + proc, lambda: self._finish_reduce(st))
+
+    def _finish_reduce(self, st: _ReduceState) -> None:
+        st.done = True
+        l = st.index
+        self.timeline.reduce_finish[l] = self.sim.now
+        self.reduces_done += 1
+        self.cluster.release_reduce_slot(st.host)
+        self.schedule_reduces()
+        if self.mode is ExecutionMode.SIDR:
+            self.schedule_maps()
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> TaskTimeline:
+        self.sim.schedule(0.0, self.schedule_reduces)
+        self.sim.schedule(0.0, self.schedule_maps)
+        self.sim.run()
+        if self.maps_done != self.spec.num_maps:
+            raise SimulationError(
+                f"{self.spec.num_maps - self.maps_done} maps never ran — "
+                "scheduling deadlock (check dependency/eligibility wiring)"
+            )
+        if self.reduces_done != self.spec.num_reduces:
+            raise SimulationError(
+                f"{self.spec.num_reduces - self.reduces_done} reduces never "
+                "ran — barrier never satisfied"
+            )
+        self.timeline.shuffle_connections = self.connections
+        self.timeline.validate()
+        return self.timeline
+
+
+def simulate_job(
+    spec: SimJobSpec,
+    cluster_config: ClusterConfig | None = None,
+    cost: CostModel | None = None,
+    *,
+    mode: ExecutionMode = ExecutionMode.STOCK,
+    seed: int = 0,
+) -> TaskTimeline:
+    """Simulate one job; returns its validated timeline."""
+    return _JobSim(
+        spec,
+        cluster_config or ClusterConfig(),
+        cost or CostModel(),
+        mode,
+        seed,
+    ).run()

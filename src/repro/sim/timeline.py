@@ -1,0 +1,112 @@
+"""Task timelines: the simulator's output.
+
+A :class:`TaskTimeline` records, for every task, when it was scheduled,
+when it began processing, and when it finished.  The bench harness turns
+timelines into the paper's plots: "Fraction of Total Output Available"
+over time (Figures 9-11, 13), per-task variance (Figure 12), and
+first-result / completion summary statistics quoted in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sidr.early_results import CompletionCurve
+
+
+@dataclass
+class TaskTimeline:
+    """Per-task timing plus run-level accounting."""
+
+    mode: str
+    num_maps: int
+    num_reduces: int
+    map_start: list[float] = field(default_factory=list)
+    map_finish: list[float] = field(default_factory=list)
+    reduce_scheduled: list[float] = field(default_factory=list)
+    reduce_processing_start: list[float] = field(default_factory=list)
+    reduce_finish: list[float] = field(default_factory=list)
+    #: Output-share weight of each reduce task (sums to 1).
+    reduce_weights: list[float] = field(default_factory=list)
+    shuffle_connections: int = 0
+
+    def validate(self) -> None:
+        if len(self.map_finish) != self.num_maps:
+            raise SimulationError("missing map completions")
+        if len(self.reduce_finish) != self.num_reduces:
+            raise SimulationError("missing reduce completions")
+        for s, f in zip(self.map_start, self.map_finish):
+            if f < s:
+                raise SimulationError("map finished before start")
+        for s, p, f in zip(
+            self.reduce_scheduled, self.reduce_processing_start, self.reduce_finish
+        ):
+            if not (s <= p <= f):
+                raise SimulationError("reduce phase times out of order")
+
+    # ------------------------------------------------------------------ #
+    # Summary statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        return max(max(self.map_finish, default=0.0), max(self.reduce_finish, default=0.0))
+
+    @property
+    def last_map_finish(self) -> float:
+        return max(self.map_finish, default=0.0)
+
+    @property
+    def first_result_time(self) -> float:
+        """Time of the first committed reduce output — the paper's
+        "first result" metric (§4.1)."""
+        return min(self.reduce_finish, default=float("inf"))
+
+    def reduces_finished_before_last_map(self) -> int:
+        last = self.last_map_finish
+        return sum(1 for f in self.reduce_finish if f < last)
+
+    # ------------------------------------------------------------------ #
+    # Curves
+    # ------------------------------------------------------------------ #
+    def map_completion_curve(self) -> CompletionCurve:
+        ts = sorted(self.map_finish)
+        n = len(ts)
+        return CompletionCurve(
+            tuple(ts), tuple((i + 1) / n for i in range(n))
+        )
+
+    def reduce_completion_curve(self) -> CompletionCurve:
+        """Output availability weighted by each reduce's output share."""
+        order = np.argsort(self.reduce_finish, kind="stable")
+        w = np.asarray(self.reduce_weights, dtype=np.float64)
+        if w.size == 0:
+            w = np.full(self.num_reduces, 1.0 / max(self.num_reduces, 1))
+        fr = np.cumsum(w[order])
+        fr /= fr[-1]
+        ts = np.asarray(self.reduce_finish)[order]
+        return CompletionCurve(tuple(float(t) for t in ts), tuple(float(f) for f in fr))
+
+    def fraction_done_at(self, t: float) -> float:
+        return self.reduce_completion_curve().fraction_at(t)
+
+    def sampled_reduce_curve(self, times: np.ndarray) -> np.ndarray:
+        """Reduce-availability fractions at the given times (for averaging
+        across runs in the Figure 12 variance analysis)."""
+        curve = self.reduce_completion_curve()
+        ct = np.asarray(curve.times)
+        cf = np.asarray(curve.fractions)
+        idx = np.searchsorted(ct, np.asarray(times), side="right")
+        out = np.where(idx > 0, cf[np.maximum(idx - 1, 0)], 0.0)
+        return out
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "last_map_finish": self.last_map_finish,
+            "first_result": self.first_result_time,
+            "early_reduces": float(self.reduces_finished_before_last_map()),
+            "connections": float(self.shuffle_connections),
+        }

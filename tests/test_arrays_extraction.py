@@ -1,0 +1,196 @@
+"""Unit and property tests for extraction shapes (K -> K' translation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.extraction import ExtractionShape, StridedExtraction
+from repro.arrays.slab import Slab
+from repro.errors import GeometryError, QueryError, RankMismatchError
+
+
+class TestPaperExamples:
+    """The worked examples from paper §3."""
+
+    def test_weekly_downsample_key(self):
+        # "an arbitrary key in K, say {157, 34, 82}, maps to {22, 6, 82}"
+        ex = ExtractionShape((7, 5, 1))
+        assert ex.translate((157, 34, 82)) == (22, 6, 82)
+
+    def test_weekly_downsample_space(self):
+        # {365, 250, 200} with {7, 5, 1} -> {52, 50, 200}, day 365 dropped
+        ex = ExtractionShape((7, 5, 1))
+        assert ex.intermediate_space((365, 250, 200)) == (52, 50, 200)
+
+    def test_query1_space(self):
+        # {7200, 360, 720, 50} with {2, 36, 36, 10} -> {3600, 10, 20, 5}
+        ex = ExtractionShape((2, 36, 36, 10))
+        assert ex.intermediate_space((7200, 360, 720, 50)) == (3600, 10, 20, 5)
+
+    def test_query2_space(self):
+        ex = ExtractionShape((2, 40, 40, 10))
+        assert ex.intermediate_space((7200, 360, 720, 50)) == (3600, 9, 18, 5)
+
+
+class TestConstruction:
+    def test_nonpositive_shape_rejected(self):
+        with pytest.raises(GeometryError):
+            ExtractionShape((0, 1))
+
+    def test_origin_rank_mismatch(self):
+        with pytest.raises(RankMismatchError):
+            ExtractionShape((2, 2), origin=(0,))
+
+    def test_cells_per_key(self):
+        assert ExtractionShape((2, 3, 4)).cells_per_key == 24
+
+
+class TestTranslate:
+    def test_with_origin(self):
+        ex = ExtractionShape((2, 2), origin=(10, 10))
+        assert ex.translate((10, 10)) == (0, 0)
+        assert ex.translate((13, 11)) == (1, 0)
+
+    def test_before_origin_raises(self):
+        ex = ExtractionShape((2, 2), origin=(10, 10))
+        with pytest.raises(GeometryError):
+            ex.translate((9, 10))
+
+    def test_translate_many_matches_scalar(self):
+        ex = ExtractionShape((3, 2), origin=(1, 1))
+        keys = np.array([[1, 1], [4, 3], [7, 8]])
+        got = ex.translate_many(keys)
+        want = [ex.translate(tuple(k)) for k in keys]
+        assert [tuple(g) for g in got] == want
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_preimage_roundtrip(self, data):
+        rank = data.draw(st.integers(1, 4))
+        shape = tuple(data.draw(st.integers(1, 5)) for _ in range(rank))
+        ex = ExtractionShape(shape)
+        key = tuple(data.draw(st.integers(0, 8)) for _ in range(rank))
+        pre = ex.preimage(key)
+        # Every cell in the preimage translates back to the key.
+        for c in pre.iter_coords():
+            assert ex.translate(c) == key
+
+
+class TestImage:
+    def test_single_instance(self):
+        ex = ExtractionShape((2, 2))
+        img = ex.image(Slab((0, 0), (2, 2)))
+        assert img == Slab((0, 0), (1, 1))
+
+    def test_straddling_region(self):
+        ex = ExtractionShape((2, 2))
+        img = ex.image(Slab((1, 1), (2, 2)))
+        assert img == Slab((0, 0), (2, 2))
+
+    def test_clipped_to_intermediate_space(self):
+        ex = ExtractionShape((2,))
+        img = ex.image(Slab((4,), (3,)), intermediate_space=(3,))
+        assert img == Slab((2,), (1,))
+
+    def test_empty_region(self):
+        ex = ExtractionShape((2, 2))
+        assert ex.image(Slab((0, 0), (0, 2))).is_empty
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_image_is_exact(self, data):
+        """Every key in the image has a preimage cell in the region and
+        every region cell's key is in the image."""
+        rank = data.draw(st.integers(1, 3))
+        shape = tuple(data.draw(st.integers(1, 4)) for _ in range(rank))
+        ex = ExtractionShape(shape)
+        corner = tuple(data.draw(st.integers(0, 6)) for _ in range(rank))
+        extent = tuple(data.draw(st.integers(1, 5)) for _ in range(rank))
+        region = Slab(corner, extent)
+        img = ex.image(region)
+        for c in region.iter_coords():
+            assert img.contains(ex.translate(c))
+        for k in img.iter_coords():
+            assert ex.preimage(k).overlaps(region)
+
+
+class TestIntermediateSpace:
+    def test_truncate_vs_keep(self):
+        assert ExtractionShape((3,)).intermediate_space((10,)) == (3,)
+        assert ExtractionShape((3,), truncate=False).intermediate_space((10,)) == (4,)
+
+    def test_too_large_extraction_raises(self):
+        with pytest.raises(QueryError):
+            ExtractionShape((5, 5)).intermediate_space((4, 10))
+
+    def test_covered_input(self):
+        ex = ExtractionShape((7, 5, 1))
+        cov = ex.covered_input((365, 250, 200))
+        assert cov == Slab((0, 0, 0), (364, 250, 200))
+
+
+class TestStrided:
+    def test_stride_must_dominate_shape(self):
+        with pytest.raises(GeometryError):
+            StridedExtraction((3,), (2,))
+
+    def test_translate_in_instance(self):
+        ex = StridedExtraction((2,), (4,))
+        assert ex.translate((0,)) == (0,)
+        assert ex.translate((1,)) == (0,)
+        assert ex.translate((4,)) == (1,)
+
+    def test_translate_in_gap(self):
+        ex = StridedExtraction((2,), (4,))
+        assert ex.translate((2,)) is None
+        assert ex.translate((3,)) is None
+
+    def test_translate_many_mask(self):
+        ex = StridedExtraction((2,), (4,))
+        keys = np.array([[0], [1], [2], [3], [4], [5], [6]])
+        kp, mask = ex.translate_many(keys)
+        assert mask.tolist() == [True, True, False, False, True, True, False]
+        assert kp[mask][:, 0].tolist() == [0, 0, 1, 1]
+
+    def test_intermediate_space_truncate(self):
+        # instances at 0..1, 4..5, 8..9 fit in 10 cells -> 3
+        assert StridedExtraction((2,), (4,)).intermediate_space((10,)) == (3,)
+        # 9 cells: instance at 8..9 does not complete -> 2
+        assert StridedExtraction((2,), (4,)).intermediate_space((9,)) == (2,)
+
+    def test_preimage(self):
+        ex = StridedExtraction((2, 1), (4, 2))
+        assert ex.preimage((1, 2)) == Slab((4, 4), (2, 1))
+
+    @given(st.data())
+    @settings(max_examples=120)
+    def test_image_superset_of_produced_keys(self, data):
+        rank = data.draw(st.integers(1, 2))
+        shape = tuple(data.draw(st.integers(1, 3)) for _ in range(rank))
+        stride = tuple(
+            data.draw(st.integers(s, s + 3)) for s in shape
+        )
+        ex = StridedExtraction(shape, stride)
+        corner = tuple(data.draw(st.integers(0, 5)) for _ in range(rank))
+        extent = tuple(data.draw(st.integers(1, 6)) for _ in range(rank))
+        region = Slab(corner, extent)
+        img = ex.image(region)
+        for c in region.iter_coords():
+            k = ex.translate(c)
+            if k is not None:
+                assert img.contains(k), (c, k, img)
+
+    @given(st.data())
+    @settings(max_examples=120)
+    def test_gap_cells_have_no_key(self, data):
+        shape = (data.draw(st.integers(1, 3)),)
+        stride = (shape[0] + data.draw(st.integers(1, 3)),)
+        ex = StridedExtraction(shape, stride)
+        x = data.draw(st.integers(0, 30))
+        k = ex.translate((x,))
+        phase = x % stride[0]
+        if phase < shape[0]:
+            assert k == (x // stride[0],)
+        else:
+            assert k is None

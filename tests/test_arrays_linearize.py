@@ -1,0 +1,177 @@
+"""Unit and property tests for row-major linearization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.linearize import (
+    coord_to_index,
+    coords_to_indices,
+    count_index_runs,
+    index_to_coord,
+    range_to_slabs,
+    row_major_strides,
+    slab_index_range,
+    slab_is_contiguous,
+    slab_to_index_runs,
+)
+from repro.arrays.shape import volume
+from repro.arrays.slab import Slab, slabs_disjoint
+from repro.errors import GeometryError, RankMismatchError
+
+spaces = st.lists(st.integers(1, 6), min_size=1, max_size=4).map(tuple)
+
+
+class TestStrides:
+    def test_3d(self):
+        assert row_major_strides((4, 5, 6)) == (30, 6, 1)
+
+    def test_1d(self):
+        assert row_major_strides((9,)) == (1,)
+
+
+class TestCoordIndex:
+    def test_known(self):
+        assert coord_to_index((1, 2), (3, 4)) == 6
+        assert index_to_coord(6, (3, 4)) == (1, 2)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(GeometryError):
+            coord_to_index((3, 0), (3, 4))
+        with pytest.raises(GeometryError):
+            index_to_coord(12, (3, 4))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(RankMismatchError):
+            coord_to_index((1,), (3, 4))
+
+    @given(spaces, st.data())
+    def test_bijection(self, space, data):
+        idx = data.draw(st.integers(0, volume(space) - 1))
+        assert coord_to_index(index_to_coord(idx, space), space) == idx
+
+    def test_matches_numpy_ravel(self):
+        space = (3, 4, 5)
+        for coord in [(0, 0, 0), (2, 3, 4), (1, 2, 3)]:
+            assert coord_to_index(coord, space) == np.ravel_multi_index(
+                coord, space
+            )
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        space = (4, 5)
+        coords = np.array([[0, 0], [3, 4], [1, 2]])
+        got = coords_to_indices(coords, space)
+        want = [coord_to_index(tuple(c), space) for c in coords]
+        assert got.tolist() == want
+
+    def test_bounds_checked(self):
+        with pytest.raises(GeometryError):
+            coords_to_indices(np.array([[4, 0]]), (4, 5))
+        with pytest.raises(GeometryError):
+            coords_to_indices(np.array([[-1, 0]]), (4, 5))
+
+    def test_empty(self):
+        assert coords_to_indices(np.empty((0, 2), dtype=int), (4, 5)).size == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(RankMismatchError):
+            coords_to_indices(np.zeros((3, 3), dtype=int), (4, 5))
+
+
+class TestSlabRuns:
+    def test_full_space_single_run(self):
+        space = (3, 4)
+        runs = list(slab_to_index_runs(Slab.whole(space), space))
+        assert runs == [(0, 12)]
+
+    def test_row_slab(self):
+        space = (3, 4)
+        runs = list(slab_to_index_runs(Slab((1, 0), (1, 4)), space))
+        assert runs == [(4, 8)]
+
+    def test_column_slab_many_runs(self):
+        space = (3, 4)
+        runs = list(slab_to_index_runs(Slab((0, 1), (3, 1)), space))
+        assert runs == [(1, 2), (5, 6), (9, 10)]
+
+    def test_empty_slab(self):
+        assert list(slab_to_index_runs(Slab((0, 0), (0, 2)), (3, 4))) == []
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_runs_cover_exact_cells(self, data):
+        space = data.draw(spaces)
+        rank = len(space)
+        corner = tuple(
+            data.draw(st.integers(0, space[d] - 1)) for d in range(rank)
+        )
+        shape = tuple(
+            data.draw(st.integers(0, space[d] - corner[d])) for d in range(rank)
+        )
+        slab = Slab(corner, shape)
+        runs = list(slab_to_index_runs(slab, space))
+        got = sorted(i for lo, hi in runs for i in range(lo, hi))
+        want = sorted(coord_to_index(c, space) for c in slab.iter_coords())
+        assert got == want
+        # Runs are maximal and ordered.
+        for (lo1, hi1), (lo2, hi2) in zip(runs, runs[1:]):
+            assert hi1 < lo2
+        assert count_index_runs(slab, space) == len(runs)
+
+    def test_index_range_spans(self):
+        space = (4, 4)
+        slab = Slab((1, 1), (2, 2))
+        lo, hi = slab_index_range(slab, space)
+        assert lo == 5 and hi == 11
+
+    def test_contiguity_detection(self):
+        space = (4, 4)
+        assert slab_is_contiguous(Slab((1, 0), (2, 4)), space)
+        assert not slab_is_contiguous(Slab((1, 1), (2, 2)), space)
+        assert slab_is_contiguous(Slab((2, 1), (1, 3)), space)
+
+
+class TestRangeToSlabs:
+    def test_empty(self):
+        assert range_to_slabs(3, 3, (4, 4)) == []
+
+    def test_full(self):
+        slabs = range_to_slabs(0, 16, (4, 4))
+        assert len(slabs) == 1
+        assert slabs[0] == Slab((0, 0), (4, 4))
+
+    def test_within_one_row(self):
+        slabs = range_to_slabs(5, 7, (4, 4))
+        assert slabs == [Slab((1, 1), (1, 2))]
+
+    def test_head_body_tail(self):
+        slabs = range_to_slabs(2, 14, (4, 4))
+        cells = sorted(
+            coord_to_index(c, (4, 4)) for s in slabs for c in s.iter_coords()
+        )
+        assert cells == list(range(2, 14))
+        assert len(slabs) == 3
+
+    def test_out_of_bounds(self):
+        with pytest.raises(GeometryError):
+            range_to_slabs(0, 17, (4, 4))
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_property_exact_disjoint_cover(self, data):
+        space = data.draw(spaces)
+        vol = volume(space)
+        lo = data.draw(st.integers(0, vol))
+        hi = data.draw(st.integers(lo, vol))
+        slabs = range_to_slabs(lo, hi, space)
+        assert slabs_disjoint(slabs)
+        cells = sorted(
+            coord_to_index(c, space) for s in slabs for c in s.iter_coords()
+        )
+        assert cells == list(range(lo, hi))
+        # Bounded count: at most 2*rank - 1 slabs for a contiguous range.
+        if slabs:
+            assert len(slabs) <= 2 * len(space) - 1 or len(space) == 1

@@ -1,0 +1,186 @@
+"""Unit and property tests for Slab algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arrays.slab import Slab, bounding_box, slabs_cover, slabs_disjoint
+from repro.errors import GeometryError, RankMismatchError
+
+
+def slab_strategy(rank=None, max_extent=6, max_corner=6):
+    r = st.just(rank) if rank else st.integers(1, 4)
+    return r.flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, max_corner), min_size=n, max_size=n),
+            st.lists(st.integers(0, max_extent), min_size=n, max_size=n),
+        ).map(lambda cs: Slab(tuple(cs[0]), tuple(cs[1])))
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Slab((1, 2), (3, 4))
+        assert s.corner == (1, 2)
+        assert s.shape == (3, 4)
+        assert s.end == (4, 6)
+        assert s.volume == 12
+        assert s.rank == 2
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Slab((0,), (-1,))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(RankMismatchError):
+            Slab((0, 0), (1,))
+
+    def test_from_extent(self):
+        s = Slab.from_extent((1, 1), (4, 3))
+        assert s == Slab((1, 1), (3, 2))
+
+    def test_from_extent_inverted_clamps_empty(self):
+        s = Slab.from_extent((5,), (2,))
+        assert s.is_empty
+
+    def test_whole(self):
+        assert Slab.whole((3, 4)) == Slab((0, 0), (3, 4))
+
+    def test_hashable(self):
+        assert len({Slab((0,), (1,)), Slab((0,), (1,))}) == 1
+
+
+class TestContains:
+    def test_contains_coord(self):
+        s = Slab((1, 1), (2, 2))
+        assert s.contains((1, 1))
+        assert s.contains((2, 2))
+        assert not s.contains((3, 1))
+        assert not s.contains((0, 1))
+
+    def test_contains_slab(self):
+        outer = Slab((0, 0), (10, 10))
+        assert outer.contains_slab(Slab((2, 3), (4, 4)))
+        assert not outer.contains_slab(Slab((8, 8), (4, 4)))
+
+    def test_empty_contained_everywhere(self):
+        assert Slab((0,), (3,)).contains_slab(Slab((100,), (0,)))
+
+
+class TestIntersect:
+    def test_overlap(self):
+        a = Slab((0, 0), (4, 4))
+        b = Slab((2, 2), (4, 4))
+        assert a.intersect(b) == Slab((2, 2), (2, 2))
+
+    def test_disjoint(self):
+        a = Slab((0,), (2,))
+        b = Slab((5,), (2,))
+        assert a.intersect(b).is_empty
+        assert not a.overlaps(b)
+
+    def test_adjacent_not_overlapping(self):
+        a = Slab((0,), (2,))
+        b = Slab((2,), (2,))
+        assert not a.overlaps(b)
+
+    @given(slab_strategy(rank=3), slab_strategy(rank=3))
+    def test_commutative_volume(self, a, b):
+        assert a.intersect(b).volume == b.intersect(a).volume
+
+    @given(slab_strategy(rank=2), slab_strategy(rank=2))
+    def test_intersection_contained(self, a, b):
+        i = a.intersect(b)
+        if not i.is_empty:
+            assert a.contains_slab(i)
+            assert b.contains_slab(i)
+
+    @given(slab_strategy(rank=2))
+    def test_self_intersection_identity(self, a):
+        assert a.intersect(a).volume == a.volume
+
+
+class TestIteration:
+    def test_iter_coords_order(self):
+        s = Slab((1, 2), (2, 2))
+        assert list(s.iter_coords()) == [(1, 2), (1, 3), (2, 2), (2, 3)]
+
+    def test_iter_empty(self):
+        assert list(Slab((0,), (0,)).iter_coords()) == []
+
+    @given(slab_strategy(rank=3, max_extent=4))
+    def test_iter_count_matches_volume(self, s):
+        assert len(list(s.iter_coords())) == s.volume
+
+    def test_as_slices(self):
+        import numpy as np
+
+        arr = np.arange(24).reshape(4, 6)
+        s = Slab((1, 2), (2, 3))
+        assert arr[s.as_slices()].shape == (2, 3)
+        assert arr[s.as_slices()][0, 0] == arr[1, 2]
+
+    def test_as_local_slices(self):
+        import numpy as np
+
+        arr = np.arange(24).reshape(4, 6)
+        s = Slab((1, 2), (2, 3))
+        local = s.as_local_slices((1, 0))
+        assert arr[local][0, 0] == arr[0, 2]
+
+
+class TestSplitAxis:
+    def test_split_middle(self):
+        s = Slab((0, 0), (4, 3))
+        a, b = s.split_axis(0, 1)
+        assert a == Slab((0, 0), (1, 3))
+        assert b == Slab((1, 0), (3, 3))
+        assert a.volume + b.volume == s.volume
+
+    def test_split_boundary_gives_empty(self):
+        s = Slab((2,), (3,))
+        a, b = s.split_axis(0, 2)
+        assert a.is_empty and b == s
+
+    def test_split_outside_raises(self):
+        with pytest.raises(GeometryError):
+            Slab((0,), (3,)).split_axis(0, 5)
+
+    def test_bad_axis_raises(self):
+        with pytest.raises(GeometryError):
+            Slab((0,), (3,)).split_axis(1, 0)
+
+
+class TestTranslate:
+    def test_translate_roundtrip(self):
+        s = Slab((3, 4), (2, 2))
+        assert s.translate((1, -1)).relative_to((1, -1)) == s
+
+
+class TestHelpers:
+    def test_bounding_box(self):
+        bb = bounding_box([Slab((0, 0), (1, 1)), Slab((3, 4), (2, 1))])
+        assert bb == Slab((0, 0), (5, 5))
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(GeometryError):
+            bounding_box([])
+
+    def test_disjoint_true(self):
+        assert slabs_disjoint([Slab((0,), (2,)), Slab((2,), (2,))])
+
+    def test_disjoint_false(self):
+        assert not slabs_disjoint([Slab((0,), (3,)), Slab((2,), (2,))])
+
+    def test_cover_exact(self):
+        space = Slab((0, 0), (2, 4))
+        parts = [Slab((0, 0), (2, 2)), Slab((0, 2), (2, 2))]
+        assert slabs_cover(space, parts)
+
+    def test_cover_gap(self):
+        space = Slab((0,), (4,))
+        assert not slabs_cover(space, [Slab((0,), (2,))])
+
+    def test_cover_outside(self):
+        space = Slab((0,), (4,))
+        assert not slabs_cover(space, [Slab((0,), (4,)), Slab((4,), (1,))])

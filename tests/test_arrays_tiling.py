@@ -1,0 +1,109 @@
+"""Unit and property tests for unit-shape tiling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.shape import volume
+from repro.arrays.slab import Slab, slabs_cover
+from repro.arrays.tiling import (
+    grid_shape,
+    iter_tiles,
+    tile_count,
+    tile_of_coord,
+    tile_slab,
+    tiles_overlapping,
+)
+from repro.errors import GeometryError, RankMismatchError
+
+dims = st.integers(1, 8)
+
+
+class TestGrid:
+    def test_exact_division(self):
+        assert grid_shape((6, 8), (2, 4)) == (3, 2)
+
+    def test_ceil_division(self):
+        assert grid_shape((7, 9), (2, 4)) == (4, 3)
+
+    def test_count(self):
+        assert tile_count((7, 9), (2, 4)) == 12
+
+    def test_zero_tile_rejected(self):
+        with pytest.raises(GeometryError):
+            grid_shape((4,), (0,))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(RankMismatchError):
+            grid_shape((4, 4), (2,))
+
+
+class TestTileOfCoord:
+    def test_basic(self):
+        assert tile_of_coord((5, 3), (2, 4)) == (2, 0)
+
+    def test_origin(self):
+        assert tile_of_coord((0, 0), (2, 4)) == (0, 0)
+
+
+class TestTileSlab:
+    def test_interior(self):
+        assert tile_slab((1, 0), (2, 4), (7, 9)) == Slab((2, 0), (2, 4))
+
+    def test_clipped_edge(self):
+        assert tile_slab((3, 2), (2, 4), (7, 9)) == Slab((6, 8), (1, 1))
+
+    def test_out_of_grid(self):
+        with pytest.raises(GeometryError):
+            tile_slab((4, 0), (2, 4), (7, 9))
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_tiles_partition_space(self, data):
+        rank = data.draw(st.integers(1, 3))
+        space = tuple(data.draw(st.integers(1, 7)) for _ in range(rank))
+        tile = tuple(data.draw(st.integers(1, 4)) for _ in range(rank))
+        slabs = [s for _, s in iter_tiles(space, tile)]
+        assert slabs_cover(Slab.whole(space), slabs)
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_coord_in_its_tile(self, data):
+        rank = data.draw(st.integers(1, 3))
+        space = tuple(data.draw(st.integers(1, 7)) for _ in range(rank))
+        tile = tuple(data.draw(st.integers(1, 4)) for _ in range(rank))
+        coord = tuple(data.draw(st.integers(0, s - 1)) for s in space)
+        tc = tile_of_coord(coord, tile)
+        assert tile_slab(tc, tile, space).contains(coord)
+
+
+class TestTilesOverlapping:
+    def test_single_tile(self):
+        got = tiles_overlapping(Slab((0, 0), (2, 2)), (4, 4))
+        assert got == Slab((0, 0), (1, 1))
+
+    def test_straddles(self):
+        got = tiles_overlapping(Slab((3, 0), (2, 4)), (4, 4))
+        assert got == Slab((0, 0), (2, 1))
+
+    def test_empty_region(self):
+        got = tiles_overlapping(Slab((0, 0), (0, 4)), (4, 4))
+        assert got.is_empty
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_exactly_the_overlapping_tiles(self, data):
+        rank = data.draw(st.integers(1, 3))
+        space = tuple(data.draw(st.integers(2, 8)) for _ in range(rank))
+        tile = tuple(data.draw(st.integers(1, 4)) for _ in range(rank))
+        corner = tuple(data.draw(st.integers(0, s - 1)) for s in space)
+        shape = tuple(
+            data.draw(st.integers(1, s - c)) for s, c in zip(space, corner)
+        )
+        region = Slab(corner, shape)
+        got = tiles_overlapping(region, tile)
+        for tc, ts in iter_tiles(space, tile):
+            if ts.overlaps(region):
+                assert got.contains(tc), (tc, got)
+            else:
+                assert not got.contains(tc), (tc, got)

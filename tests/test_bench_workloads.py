@@ -1,0 +1,113 @@
+"""Tests for the paper workload builders (reduced scale for speed)."""
+
+import pytest
+
+from repro.bench.workloads import (
+    PAPER_NUM_SPLITS,
+    SystemVariant,
+    query1_workload,
+    query2_workload,
+    sim_spec,
+    skew_workload,
+    small_query1,
+    small_query2,
+)
+from repro.errors import QueryError
+from repro.sim.cluster import ClusterConfig
+from repro.sim.workload import (
+    DependencyDistribution,
+    ParitySkewDistribution,
+    UniformDistribution,
+)
+
+SMALL = 120  # splits, instead of the paper's 2781
+
+
+class TestQuery1:
+    def test_paper_scale_metadata(self):
+        wl = query1_workload(num_splits=SMALL)
+        assert wl.plan.intermediate_space == (3600, 10, 20, 5)
+        assert wl.num_splits == SMALL
+        assert wl.intermediate_ratio == 1.0
+
+    def test_paper_split_count_default(self):
+        wl = query1_workload()
+        assert wl.num_splits == PAPER_NUM_SPLITS
+
+    def test_total_bytes_348gb(self):
+        wl = query1_workload(num_splits=SMALL)
+        total = sum(sp.length_bytes for sp in wl.splits)
+        # 93.31e9 float32 cells ~ 347.6 GiB
+        assert 340 < total / (1 << 30) < 355
+
+
+class TestQuery2:
+    def test_keyspace(self):
+        wl = query2_workload(num_splits=SMALL)
+        assert wl.plan.intermediate_space == (3600, 9, 18, 5)
+
+    def test_tiny_output(self):
+        q1 = query1_workload(num_splits=SMALL)
+        q2 = query2_workload(num_splits=SMALL)
+        assert q2.intermediate_ratio < 0.01
+        assert q2.total_output_bytes < q1.total_output_bytes * 200
+
+
+class TestSimSpec:
+    @pytest.mark.parametrize("variant", list(SystemVariant))
+    def test_spec_builds(self, variant):
+        wl = query1_workload(num_splits=SMALL)
+        spec = sim_spec(wl, variant, 8)
+        assert spec.num_maps == SMALL
+        assert spec.num_reduces == 8
+
+    def test_hadoop_amplification(self):
+        wl = query1_workload(num_splits=SMALL)
+        h = sim_spec(wl, SystemVariant.HADOOP, 4)
+        sh = sim_spec(wl, SystemVariant.SCIHADOOP, 4)
+        assert h.splits[0].read_bytes > 2 * sh.splits[0].read_bytes
+        assert h.splits[0].local_fraction_preferred < 0.5
+        assert sh.splits[0].local_fraction_preferred == 1.0
+
+    def test_sidr_distribution_structured(self):
+        wl = query1_workload(num_splits=SMALL)
+        spec = sim_spec(wl, SystemVariant.SIDR, 8)
+        assert isinstance(spec.distribution, DependencyDistribution)
+        assert spec.dense_output
+        # Dense per-reduce output ~ total/r vs sentinel total each.
+        stock = sim_spec(wl, SystemVariant.SCIHADOOP, 8)
+        assert spec.reduce_output_bytes[0] < stock.reduce_output_bytes[0]
+
+    def test_stock_distribution_uniform(self):
+        wl = query1_workload(num_splits=SMALL)
+        spec = sim_spec(wl, SystemVariant.SCIHADOOP, 8)
+        assert isinstance(spec.distribution, UniformDistribution)
+        assert not spec.dense_output
+
+    def test_skewed_stock(self):
+        wl = skew_workload(num_splits=SMALL)
+        spec = sim_spec(wl, SystemVariant.SCIHADOOP, 8, skewed=True)
+        assert isinstance(spec.distribution, ParitySkewDistribution)
+
+    def test_skewed_sidr_rejected(self):
+        wl = skew_workload(num_splits=SMALL)
+        with pytest.raises(QueryError):
+            sim_spec(wl, SystemVariant.SIDR, 8, skewed=True)
+
+    def test_weights_proportional_to_keys(self):
+        wl = query1_workload(num_splits=SMALL)
+        spec = sim_spec(wl, SystemVariant.SIDR, 7)
+        assert sum(spec.reduce_weights) == pytest.approx(1.0)
+
+
+class TestSmallWorkloads:
+    def test_small_query1_runs(self):
+        field, plan = small_query1()
+        assert plan.operator.name == "median"
+        assert field.arrays["windspeed"].shape == (24, 12, 12, 10)
+
+    def test_small_query2_selectivity(self):
+        field, plan = small_query2(shape=(40, 20, 20))
+        assert plan.operator.name == "filter_gt"
+        data = field.arrays["reading"]
+        assert (data > 3.0).mean() < 0.01

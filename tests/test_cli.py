@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, _parse_shape
+from repro.scidata.generators import temperature_dataset
+
+
+@pytest.fixture(scope="module")
+def ncfile(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "t.nc"
+    temperature_dataset(days=29, lat=10, lon=8).write(path).close()
+    return str(path)
+
+
+class TestParseShape:
+    def test_ok(self):
+        assert _parse_shape("7,5,1") == (7, 5, 1)
+
+    def test_bad(self):
+        with pytest.raises(SystemExit):
+            _parse_shape("7,x")
+
+
+class TestInfo:
+    def test_prints_cdl(self, ncfile, capsys):
+        assert main(["info", ncfile]) == 0
+        out = capsys.readouterr().out
+        assert "time = 29;" in out
+        assert "float temperature(time, lat, lon);" in out
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        rc = main(["info", str(tmp_path / "nope.nc")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_weekly_mean(self, ncfile, capsys):
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--operator", "mean",
+                "--reduces", "3",
+                "--splits", "6",
+                "--limit", "3",
+            ]
+        )
+        assert rc == 0
+        cap = capsys.readouterr()
+        lines = [l for l in cap.out.splitlines() if "\t" in l]
+        assert len(lines) == 3
+        key, value = lines[0].split("\t")
+        assert key == "0,0,0"
+        float(value)
+        assert "early starts" in cap.err
+
+    def test_filter_requires_threshold(self, ncfile, capsys):
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--operator", "filter_gt",
+                "--reduces", "2",
+            ]
+        )
+        assert rc == 1
+        assert "threshold" in capsys.readouterr().err
+
+    def test_strided_query(self, ncfile, capsys):
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "2,5,1",
+                "--stride", "7,5,1",
+                "--operator", "max",
+                "--reduces", "2",
+                "--splits", "4",
+                "--limit", "0",
+            ]
+        )
+        assert rc == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if "\t" in l]
+        assert len(lines) == 4 * 2 * 8  # strided K'_T
+
+    def test_unknown_variable(self, ncfile, capsys):
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "nope",
+                "--extract", "1,1,1",
+            ]
+        )
+        assert rc == 1
+
+
+class TestSimulate:
+    def test_fig13_fast(self, capsys):
+        rc = main(["simulate", "--figure", "13", "--scale", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+        assert "speedup" in out
+
+    def test_fig12_fast(self, capsys):
+        rc = main(["simulate", "--figure", "12", "--scale", "20", "--runs", "2"])
+        assert rc == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_partition_table(self, capsys):
+        # Uses a smaller run through the real producer (full 6.48M keys
+        # is the bench's job; here we only check the CLI wiring).
+        rc = main(["tables", "--table", "partition"])
+        assert rc == 0
+        assert "partition+" in capsys.readouterr().out
+
+    def test_unknown_table(self):
+        with pytest.raises(SystemExit):
+            main(["tables", "--table", "99"])

@@ -1,0 +1,195 @@
+"""Coverage for engine extras: lifecycle hooks, callbacks, edge cases."""
+
+import threading
+
+import pytest
+
+from repro.mapreduce.engine import (
+    DependencyBarrier,
+    GlobalBarrier,
+    LocalEngine,
+)
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.mapper import Mapper
+from repro.mapreduce.partitioner import HashPartitioner, RangePartitioner
+from repro.mapreduce.reducer import FunctionReducer, Reducer
+from repro.mapreduce.splits import ByteRangeSplit
+
+
+def make_splits(n):
+    return [
+        ByteRangeSplit(index=i, path="/f", start=i * 10, length=10)
+        for i in range(n)
+    ]
+
+
+class SetupCleanupMapper(Mapper):
+    """Mapper exercising setup() and a cleanup() that emits records."""
+
+    def __init__(self, log):
+        self._log = log
+        self._seen = 0
+
+    def setup(self):
+        self._log.append("setup")
+
+    def map(self, key, value):
+        self._seen += 1
+        yield (key, value)
+
+    def cleanup(self):
+        self._log.append("cleanup")
+        yield ((999,), self._seen)  # trailing summary record
+
+
+class SetupCleanupReducer(Reducer):
+    def __init__(self, log):
+        self._log = log
+
+    def setup(self):
+        self._log.append("r-setup")
+
+    def reduce(self, key, values):
+        yield (key, sum(values))
+
+    def cleanup(self):
+        self._log.append("r-cleanup")
+        return iter(())
+
+
+class TestLifecycle:
+    def test_setup_cleanup_called_per_task(self):
+        log = []
+
+        def reader(split):
+            yield ((split.index,), 1)
+
+        job = JobConf(
+            name="lc",
+            splits=make_splits(3),
+            reader_factory=reader,
+            mapper_factory=lambda: SetupCleanupMapper(log),
+            reducer_factory=lambda: SetupCleanupReducer(log),
+            partitioner=HashPartitioner(),
+            num_reduce_tasks=2,
+        )
+        res = LocalEngine().run_serial(job, GlobalBarrier())
+        assert log.count("setup") == 3
+        assert log.count("cleanup") == 3
+        assert log.count("r-setup") == 2
+        got = dict(res.all_records())
+        # Three cleanup records with key (999,) summed together.
+        assert got[(999,)] == 3
+
+
+class TestReduceCompleteCallback:
+    def _job(self, n_splits=8, n_reduces=4):
+        def reader(split):
+            yield ((split.index,), split.index)
+
+        boundaries = [
+            (n_splits * (i + 1)) // n_reduces for i in range(n_reduces)
+        ]
+        deps = {
+            i: frozenset(
+                range(0 if i == 0 else boundaries[i - 1], boundaries[i])
+            )
+            for i in range(n_reduces)
+        }
+        job = JobConf(
+            name="cb",
+            splits=make_splits(n_splits),
+            reader_factory=reader,
+            mapper_factory=__import__(
+                "repro.mapreduce.mapper", fromlist=["IdentityMapper"]
+            ).IdentityMapper,
+            reducer_factory=lambda: FunctionReducer(
+                lambda k, vals: [(k, sum(vals))]
+            ),
+            partitioner=RangePartitioner((n_splits,), boundaries),
+            num_reduce_tasks=n_reduces,
+            contact_all_maps=False,
+        )
+        return job, DependencyBarrier(deps)
+
+    def test_serial_callback_fires_in_completion_order(self):
+        job, barrier = self._job()
+        seen = []
+        LocalEngine().run_serial(
+            job, barrier,
+            on_reduce_complete=lambda p, recs: seen.append((p, len(recs))),
+        )
+        assert [p for p, _ in seen] == [0, 1, 2, 3]
+        assert all(n == 2 for _, n in seen)
+
+    def test_serial_callback_before_later_maps(self):
+        """The callback delivers early results: partition 0's callback
+        fires before split 7's map has run."""
+        job, barrier = self._job()
+        order = []
+        original_reader = job.reader_factory
+
+        def tracking_reader(split):
+            order.append(("map", split.index))
+            return original_reader(split)
+
+        job.reader_factory = tracking_reader
+        LocalEngine().run_serial(
+            job, barrier,
+            on_reduce_complete=lambda p, recs: order.append(("reduce", p)),
+        )
+        assert order.index(("reduce", 0)) < order.index(("map", 7))
+
+    def test_threaded_callback_thread_safe(self):
+        job, barrier = self._job(n_splits=16, n_reduces=8)
+        lock = threading.Lock()
+        seen = []
+
+        def cb(p, recs):
+            with lock:
+                seen.append(p)
+
+        LocalEngine(map_workers=4, reduce_workers=3).run_threaded(
+            job, barrier, on_reduce_complete=cb
+        )
+        assert sorted(seen) == list(range(8))
+
+
+class TestEngineValidation:
+    def test_bad_worker_counts(self):
+        from repro.errors import JobConfigError
+
+        with pytest.raises(JobConfigError):
+            LocalEngine(map_workers=0)
+        with pytest.raises(JobConfigError):
+            LocalEngine(reduce_workers=0)
+
+    def test_partitioner_out_of_range_detected(self):
+        from repro.errors import ShuffleError
+        from repro.mapreduce.mapper import IdentityMapper
+        from repro.mapreduce.partitioner import Partitioner
+
+        class Broken(Partitioner):
+            def partition(self, key, n):
+                return n + 5
+
+        def reader(split):
+            yield ((0,), 1)
+
+        job = JobConf(
+            name="bad",
+            splits=make_splits(1),
+            reader_factory=reader,
+            mapper_factory=IdentityMapper,
+            reducer_factory=lambda: FunctionReducer(lambda k, v: []),
+            partitioner=Broken(),
+            num_reduce_tasks=2,
+        )
+        with pytest.raises(ShuffleError):
+            LocalEngine().run_serial(job, GlobalBarrier())
+
+    def test_empty_dependency_map_rejected(self):
+        from repro.errors import JobConfigError
+
+        with pytest.raises(JobConfigError):
+            DependencyBarrier({})

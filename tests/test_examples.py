@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example carries its own internal assertions (oracle comparisons),
+so a clean exit is a meaningful check, not just an import test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_ARGS = {
+    "windspeed_median_sim.py": ["--fast"],
+}
+
+
+def run_example(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)] + FAST_ARGS.get(name, []),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    sorted(p.name for p in EXAMPLES.glob("*.py")),
+)
+def test_example_runs(name):
+    res = run_example(name)
+    assert res.returncode == 0, res.stderr[-2000:]
+    assert res.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_the_headline_numbers():
+    res = run_example("quickstart.py")
+    assert "match the serial oracle" in res.stdout
+    assert "shuffle connections" in res.stdout
+    assert "Contiguous output regions" in res.stdout
+
+
+def test_skew_example_reproduces_pathology():
+    res = run_example("skew_pathology.py")
+    assert "receiving NOTHING" in res.stdout
+    # Half the reduce tasks starve (11 of 22).
+    assert "[0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20]" in res.stdout
+
+
+def test_pipeline_example_shows_interleaving():
+    res = run_example("pipelined_stages.py")
+    assert "BEFORE" in res.stdout
+    assert "STAGE2 map" in res.stdout

@@ -1,0 +1,102 @@
+"""Unit tests for the shuffle store and count annotations."""
+
+import pytest
+
+from repro.errors import ShuffleError
+from repro.mapreduce.shuffle import MapOutputFile, ShuffleStore
+from repro.mapreduce.types import MapTaskId
+
+
+def mk_file(map_idx, part, records, source=None):
+    return MapOutputFile(
+        map_id=MapTaskId(map_idx),
+        partition=part,
+        records=tuple(records),
+        source_records=len(records) if source is None else source,
+    )
+
+
+class TestMapOutputFile:
+    def test_sorted_required(self):
+        with pytest.raises(ShuffleError):
+            mk_file(0, 0, [((2,), 1), ((1,), 1)])
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(ShuffleError):
+            mk_file(0, 0, [((1,), 1)], source=-1)
+
+    def test_negative_partition_rejected(self):
+        with pytest.raises(ShuffleError):
+            mk_file(0, -1, [])
+
+    def test_annotation_survives_combining(self):
+        """A combined file has fewer records than source records — the
+        §3.2.1 ambiguity the annotation resolves."""
+        f = mk_file(0, 0, [((1,), [10, 20])], source=2)
+        assert f.num_records == 1
+        assert f.source_records == 2
+
+
+class TestShuffleStore:
+    def test_spill_and_fetch(self):
+        store = ShuffleStore()
+        store.spill([mk_file(0, 1, [((1,), "a")])])
+        got = store.fetch(0, 1)
+        assert got.records == (((1,), "a"),)
+
+    def test_double_spill_rejected(self):
+        store = ShuffleStore()
+        store.spill([mk_file(0, 0, [])])
+        with pytest.raises(ShuffleError):
+            store.spill([mk_file(0, 1, [])])
+
+    def test_mixed_map_spill_rejected(self):
+        store = ShuffleStore()
+        with pytest.raises(ShuffleError):
+            store.spill([mk_file(0, 0, []), mk_file(1, 0, [])])
+
+    def test_fetch_before_completion_rejected(self):
+        store = ShuffleStore()
+        with pytest.raises(ShuffleError):
+            store.fetch(0, 0)
+
+    def test_connection_counting_includes_empty(self):
+        """Fetching from a map with no data for you still costs a
+        connection — the waste §4.6 quantifies."""
+        store = ShuffleStore()
+        store.spill([mk_file(0, 0, [((1,), 1)])])
+        store.spill_empty(MapTaskId(1))
+        store.fetch(0, 0)
+        store.fetch(0, 5)   # wrong partition: empty fetch
+        store.fetch(1, 0)   # empty map: empty fetch
+        assert store.connections == 3
+        assert store.empty_fetches == 2
+
+    def test_index_tracks_nonempty_partitions(self):
+        store = ShuffleStore()
+        store.spill(
+            [mk_file(2, 0, [((1,), 1)]), mk_file(2, 3, [])]
+        )
+        idx = store.index_of(2)
+        assert idx.partitions == frozenset({0})
+        assert idx.records_per_partition == {0: 1, 3: 0}
+
+    def test_completed_maps(self):
+        store = ShuffleStore()
+        store.spill_empty(MapTaskId(4))
+        assert store.completed_maps() == frozenset({4})
+
+    def test_source_record_tally(self):
+        """The reduce-side running tally of §3.2.1 approach 2."""
+        store = ShuffleStore()
+        store.spill([mk_file(0, 0, [((1,), "x")], source=4)])
+        store.spill([mk_file(1, 0, [((1,), "y")], source=3)])
+        store.spill([mk_file(2, 1, [((2,), "z")], source=9)])
+        assert store.total_source_records(frozenset({0, 1}), 0) == 7
+        assert store.total_source_records(None, 0) == 7
+        assert store.total_source_records(None, 1) == 9
+
+    def test_tally_requires_completed_maps(self):
+        store = ShuffleStore()
+        with pytest.raises(ShuffleError):
+            store.total_source_records(frozenset({0}), 0)

@@ -1,0 +1,80 @@
+"""Unit and property tests for sort-merge grouping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShuffleError
+from repro.mapreduce.sortmerge import group_sorted, merge_segments, sort_records
+
+
+class TestMerge:
+    def test_two_segments(self):
+        a = [((1,), "a"), ((3,), "c")]
+        b = [((2,), "b")]
+        assert list(merge_segments([a, b])) == [
+            ((1,), "a"),
+            ((2,), "b"),
+            ((3,), "c"),
+        ]
+
+    def test_stability_preserves_segment_order(self):
+        a = [((1,), "first")]
+        b = [((1,), "second")]
+        merged = list(merge_segments([a, b]))
+        assert [v for _, v in merged] == ["first", "second"]
+
+    def test_empty_segments(self):
+        assert list(merge_segments([[], []])) == []
+
+    @given(
+        st.lists(
+            st.lists(st.tuples(st.integers(0, 10), st.integers()), max_size=8),
+            max_size=4,
+        )
+    )
+    def test_merge_equals_global_sort(self, segments):
+        segments = [sorted(s, key=lambda kv: kv[0]) for s in segments]
+        got = [k for k, _ in merge_segments(segments)]
+        want = sorted(k for s in segments for k, _ in s)
+        assert got == want
+
+
+class TestGroup:
+    def test_groups_adjacent_keys(self):
+        records = [((1,), "a"), ((1,), "b"), ((2,), "c")]
+        got = list(group_sorted(records))
+        assert got == [((1,), ["a", "b"]), ((2,), ["c"])]
+
+    def test_single_pass_guarantee_two(self):
+        """MapReduce guarantee 2 (§2.3): all values of one key in one call."""
+        records = [((k,), i) for k in range(5) for i in range(3)]
+        for key, values in group_sorted(records):
+            assert len(values) == 3
+
+    def test_unsorted_stream_detected(self):
+        with pytest.raises(ShuffleError):
+            list(group_sorted([((2,), "a"), ((1,), "b")]))
+
+    def test_empty(self):
+        assert list(group_sorted([])) == []
+
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers()), max_size=30))
+    def test_grouping_partitions_records(self, records):
+        records = sort_records(records)
+        groups = list(group_sorted(records))
+        # Keys strictly increasing, value multiset preserved.
+        keys = [k for k, _ in groups]
+        assert keys == sorted(set(keys))
+        flat = [(k, v) for k, vals in groups for v in vals]
+        assert sorted(flat) == sorted(records)
+
+
+class TestSortRecords:
+    def test_sorts_by_key(self):
+        recs = [((3,), "c"), ((1,), "a")]
+        assert sort_records(recs)[0][0] == (1,)
+
+    def test_stable_for_equal_keys(self):
+        recs = [((1,), "x"), ((1,), "y")]
+        assert [v for _, v in sort_records(recs)] == ["x", "y"]

@@ -1,0 +1,138 @@
+"""Hypothesis-driven invariants over randomized simulator runs.
+
+For random cluster shapes, split counts, reducer counts, volumes and
+execution modes, every run must satisfy the structural invariants the
+figures depend on: completeness, phase ordering, barrier correctness and
+connection accounting.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cluster import ClusterConfig
+from repro.sim.costmodel import MB, CostModel
+from repro.sim.jobsim import ExecutionMode, simulate_job
+from repro.sim.workload import (
+    DependencyDistribution,
+    SimJobSpec,
+    SimSplit,
+    UniformDistribution,
+)
+
+
+@st.composite
+def random_sim_case(draw):
+    nodes = draw(st.integers(1, 6))
+    cluster = ClusterConfig(
+        num_nodes=nodes,
+        hosts_per_rack=draw(st.integers(1, max(1, nodes))),
+        map_slots_per_node=draw(st.integers(1, 4)),
+        reduce_slots_per_node=draw(st.integers(1, 3)),
+    )
+    nmaps = draw(st.integers(1, 40))
+    r = draw(st.integers(1, 12))
+    mb = draw(st.integers(1, 32))
+    out_frac = draw(st.floats(0.0, 1.0))
+    mode = draw(st.sampled_from(list(ExecutionMode)))
+    jitter = draw(st.sampled_from([0.0, 0.1]))
+    seed = draw(st.integers(0, 1000))
+    splits = tuple(
+        SimSplit(
+            index=i,
+            read_bytes=mb * MB,
+            cells=(mb * MB) // 4,
+            output_bytes=int(mb * MB * out_frac),
+        )
+        for i in range(nmaps)
+    )
+    if mode is ExecutionMode.SIDR:
+        shares = []
+        for i in range(nmaps):
+            lo, hi = i / nmaps * r, (i + 1) / nmaps * r
+            d = {}
+            l = int(lo)
+            while l < hi and l < r:
+                d[l] = (min(hi, l + 1) - max(lo, l)) / (hi - lo)
+                l += 1
+            shares.append(d)
+        dist = DependencyDistribution(shares, r)
+    else:
+        dist = UniformDistribution(r)
+    spec = SimJobSpec(
+        name="prop",
+        splits=splits,
+        distribution=dist,
+        reduce_output_bytes=tuple([1 * MB] * r),
+        dense_output=mode is ExecutionMode.SIDR,
+    )
+    return spec, cluster, mode, jitter, seed
+
+
+@given(case=random_sim_case())
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_simulation_invariants(case):
+    spec, cluster, mode, jitter, seed = case
+    cost = CostModel(jitter_sigma=jitter)
+    tl = simulate_job(spec, cluster, cost, mode=mode, seed=seed)
+    tl.validate()
+
+    # Completeness: every task ran, times strictly positive.
+    assert len(tl.map_finish) == spec.num_maps
+    assert len(tl.reduce_finish) == spec.num_reduces
+    assert all(f > s for s, f in zip(tl.map_start, tl.map_finish))
+
+    # Barrier correctness.
+    if mode is ExecutionMode.STOCK:
+        for p in tl.reduce_processing_start:
+            assert p >= tl.last_map_finish - 1e-9
+    else:
+        for l in range(spec.num_reduces):
+            deps = spec.distribution.producers_of(l, spec.num_maps)
+            if deps:
+                dep_done = max(tl.map_finish[m] for m in deps)
+                assert tl.reduce_processing_start[l] >= dep_done - 1e-9
+
+    # Connection accounting.
+    if mode is ExecutionMode.STOCK:
+        assert tl.shuffle_connections == spec.num_maps * spec.num_reduces
+    else:
+        want = sum(
+            len(spec.distribution.producers_of(l, spec.num_maps))
+            for l in range(spec.num_reduces)
+        )
+        assert tl.shuffle_connections == want
+
+    # Slot capacity respected: at no completion instant do more maps
+    # overlap than the cluster's total map slots.  (Check pairwise
+    # overlap count at each map start.)
+    cap = cluster.total_map_slots
+    starts = sorted(zip(tl.map_start, tl.map_finish))
+    for s, _f in starts:
+        running = sum(1 for s2, f2 in starts if s2 <= s < f2)
+        assert running <= cap
+
+    # Curves: monotone, ending at 1.
+    rc = tl.reduce_completion_curve()
+    assert list(rc.fractions) == sorted(rc.fractions)
+    assert rc.fractions[-1] == pytest.approx(1.0)
+
+
+@given(case=random_sim_case())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_simulation_deterministic(case):
+    spec, cluster, mode, jitter, seed = case
+    cost = CostModel(jitter_sigma=jitter)
+    a = simulate_job(spec, cluster, cost, mode=mode, seed=seed)
+    b = simulate_job(spec, cluster, cost, mode=mode, seed=seed)
+    assert a.map_finish == b.map_finish
+    assert a.reduce_finish == b.reduce_finish
+    assert a.shuffle_connections == b.shuffle_connections

@@ -1,0 +1,162 @@
+"""Unit and property tests for structural operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.operators import (
+    Chunk,
+    CountOp,
+    MaxOp,
+    MeanOp,
+    MedianOp,
+    MinOp,
+    Partial,
+    StdDevOp,
+    SumOp,
+    ThresholdFilterOp,
+    get_operator,
+)
+
+ALL_OPS = [SumOp(), CountOp(), MeanOp(), MinOp(), MaxOp(), StdDevOp(), MedianOp()]
+
+values_arrays = st.lists(
+    st.floats(-100, 100, allow_nan=False), min_size=1, max_size=30
+).map(lambda xs: np.asarray(xs))
+
+
+def chunk_of(arr):
+    arr = np.asarray(arr, dtype=np.float64).reshape(-1)
+    return Chunk(arr, arr.size)
+
+
+class TestChunk:
+    def test_count_must_match(self):
+        with pytest.raises(QueryError):
+            Chunk(np.zeros(3), 2)
+
+
+class TestReferenceSemantics:
+    @pytest.mark.parametrize(
+        "op,fn",
+        [
+            (SumOp(), np.sum),
+            (MeanOp(), np.mean),
+            (MinOp(), np.min),
+            (MaxOp(), np.max),
+            (MedianOp(), np.median),
+        ],
+    )
+    def test_matches_numpy(self, op, fn):
+        arr = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0])
+        assert op.reference(arr) == pytest.approx(float(fn(arr)))
+
+    def test_count(self):
+        assert CountOp().reference(np.zeros((2, 3))) == 6
+
+    def test_stddev_population(self):
+        arr = np.array([1.0, 2.0, 3.0, 4.0])
+        assert StdDevOp().reference(arr) == pytest.approx(float(np.std(arr)))
+
+    def test_filter(self):
+        op = ThresholdFilterOp(2.5)
+        assert op.reference(np.array([1.0, 3.0, 2.0, 4.0])) == [3.0, 4.0]
+
+    def test_filter_empty_result(self):
+        assert ThresholdFilterOp(100.0).reference(np.array([1.0])) == []
+
+
+class TestSplitInvariance:
+    """The core correctness property: evaluating an instance from split
+    chunks must equal evaluating it whole, regardless of how the cells
+    are divided among chunks — this is what makes early reduce starts
+    safe once all chunks have arrived."""
+
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.name)
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_partition_of_cells(self, op, data):
+        arr = data.draw(values_arrays)
+        n = len(arr)
+        n_cuts = data.draw(st.integers(0, min(4, n - 1)))
+        cuts = (
+            sorted(
+                data.draw(
+                    st.lists(
+                        st.integers(1, n - 1),
+                        min_size=n_cuts,
+                        max_size=n_cuts,
+                        unique=True,
+                    )
+                )
+            )
+            if n > 1
+            else []
+        )
+        pieces = np.split(arr, cuts)
+        partials = [op.map_partial(chunk_of(p)) for p in pieces if p.size]
+        combined = op.combine(partials)
+        assert combined.source_count == n
+        got = op.finalize(combined)
+        want = op.reference(arr)
+        assert got == pytest.approx(want)
+
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.name)
+    def test_combine_associative_two_ways(self, op):
+        a, b, c = (chunk_of([1.0, 2.0]), chunk_of([3.0]), chunk_of([4.0, 5.0]))
+        pa, pb, pc = (op.map_partial(x) for x in (a, b, c))
+        left = op.combine([op.combine([pa, pb]), pc])
+        right = op.combine([pa, op.combine([pb, pc])])
+        assert op.finalize(left) == pytest.approx(op.finalize(right))
+        assert left.source_count == right.source_count == 5
+
+
+class TestSourceCounts:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.name)
+    def test_counts_add_up(self, op):
+        p1 = op.map_partial(chunk_of([1.0, 2.0, 3.0]))
+        p2 = op.map_partial(chunk_of([4.0]))
+        assert op.combine([p1, p2]).source_count == 4
+
+    def test_filter_preserves_source_count(self):
+        """Filtered-out cells still count as sources — essential for the
+        §3.2.1 annotation (an empty result is not missing data)."""
+        op = ThresholdFilterOp(1e9)
+        p = op.map_partial(chunk_of([1.0, 2.0]))
+        assert p.source_count == 2
+        assert op.finalize(p) == []
+
+
+class TestErrors:
+    def test_combine_empty_raises(self):
+        with pytest.raises(QueryError):
+            MeanOp().combine([])
+
+    def test_median_of_nothing(self):
+        with pytest.raises(QueryError):
+            MedianOp().finalize(Partial(np.array([]), 0))
+
+
+class TestRegistry:
+    def test_lookup_all(self):
+        for name in ["sum", "count", "mean", "min", "max", "stddev", "median"]:
+            assert get_operator(name).name == name
+
+    def test_filter_requires_threshold(self):
+        with pytest.raises(QueryError):
+            get_operator("filter_gt")
+        assert get_operator("filter_gt", threshold=2.0).threshold == 2.0
+
+    def test_unknown(self):
+        with pytest.raises(QueryError):
+            get_operator("mode")
+
+    def test_unexpected_params(self):
+        with pytest.raises(QueryError):
+            get_operator("mean", threshold=1.0)
+
+    def test_distributive_flags(self):
+        assert MeanOp.distributive
+        assert not MedianOp.distributive

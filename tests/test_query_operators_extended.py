@@ -1,0 +1,149 @@
+"""Tests for the §2.2 example-query operators (range, range_exceeds, sort)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.operators import (
+    Chunk,
+    RangeExceedsOp,
+    RangeOp,
+    SortOp,
+    get_operator,
+)
+
+values_arrays = st.lists(
+    st.floats(-100, 100, allow_nan=False), min_size=1, max_size=25
+).map(np.asarray)
+
+
+def chunk_of(arr):
+    arr = np.asarray(arr, dtype=np.float64).reshape(-1)
+    return Chunk(arr, arr.size)
+
+
+class TestRangeOp:
+    def test_reference(self):
+        assert RangeOp().reference(np.array([2.0, 9.0, 4.0])) == 7.0
+
+    def test_single_value_zero_range(self):
+        assert RangeOp().reference(np.array([5.0])) == 0.0
+
+    @given(values_arrays, st.data())
+    @settings(max_examples=60)
+    def test_split_invariance(self, arr, data):
+        op = RangeOp()
+        n = len(arr)
+        cut = data.draw(st.integers(0, n))
+        pieces = [arr[:cut], arr[cut:]]
+        partials = [op.map_partial(chunk_of(p)) for p in pieces if p.size]
+        got = op.finalize(op.combine(partials))
+        assert got == pytest.approx(float(arr.max() - arr.min()))
+
+
+class TestRangeExceedsOp:
+    def test_paper_query2_semantics(self):
+        """§2.2: 'find all locations where the 24-hour temperature
+        variations exceed X'."""
+        op = RangeExceedsOp(threshold=10.0)
+        hot_day = np.array([50.0, 65.0])  # variation 15 > 10
+        calm_day = np.array([50.0, 55.0])  # variation 5
+        assert op.reference(hot_day) == {"exceeds": True, "variation": 15.0}
+        assert op.reference(calm_day) == {"exceeds": False, "variation": 5.0}
+
+    def test_combine_across_splits(self):
+        op = RangeExceedsOp(threshold=3.0)
+        p1 = op.map_partial(chunk_of([1.0, 2.0]))
+        p2 = op.map_partial(chunk_of([5.5]))
+        out = op.finalize(op.combine([p1, p2]))
+        assert out["exceeds"] and out["variation"] == pytest.approx(4.5)
+
+    def test_registry(self):
+        assert get_operator("range_exceeds", threshold=2.0).threshold == 2.0
+        with pytest.raises(QueryError):
+            get_operator("range_exceeds")
+
+
+class TestSortOp:
+    def test_reference(self):
+        assert SortOp().reference(np.array([3.0, 1.0, 2.0])) == [1.0, 2.0, 3.0]
+
+    def test_holistic_flag(self):
+        assert not SortOp.distributive
+
+    @given(values_arrays, st.data())
+    @settings(max_examples=60)
+    def test_split_invariance(self, arr, data):
+        op = SortOp()
+        n = len(arr)
+        cut = data.draw(st.integers(0, n))
+        pieces = [arr[:cut], arr[cut:]]
+        partials = [op.map_partial(chunk_of(p)) for p in pieces if p.size]
+        got = op.finalize(op.combine(partials))
+        assert got == pytest.approx(sorted(float(x) for x in arr))
+
+    def test_source_counts_preserved(self):
+        op = SortOp()
+        p = op.combine(
+            [op.map_partial(chunk_of([1.0])), op.map_partial(chunk_of([2.0, 3.0]))]
+        )
+        assert p.source_count == 3
+
+
+class TestEndToEndSection22:
+    """The three §2.2 example queries through the full SIDR pipeline."""
+
+    def test_daily_variation_exceeds(self, temp_field, temp_data):
+        from repro.mapreduce.engine import LocalEngine
+        from repro.query.language import StructuralQuery
+        from repro.query.splits import slice_splits
+        from repro.sidr.planner import build_sidr_job
+
+        q = StructuralQuery(
+            variable="temperature",
+            extraction_shape=(1, 1, 1),  # per-cell daily variation window
+            operator=get_operator("range_exceeds", threshold=0.5),
+        )
+        # Per-location daily range needs a window over time; use 2-day
+        # windows over each location instead (24h variation analogue).
+        q = StructuralQuery(
+            variable="temperature",
+            extraction_shape=(2, 1, 1),
+            operator=get_operator("range_exceeds", threshold=2.0),
+        )
+        plan = q.compile(temp_field.metadata)
+        splits = slice_splits(plan, num_splits=5)
+        job, barrier, _ = build_sidr_job(plan, splits, 3, temp_data)
+        res = LocalEngine().run_serial(job, barrier)
+        got = dict(res.all_records())
+        oracle = plan.reference_output(temp_data)
+        assert got.keys() == oracle.keys()
+        for k in oracle:
+            assert got[k]["exceeds"] == oracle[k]["exceeds"]
+            assert got[k]["variation"] == pytest.approx(oracle[k]["variation"])
+        assert any(v["exceeds"] for v in got.values())
+
+    def test_sort_per_day(self, temp_field, temp_data):
+        from repro.mapreduce.engine import LocalEngine
+        from repro.query.language import StructuralQuery
+        from repro.query.splits import slice_splits
+        from repro.sidr.planner import build_sidr_job
+
+        # "Sort the data points for each day by temperature": one
+        # instance per day covering the whole grid.
+        q = StructuralQuery(
+            variable="temperature",
+            extraction_shape=(1, 10, 6),
+            operator=get_operator("sort"),
+        )
+        plan = q.compile(temp_field.metadata)
+        splits = slice_splits(plan, num_splits=6)
+        job, barrier, _ = build_sidr_job(plan, splits, 3, temp_data)
+        res = LocalEngine().run_serial(job, barrier)
+        got = dict(res.all_records())
+        for k, v in got.items():
+            day = k[0]
+            want = sorted(float(x) for x in temp_data[day].reshape(-1))
+            assert v == pytest.approx(want)

@@ -1,0 +1,130 @@
+"""Unit tests for coordinate split generation."""
+
+import pytest
+
+from repro.arrays.slab import Slab, slabs_cover
+from repro.dfs.filesystem import SimulatedDFS
+from repro.errors import QueryError
+from repro.query.splits import (
+    aligned_slice_splits,
+    attach_locality,
+    slice_splits,
+)
+
+
+class TestSliceSplits:
+    def test_splits_cover_covered_region(self, weekly_mean_plan):
+        splits = slice_splits(weekly_mean_plan, num_splits=5)
+        slabs = [s for sp in splits for s in sp.slabs]
+        assert slabs_cover(weekly_mean_plan.covered, slabs)
+
+    def test_balanced_row_counts(self, weekly_mean_plan):
+        splits = slice_splits(weekly_mean_plan, num_splits=5)
+        rows = [sp.slabs[0].shape[0] for sp in splits]
+        assert max(rows) - min(rows) <= 1
+        assert sum(rows) == 28
+
+    def test_split_bytes_derives_count(self, weekly_mean_plan):
+        item = weekly_mean_plan.item_bytes
+        row_bytes = 10 * 6 * item
+        splits = slice_splits(weekly_mean_plan, split_bytes=row_bytes * 7)
+        assert len(splits) == 4
+
+    def test_more_splits_than_rows_capped(self, weekly_mean_plan):
+        splits = slice_splits(weekly_mean_plan, num_splits=100)
+        assert len(splits) == 28  # one per dim-0 row at most
+
+    def test_exactly_one_arg_required(self, weekly_mean_plan):
+        with pytest.raises(QueryError):
+            slice_splits(weekly_mean_plan)
+        with pytest.raises(QueryError):
+            slice_splits(weekly_mean_plan, num_splits=2, split_bytes=100)
+
+    def test_indexes_sequential(self, weekly_mean_plan):
+        splits = slice_splits(weekly_mean_plan, num_splits=5)
+        assert [s.index for s in splits] == list(range(5))
+
+    def test_length_bytes(self, weekly_mean_plan):
+        splits = slice_splits(weekly_mean_plan, num_splits=4)
+        assert splits[0].length_bytes == 7 * 10 * 6 * weekly_mean_plan.item_bytes
+
+
+class TestAlignedSplits:
+    def test_boundaries_on_extraction_multiples(self, weekly_mean_plan):
+        splits = aligned_slice_splits(weekly_mean_plan, num_splits=3)
+        for sp in splits[:-1]:
+            rel = sp.slabs[0].corner[0] - weekly_mean_plan.covered.corner[0]
+            assert rel % 7 == 0
+            assert sp.slabs[0].shape[0] % 7 == 0
+
+    def test_no_instance_spans_splits(self, weekly_mean_plan):
+        """Aligned splits mean every split maps to a disjoint K' range."""
+        splits = aligned_slice_splits(weekly_mean_plan, num_splits=4)
+        images = [
+            weekly_mean_plan.image_of(sp.slabs[0]) for sp in splits
+        ]
+        for a in range(len(images)):
+            for b in range(a + 1, len(images)):
+                assert not images[a].overlaps(images[b])
+
+    def test_unaligned_splits_do_overlap(self, weekly_mean_plan):
+        """Contrast: block-sized splits share instances at boundaries —
+        the situation that makes count annotations necessary (§3.2.1)."""
+        splits = slice_splits(weekly_mean_plan, num_splits=5)
+        images = [weekly_mean_plan.image_of(sp.slabs[0]) for sp in splits]
+        overlapping = sum(
+            1
+            for a in range(len(images))
+            for b in range(a + 1, len(images))
+            if images[a].overlaps(images[b])
+        )
+        assert overlapping > 0
+
+    def test_cover(self, weekly_mean_plan):
+        splits = aligned_slice_splits(weekly_mean_plan, num_splits=3)
+        slabs = [s for sp in splits for s in sp.slabs]
+        assert slabs_cover(weekly_mean_plan.covered, slabs)
+
+
+class TestLocality:
+    def test_attach_locality_sets_hosts(self, weekly_mean_plan):
+        dfs = SimulatedDFS(num_hosts=8, block_size=4096, seed=1)
+        total = (
+            weekly_mean_plan.covered.volume * weekly_mean_plan.item_bytes
+        )
+        dfs.add_file("/t.nc", max(total, 1))
+        splits = slice_splits(weekly_mean_plan, num_splits=4)
+        located = attach_locality(
+            splits, dfs, "/t.nc", weekly_mean_plan.input_space
+        )
+        assert all(sp.preferred_hosts for sp in located)
+        assert [sp.index for sp in located] == [0, 1, 2, 3]
+
+    def test_hosts_capped(self, weekly_mean_plan):
+        dfs = SimulatedDFS(num_hosts=8, block_size=1024, seed=2)
+        total = weekly_mean_plan.covered.volume * weekly_mean_plan.item_bytes
+        dfs.add_file("/t.nc", max(total, 1))
+        splits = slice_splits(weekly_mean_plan, num_splits=2)
+        located = attach_locality(
+            splits, dfs, "/t.nc", weekly_mean_plan.input_space, max_hosts=2
+        )
+        assert all(len(sp.preferred_hosts) <= 2 for sp in located)
+
+
+class TestValidation:
+    def test_empty_split_rejected(self):
+        from repro.query.splits import CoordinateSplit
+
+        with pytest.raises(QueryError):
+            CoordinateSplit(index=0, variable="v", slabs=(), item_bytes=4)
+
+    def test_empty_slab_rejected(self):
+        from repro.query.splits import CoordinateSplit
+
+        with pytest.raises(QueryError):
+            CoordinateSplit(
+                index=0,
+                variable="v",
+                slabs=(Slab((0,), (0,)),),
+                item_bytes=4,
+            )

@@ -1,0 +1,138 @@
+"""Unit and property tests for the coordinate-based Dataset API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.slab import Slab
+from repro.errors import DatasetError
+from repro.scidata.dataset import create_dataset, open_dataset
+from repro.scidata.metadata import simple_metadata
+
+
+@pytest.fixture
+def small_ds(tmp_path):
+    data = np.arange(5 * 6 * 7, dtype=np.float64).reshape(5, 6, 7)
+    ds = create_dataset(tmp_path / "d.nc", var_name="v", data=data, mode="r+")
+    yield ds, data
+    ds.close()
+
+
+class TestRead:
+    def test_read_all(self, small_ds):
+        ds, data = small_ds
+        assert np.array_equal(ds.read_all("v"), data)
+
+    def test_read_slab(self, small_ds):
+        ds, data = small_ds
+        slab = Slab((1, 2, 3), (2, 3, 2))
+        assert np.array_equal(ds.read_slab("v", slab), data[slab.as_slices()])
+
+    def test_read_out_of_bounds(self, small_ds):
+        ds, _ = small_ds
+        with pytest.raises(DatasetError):
+            ds.read_slab("v", Slab((4, 0, 0), (2, 1, 1)))
+
+    def test_read_unknown_variable(self, small_ds):
+        ds, _ = small_ds
+        with pytest.raises(DatasetError):
+            ds.read_slab("w", Slab((0, 0, 0), (1, 1, 1)))
+
+    def test_rank_mismatch(self, small_ds):
+        ds, _ = small_ds
+        with pytest.raises(DatasetError):
+            ds.read_slab("v", Slab((0, 0), (1, 1)))
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_slab_matches_numpy(self, tmp_path_factory, data):
+        arr = np.arange(4 * 5 * 6, dtype=np.float32).reshape(4, 5, 6)
+        root = tmp_path_factory.mktemp("hyp")
+        path = root / "d.nc"
+        if not path.exists():
+            create_dataset(path, var_name="v", data=arr).close()
+        corner = tuple(data.draw(st.integers(0, s - 1)) for s in arr.shape)
+        shape = tuple(
+            data.draw(st.integers(1, s - c)) for s, c in zip(arr.shape, corner)
+        )
+        with open_dataset(path) as ds:
+            got = ds.read_slab("v", Slab(corner, shape))
+        assert np.array_equal(got, arr[Slab(corner, shape).as_slices()])
+
+
+class TestWrite:
+    def test_write_then_read(self, small_ds):
+        ds, _ = small_ds
+        slab = Slab((0, 0, 0), (2, 2, 2))
+        block = np.full((2, 2, 2), -1.0)
+        ds.write_slab("v", slab, block)
+        assert np.array_equal(ds.read_slab("v", slab), block)
+
+    def test_write_preserves_rest(self, small_ds):
+        ds, data = small_ds
+        slab = Slab((2, 2, 2), (1, 2, 3))
+        ds.write_slab("v", slab, np.zeros(slab.shape))
+        expected = data.copy()
+        expected[slab.as_slices()] = 0
+        assert np.array_equal(ds.read_all("v"), expected)
+
+    def test_write_readonly_raises(self, tmp_path):
+        data = np.zeros((2, 2))
+        ds = create_dataset(tmp_path / "ro.nc", var_name="v", data=data)
+        with pytest.raises(DatasetError):
+            ds.write_slab("v", Slab((0, 0), (1, 1)), np.zeros((1, 1)))
+        ds.close()
+
+    def test_write_shape_mismatch(self, small_ds):
+        ds, _ = small_ds
+        with pytest.raises(DatasetError):
+            ds.write_slab("v", Slab((0, 0, 0), (2, 2, 2)), np.zeros((2, 2)))
+
+
+class TestIOStats:
+    def test_contiguous_read_one_seek(self, small_ds):
+        ds, _ = small_ds
+        ds.io_stats.reset()
+        ds.read_slab("v", Slab((2, 0, 0), (2, 6, 7)))
+        assert ds.io_stats.seeks == 1
+
+    def test_scattered_read_many_seeks(self, small_ds):
+        ds, _ = small_ds
+        ds.io_stats.reset()
+        ds.read_slab("v", Slab((0, 0, 3), (5, 6, 1)))
+        assert ds.io_stats.seeks == 30  # one per (dim0, dim1) row
+
+    def test_write_runs_estimate(self, small_ds):
+        ds, _ = small_ds
+        assert ds.write_runs_estimate("v", Slab((2, 0, 0), (2, 6, 7))) == 1
+        assert ds.write_runs_estimate("v", Slab((0, 0, 3), (5, 6, 1))) == 30
+
+    def test_bytes_accounted(self, small_ds):
+        ds, _ = small_ds
+        ds.io_stats.reset()
+        ds.read_slab("v", Slab((0, 0, 0), (1, 1, 7)))
+        assert ds.io_stats.bytes_read == 7 * 8
+
+
+class TestCreate:
+    def test_needs_metadata_or_quick_form(self, tmp_path):
+        with pytest.raises(DatasetError):
+            create_dataset(tmp_path / "x.nc")
+
+    def test_full_form_with_fill(self, tmp_path):
+        meta = simple_metadata("v", (3, 3))
+        ds = create_dataset(tmp_path / "f.nc", meta, fill=2.5)
+        assert np.all(ds.read_all("v") == 2.5)
+        ds.close()
+
+    def test_bad_mode(self, tmp_path):
+        data = np.zeros((2,))
+        create_dataset(tmp_path / "m.nc", var_name="v", data=data).close()
+        with pytest.raises(DatasetError):
+            open_dataset(tmp_path / "m.nc", mode="w")
+
+    def test_context_manager(self, tmp_path):
+        data = np.zeros((2,))
+        with create_dataset(tmp_path / "c.nc", var_name="v", data=data) as ds:
+            assert ds.variable_shape("v") == (2,)

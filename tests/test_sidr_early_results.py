@@ -1,0 +1,112 @@
+"""Unit tests for early-result tracking and completion curves (§3.4)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sidr.dependencies import DependencyMap
+from repro.sidr.early_results import (
+    CompletionCurve,
+    EarlyResultTracker,
+    completion_curve,
+    task_completion_curve,
+)
+from repro.sidr.partition_plus import partition_plus
+
+
+def deps_3blocks():
+    return DependencyMap(
+        num_splits=6,
+        num_blocks=3,
+        producers=(
+            frozenset({0}),
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({1}),
+            frozenset({2}),
+            frozenset({2}),
+        ),
+        dependencies=(
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({4, 5}),
+        ),
+    )
+
+
+class TestTracker:
+    def _tracker(self):
+        part = partition_plus((6, 2), 3, skew_bound=2)
+        return EarlyResultTracker(deps_3blocks(), part), part
+
+    def test_initially_nothing_ready(self):
+        tr, _ = self._tracker()
+        assert tr.ready_blocks == frozenset()
+        assert tr.ready_fraction() == 0.0
+
+    def test_block_ready_when_deps_complete(self):
+        tr, _ = self._tracker()
+        assert tr.on_map_complete(0) == frozenset()
+        assert tr.on_map_complete(1) == frozenset({0})
+        assert tr.ready_blocks == frozenset({0})
+
+    def test_ready_fraction_weighted_by_keys(self):
+        tr, part = self._tracker()
+        tr.on_map_complete(0)
+        tr.on_map_complete(1)
+        want = part.blocks[0].num_keys / 12
+        assert tr.ready_fraction() == pytest.approx(want)
+
+    def test_maps_needed_for(self):
+        tr, _ = self._tracker()
+        tr.on_map_complete(2)
+        assert tr.maps_needed_for(1) == frozenset({3})
+
+    def test_double_completion_rejected(self):
+        tr, _ = self._tracker()
+        tr.on_map_complete(0)
+        with pytest.raises(SchedulerError):
+            tr.on_map_complete(0)
+
+    def test_all_maps_all_ready(self):
+        tr, _ = self._tracker()
+        for m in range(6):
+            tr.on_map_complete(m)
+        assert tr.ready_blocks == frozenset({0, 1, 2})
+        assert tr.ready_fraction() == 1.0
+
+
+class TestCurves:
+    def test_completion_curve_ordering(self):
+        part = partition_plus((6, 2), 3, skew_bound=2)
+        curve = completion_curve(part, [30.0, 10.0, 20.0])
+        assert curve.times == (10.0, 20.0, 30.0)
+        assert curve.fractions[-1] == pytest.approx(1.0)
+        assert curve.first_result_time() == 10.0
+        assert curve.completion_time() == 30.0
+
+    def test_fraction_at(self):
+        c = CompletionCurve((1.0, 2.0, 3.0), (0.25, 0.5, 1.0))
+        assert c.fraction_at(0.5) == 0.0
+        assert c.fraction_at(1.0) == 0.25
+        assert c.fraction_at(2.5) == 0.5
+        assert c.fraction_at(99.0) == 1.0
+
+    def test_time_at_fraction(self):
+        c = CompletionCurve((1.0, 2.0, 3.0), (0.25, 0.5, 1.0))
+        assert c.time_at_fraction(0.5) == 2.0
+        assert c.time_at_fraction(0.9) == 3.0
+
+    def test_empty_curve(self):
+        c = CompletionCurve((), ())
+        assert c.first_result_time() == float("inf")
+        assert c.fraction_at(10) == 0.0
+
+    def test_task_completion_curve(self):
+        c = task_completion_curve([5.0, 1.0, 3.0])
+        assert c.times == (1.0, 3.0, 5.0)
+        assert c.fractions == (pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0)
+
+    def test_length_mismatch(self):
+        part = partition_plus((6, 2), 3, skew_bound=2)
+        with pytest.raises(SchedulerError):
+            completion_curve(part, [1.0, 2.0])

@@ -1,0 +1,86 @@
+"""Unit tests for KeyBlock / KeyBlockPartition structures."""
+
+import pytest
+
+from repro.arrays.slab import Slab
+from repro.errors import PartitionError
+from repro.sidr.keyblocks import KeyBlock, KeyBlockPartition
+from repro.sidr.partition_plus import partition_plus
+
+
+class TestKeyBlock:
+    def test_basic(self):
+        b = KeyBlock(index=0, instance_range=(0, 2), cell_range=(0, 8), space=(4, 4))
+        assert b.num_instances == 2
+        assert b.num_keys == 8
+        assert b.slabs == (Slab((0, 0), (2, 4)),)
+
+    def test_bad_ranges(self):
+        with pytest.raises(PartitionError):
+            KeyBlock(0, (2, 1), (0, 4), (4, 4))
+        with pytest.raises(PartitionError):
+            KeyBlock(0, (0, 1), (0, 99), (4, 4))
+
+    def test_contains_key(self):
+        b = KeyBlock(0, (0, 1), (5, 9), (4, 4))
+        assert b.contains_key((1, 1))
+        assert b.contains_key((2, 0))
+        assert not b.contains_key((0, 0))
+        assert not b.contains_key((2, 1))
+
+    def test_overlaps(self):
+        b = KeyBlock(0, (0, 1), (4, 8), (4, 4))  # row 1
+        assert b.overlaps(Slab((0, 0), (2, 2)))
+        assert not b.overlaps(Slab((2, 0), (2, 4)))
+
+    def test_bounding_slab(self):
+        b = KeyBlock(0, (0, 1), (2, 9), (4, 4))
+        bb = b.bounding_slab
+        for s in b.slabs:
+            assert bb.contains_slab(s)
+
+
+class TestPartitionValidation:
+    def test_gap_detected(self):
+        blocks = (
+            KeyBlock(0, (0, 1), (0, 4), (4, 4)),
+            KeyBlock(1, (2, 4), (8, 16), (4, 4)),  # gap: cells 4..8
+        )
+        part = KeyBlockPartition((4, 4), (1, 4), blocks, 4)
+        with pytest.raises(PartitionError):
+            part.validate()
+
+    def test_short_cover_detected(self):
+        blocks = (KeyBlock(0, (0, 2), (0, 8), (4, 4)),)
+        part = KeyBlockPartition((4, 4), (1, 4), blocks, 4)
+        with pytest.raises(PartitionError):
+            part.validate()
+
+    def test_wrong_index_detected(self):
+        blocks = (
+            KeyBlock(1, (0, 4), (0, 16), (4, 4)),
+        )
+        part = KeyBlockPartition((4, 4), (1, 4), blocks, 4)
+        with pytest.raises(PartitionError):
+            part.validate()
+
+    def test_instance_skew_detected(self):
+        blocks = (
+            KeyBlock(0, (0, 3), (0, 12), (4, 4)),
+            KeyBlock(1, (3, 4), (12, 16), (4, 4)),
+        )
+        # 3 vs 1 instances among leading blocks would be fine (only last
+        # may shrink) — here the leading set is just block 0, so valid.
+        KeyBlockPartition((4, 4), (1, 4), blocks, 4).validate()
+
+    def test_lookup_and_boundaries(self):
+        part = partition_plus((4, 4), 4, skew_bound=4)
+        assert part.cell_boundaries() == [4, 8, 12, 16]
+        assert part.block_of_cell_index(0) == 0
+        assert part.block_of_cell_index(15) == 3
+        with pytest.raises(PartitionError):
+            part.block_of_cell_index(16)
+
+    def test_total_instances(self):
+        part = partition_plus((4, 4), 2, skew_bound=4)
+        assert part.total_instances == 4

@@ -1,0 +1,154 @@
+"""Unit and property tests for partition+ (paper §3.1, Figure 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.shape import volume
+from repro.arrays.slab import Slab, slabs_cover
+from repro.errors import PartitionError
+from repro.sidr.partition_plus import (
+    choose_unit_shape,
+    default_skew_bound,
+    partition_plus,
+)
+
+spaces = st.lists(st.integers(1, 8), min_size=1, max_size=4).map(tuple)
+
+
+class TestUnitShape:
+    def test_row_contiguous_form(self):
+        # Full trailing extents, one partial dim, leading ones.
+        assert choose_unit_shape((10, 10, 10), 100) == (1, 10, 10)
+        assert choose_unit_shape((10, 10, 10), 50) == (1, 5, 10)
+        assert choose_unit_shape((10, 10, 10), 5) == (1, 1, 5)
+
+    def test_bound_larger_than_space(self):
+        assert choose_unit_shape((3, 4), 1000) == (3, 4)
+
+    def test_bound_one(self):
+        assert choose_unit_shape((5, 5), 1) == (1, 1)
+
+    def test_nonpositive_bound(self):
+        with pytest.raises(PartitionError):
+            choose_unit_shape((3,), 0)
+
+    @given(spaces, st.integers(1, 200))
+    def test_volume_within_bound(self, space, bound):
+        unit = choose_unit_shape(space, bound)
+        assert volume(unit) <= bound
+        assert all(1 <= u <= s for u, s in zip(unit, space))
+
+    @given(spaces, st.integers(1, 200))
+    def test_row_contiguity_invariant(self, space, bound):
+        """After the first dim with extent > 1 (scanning from dim 0),
+        every later dim either fills the space or is preceded only by
+        full dims — i.e. the form (1,...,1, partial, full,...,full)."""
+        unit = choose_unit_shape(space, bound)
+        state = "ones"
+        for u, s in zip(unit, space):
+            if state == "ones":
+                if u == 1:
+                    continue
+                state = "tail"
+                # the partial dim itself is fine
+                continue
+            assert u == s, (unit, space)
+
+    def test_default_bound_at_least_one_row(self):
+        assert default_skew_bound((3600, 10, 20, 5), 22) >= 1000
+
+
+class TestPartitionPlus:
+    def test_paper_query1_22(self):
+        part = partition_plus((3600, 10, 20, 5), 22)
+        assert part.num_blocks == 22
+        part.validate()
+        # 3600 row instances over 22 blocks: 163 or 164 each.
+        sizes = [b.num_instances for b in part.blocks]
+        assert set(sizes) <= {163, 164}
+        # Larger blocks first, final block smallest.
+        assert sizes[-1] == min(sizes)
+
+    def test_cell_ranges_tile_space(self):
+        part = partition_plus((7, 5), 3, skew_bound=5)
+        assert part.blocks[0].cell_range[0] == 0
+        assert part.blocks[-1].cell_range[1] == 35
+
+    def test_too_many_reducers(self):
+        with pytest.raises(PartitionError):
+            partition_plus((4,), 10, skew_bound=1)
+
+    def test_blocks_geometrically_cover(self):
+        part = partition_plus((6, 4), 4, skew_bound=4)
+        slabs = [s for b in part.blocks for s in b.slabs]
+        assert slabs_cover(Slab.whole((6, 4)), slabs)
+
+    @given(st.data())
+    @settings(max_examples=120)
+    def test_invariants_random(self, data):
+        space = data.draw(spaces)
+        vol = volume(space)
+        r = data.draw(st.integers(1, min(vol, 12)))
+        bound = data.draw(st.integers(1, vol))
+        try:
+            part = partition_plus(space, r, skew_bound=bound)
+        except PartitionError:
+            # fewer instances than reducers: legitimate rejection
+            return
+        part.validate()
+        # 1. Exact cover of the keyspace.
+        slabs = [s for b in part.blocks for s in b.slabs]
+        assert slabs_cover(Slab.whole(space), slabs)
+        # 2. Contiguity: each block is one contiguous cell range and the
+        #    ranges are adjacent in order.
+        for a, b in zip(part.blocks, part.blocks[1:]):
+            assert a.cell_range[1] == b.cell_range[0]
+        # 3. Skew bound: the paper's guarantee is in *instances* —
+        #    leading blocks differ by at most one instance (validate()
+        #    checks this).  Cell counts may differ more when edge tiles
+        #    clip; when the unit shape divides the space evenly (the
+        #    common case: unit = whole K' rows) the cell skew is also
+        #    bounded by one unit volume.
+        divides = all(s % u == 0 for s, u in zip(space, part.unit_shape))
+        body = [b.num_keys for b in part.blocks[:-1]]
+        if body and divides:
+            assert max(body) - min(body) <= volume(part.unit_shape)
+        # 4. The final block never exceeds the others.
+        if body:
+            assert part.blocks[-1].num_instances <= max(
+                b.num_instances for b in part.blocks[:-1]
+            )
+
+    @given(st.data())
+    @settings(max_examples=80)
+    def test_block_lookup_consistent(self, data):
+        space = data.draw(spaces)
+        vol = volume(space)
+        r = data.draw(st.integers(1, min(vol, 8)))
+        try:
+            part = partition_plus(space, r)
+        except PartitionError:
+            return
+        idx = data.draw(st.integers(0, vol - 1))
+        l = part.block_of_cell_index(idx)
+        blk = part.blocks[l]
+        assert blk.cell_range[0] <= idx < blk.cell_range[1]
+
+    def test_max_skew_cells_bounded(self):
+        part = partition_plus((3600, 10, 20, 5), 528)
+        # Instance skew <= 1 -> cell skew <= unit volume (1000).
+        assert part.max_skew_cells() <= volume(part.unit_shape)
+
+    def test_matches_range_partitioner(self):
+        """The boundaries drive a RangePartitioner that assigns every key
+        to the block geometrically containing it."""
+        from repro.arrays.linearize import coord_to_index
+        from repro.mapreduce.partitioner import RangePartitioner
+
+        space = (12, 5)
+        part = partition_plus(space, 4, skew_bound=5)
+        rp = RangePartitioner(space, part.cell_boundaries())
+        for c in Slab.whole(space).iter_coords():
+            assigned = rp.partition(c, 4)
+            assert part.blocks[assigned].contains_key(c)

@@ -1,0 +1,97 @@
+"""Tests for pipelined computations over early results (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.query.language import StructuralQuery
+from repro.query.operators import MaxOp, MeanOp
+from repro.sidr.pipeline import PipelinedQuery
+
+
+@pytest.fixture(scope="module")
+def pipeline(temp_field, weekly_mean_plan):
+    # Stage 1: weekly mean (K'_T = {4, 2, 6}).
+    # Stage 2: max over 2-week windows of the weekly means ({2, 2, 6}).
+    stage2 = StructuralQuery(
+        variable="weekly",
+        extraction_shape=(2, 1, 1),
+        operator=MaxOp(),
+    )
+    return PipelinedQuery(
+        weekly_mean_plan,
+        stage2,
+        stage1_reduces=4,
+        stage2_reduces=2,
+        stage1_splits=7,
+        stage2_splits=2,
+    )
+
+
+class TestConstruction:
+    def test_stage2_space_is_stage1_output(self, pipeline):
+        assert pipeline.stage2.input_space == (4, 2, 6)
+        assert pipeline.stage2.intermediate_space == (2, 2, 6)
+
+    def test_gates_reference_real_blocks(self, pipeline):
+        n = pipeline.s1_plan.num_reduce_tasks
+        for gate in pipeline.gates:
+            assert gate and all(0 <= l < n for l in gate)
+
+
+class TestExecution:
+    def test_output_matches_composed_oracle(self, pipeline, temp_data):
+        result = pipeline.run(temp_data)
+        oracle = pipeline.reference(temp_data)
+        assert result.stage2_outputs.keys() == oracle.keys()
+        for k, want in oracle.items():
+            assert result.stage2_outputs[k] == pytest.approx(want)
+
+    def test_stage2_overlaps_stage1(self, pipeline, temp_data):
+        """The §6 goal: downstream work starts on early results."""
+        result = pipeline.run(temp_data)
+        assert result.stage2_maps_before_stage1_done() >= 1
+
+    def test_gates_respected(self, pipeline, temp_data):
+        """No stage-2 map runs before every stage-1 keyblock it reads has
+        committed (replay the interleaving log)."""
+        result = pipeline.run(temp_data)
+        committed: set[int] = set()
+        for ev in result.events:
+            if ev.stage == 1 and ev.kind == "keyblock":
+                committed.add(ev.index)
+            elif ev.stage == 2 and ev.kind == "map":
+                assert pipeline.gates[ev.index] <= committed, (
+                    f"stage-2 map {ev.index} ran before its gate"
+                )
+
+    def test_stage1_outputs_also_returned(self, pipeline, temp_data,
+                                          weekly_mean_plan):
+        result = pipeline.run(temp_data)
+        oracle1 = weekly_mean_plan.reference_output(temp_data)
+        assert result.stage1_outputs.keys() == oracle1.keys()
+        for k in oracle1:
+            assert result.stage1_outputs[k] == pytest.approx(oracle1[k])
+
+
+class TestFromFile:
+    def test_pipeline_from_nclite(self, tmp_path, temp_field, weekly_mean_plan):
+        path = tmp_path / "t.nc"
+        temp_field.write(path).close()
+        stage2 = StructuralQuery(
+            variable="weekly",
+            extraction_shape=(1, 2, 1),
+            operator=MeanOp(),
+        )
+        pipe = PipelinedQuery(
+            weekly_mean_plan,
+            stage2,
+            stage1_reduces=3,
+            stage2_reduces=2,
+            stage1_splits=5,
+            stage2_splits=2,
+        )
+        data = temp_field.arrays["temperature"].astype(np.float64)
+        result = pipe.run(str(path))
+        oracle = pipe.reference(data)
+        for k, want in oracle.items():
+            assert result.stage2_outputs[k] == pytest.approx(want)

@@ -1,0 +1,140 @@
+"""Unit tests for cluster slot accounting and the cost model."""
+
+import random
+
+import pytest
+
+from repro.errors import SchedulerError, SimulationError
+from repro.sim.cluster import ClusterConfig, SimCluster
+from repro.sim.costmodel import MB, CostModel
+
+
+class TestClusterConfig:
+    def test_paper_defaults(self):
+        c = ClusterConfig()
+        assert c.num_nodes == 24
+        assert c.map_slots_per_node == 4
+        assert c.reduce_slots_per_node == 3
+        assert c.total_map_slots == 96
+        assert c.total_reduce_slots == 72
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(SchedulerError):
+            ClusterConfig(map_slots_per_node=0)
+
+
+class TestSlots:
+    def test_acquire_release(self):
+        c = SimCluster(ClusterConfig(num_nodes=2))
+        h = c.host_names[0]
+        for _ in range(4):
+            c.acquire_map_slot(h)
+        with pytest.raises(SchedulerError):
+            c.acquire_map_slot(h)
+        c.release_map_slot(h)
+        c.acquire_map_slot(h)
+
+    def test_over_release_detected(self):
+        c = SimCluster(ClusterConfig(num_nodes=2))
+        with pytest.raises(SchedulerError):
+            c.release_map_slot(c.host_names[0])
+
+    def test_reduce_slots_independent(self):
+        c = SimCluster(ClusterConfig(num_nodes=1))
+        h = c.host_names[0]
+        for _ in range(3):
+            c.acquire_reduce_slot(h)
+        with pytest.raises(SchedulerError):
+            c.acquire_reduce_slot(h)
+        # map slots unaffected
+        c.acquire_map_slot(h)
+
+    def test_free_slot_queries(self):
+        c = SimCluster(ClusterConfig(num_nodes=2))
+        assert c.total_free_map_slots() == 8
+        h = c.host_names[0]
+        c.acquire_map_slot(h)
+        assert c.free_map_slots(h) == 3
+        assert len(c.hosts_with_free_map_slots()) == 2
+        for _ in range(3):
+            c.acquire_map_slot(h)
+        assert c.hosts_with_free_map_slots() == [c.host_names[1]]
+
+
+class TestCostModel:
+    def test_read_time_locality(self):
+        cm = CostModel()
+        fully_local = cm.read_time(100 * MB, 1.0)
+        fully_remote = cm.read_time(100 * MB, 0.0)
+        assert fully_local < fully_remote
+
+    def test_bad_fraction(self):
+        with pytest.raises(SimulationError):
+            CostModel().read_time(1, 1.5)
+
+    def test_map_duration_components(self):
+        cm = CostModel(task_overhead=0.0, jitter_sigma=0.0)
+        rng = random.Random(0)
+        d1 = cm.map_duration(
+            read_bytes=64 * MB, cells=1000, output_bytes=0,
+            local_fraction=1.0, rng=rng,
+        )
+        d2 = cm.map_duration(
+            read_bytes=128 * MB, cells=1000, output_bytes=0,
+            local_fraction=1.0, rng=rng,
+        )
+        assert d2 > d1
+
+    def test_io_slowdown_scales_io_only(self):
+        cm = CostModel(task_overhead=0.0, jitter_sigma=0.0)
+        rng = random.Random(0)
+        base = cm.map_duration(
+            read_bytes=64 * MB, cells=0, output_bytes=0,
+            local_fraction=1.0, rng=rng,
+        )
+        slowed = cm.map_duration(
+            read_bytes=64 * MB, cells=0, output_bytes=0,
+            local_fraction=1.0, rng=rng, io_slowdown=2.0,
+        )
+        assert slowed == pytest.approx(2 * base)
+        with pytest.raises(SimulationError):
+            cm.map_duration(
+                read_bytes=1, cells=0, output_bytes=0,
+                local_fraction=1.0, rng=rng, io_slowdown=0.5,
+            )
+
+    def test_jitter_deterministic_per_seed(self):
+        cm = CostModel(jitter_sigma=0.2)
+        a = cm.jitter(random.Random(5))
+        b = cm.jitter(random.Random(5))
+        assert a == b and a != 1.0
+
+    def test_jitter_disabled(self):
+        assert CostModel(jitter_sigma=0.0).jitter(random.Random(1)) == 1.0
+
+    def test_effective_fetch_rate_regimes(self):
+        cm = CostModel()
+        lone = cm.effective_fetch_rate(1, 24)
+        crowded = cm.effective_fetch_rate(72, 24)
+        assert lone == cm.fetch_rate_cap
+        assert crowded < lone
+        assert crowded >= cm.fetch_rate_floor
+
+    def test_reduce_processing_dense_vs_sparse(self):
+        cm = CostModel(task_overhead=0.0)
+        rng = random.Random(0)
+        dense = cm.reduce_processing_time(
+            input_bytes=0, output_bytes=100 * MB, dense_output=True, rng=rng
+        )
+        sparse = cm.reduce_processing_time(
+            input_bytes=0, output_bytes=100 * MB, dense_output=False, rng=rng
+        )
+        assert sparse > dense
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(SimulationError):
+            CostModel(disk_rate_per_slot=0)
+        with pytest.raises(SimulationError):
+            CostModel(jitter_sigma=-1)

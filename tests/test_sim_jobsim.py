@@ -1,0 +1,306 @@
+"""Simulator behaviour tests: barriers, scheduling, interference, and
+the qualitative claims of paper §4 at reduced scale."""
+
+import pytest
+
+from repro.sim.cluster import ClusterConfig
+from repro.sim.costmodel import MB, CostModel
+from repro.sim.jobsim import ExecutionMode, simulate_job
+from repro.sim.workload import (
+    DependencyDistribution,
+    ParitySkewDistribution,
+    SimJobSpec,
+    SimSplit,
+    UniformDistribution,
+)
+
+SMALL_CLUSTER = ClusterConfig(num_nodes=4, hosts_per_rack=2)
+
+
+def splits_for(n, out_frac=0.9, hosts=(), **kw):
+    return tuple(
+        SimSplit(
+            index=i,
+            read_bytes=16 * MB,
+            cells=(16 * MB) // 4,
+            output_bytes=int(16 * MB * out_frac),
+            preferred_hosts=hosts,
+            **kw,
+        )
+        for i in range(n)
+    )
+
+
+def contiguous_dist(nmaps, r):
+    """Each map feeds the keyblocks covering its index range."""
+    shares = []
+    for i in range(nmaps):
+        lo, hi = i / nmaps * r, (i + 1) / nmaps * r
+        d = {}
+        l = int(lo)
+        while l < hi and l < r:
+            d[l] = (min(hi, l + 1) - max(lo, l)) / (hi - lo)
+            l += 1
+        shares.append(d)
+    return DependencyDistribution(shares, r)
+
+
+def run(nmaps=32, r=4, mode=ExecutionMode.STOCK, dist=None, dense=False,
+        seed=0, cost=None, cluster=SMALL_CLUSTER, out_bytes=None):
+    dist = dist or UniformDistribution(r)
+    spec = SimJobSpec(
+        name="t",
+        splits=splits_for(nmaps),
+        distribution=dist,
+        reduce_output_bytes=tuple(out_bytes or [1 * MB] * r),
+        dense_output=dense,
+    )
+    return simulate_job(spec, cluster, cost, mode=mode, seed=seed)
+
+
+class TestInvariants:
+    def test_all_tasks_complete(self):
+        tl = run()
+        tl.validate()
+        assert len(tl.map_finish) == 32
+        assert len(tl.reduce_finish) == 4
+
+    def test_global_barrier_holds(self):
+        """No stock reduce begins processing before the last map ends."""
+        tl = run(mode=ExecutionMode.STOCK)
+        for p in tl.reduce_processing_start:
+            assert p >= tl.last_map_finish
+
+    def test_sidr_reduces_start_early(self):
+        tl = run(mode=ExecutionMode.SIDR, dist=contiguous_dist(32, 4), dense=True)
+        early = sum(
+            1 for p in tl.reduce_processing_start if p < tl.last_map_finish
+        )
+        # 32 maps over 16 slots run in two waves; the reducers owning the
+        # first wave's keyblocks (half of them) begin before the last map.
+        assert early >= 2
+
+    def test_sidr_never_starts_before_dependencies(self):
+        nmaps, r = 32, 4
+        dist = contiguous_dist(nmaps, r)
+        tl = run(mode=ExecutionMode.SIDR, dist=dist, dense=True)
+        for l in range(r):
+            deps = dist.producers_of(l, nmaps)
+            dep_done = max(tl.map_finish[m] for m in deps)
+            assert tl.reduce_processing_start[l] >= dep_done
+
+    def test_deterministic_given_seed(self):
+        a = run(seed=3)
+        b = run(seed=3)
+        assert a.map_finish == b.map_finish
+        assert a.reduce_finish == b.reduce_finish
+
+    def test_jitter_changes_with_seed(self):
+        cost = CostModel(jitter_sigma=0.2)
+        a = run(seed=1, cost=cost)
+        b = run(seed=2, cost=cost)
+        assert a.map_finish != b.map_finish
+
+
+class TestConnections:
+    def test_stock_all_to_all(self):
+        tl = run(nmaps=20, r=5, mode=ExecutionMode.STOCK)
+        assert tl.shuffle_connections == 100
+
+    def test_sidr_dependency_only(self):
+        nmaps, r = 20, 5
+        dist = contiguous_dist(nmaps, r)
+        tl = run(nmaps=nmaps, r=r, mode=ExecutionMode.SIDR, dist=dist, dense=True)
+        want = sum(len(dist.producers_of(l, nmaps)) for l in range(r))
+        assert tl.shuffle_connections == want
+        assert tl.shuffle_connections < 100
+
+
+class TestSchedulingShapes:
+    def test_sidr_first_result_much_earlier(self):
+        stock = run(nmaps=64, r=8, mode=ExecutionMode.STOCK)
+        sidr = run(
+            nmaps=64, r=8, mode=ExecutionMode.SIDR,
+            dist=contiguous_dist(64, 8), dense=True,
+        )
+        assert sidr.first_result_time < 0.7 * stock.first_result_time
+
+    def test_more_reducers_help_sidr_not_stock(self):
+        sidr_small = run(
+            nmaps=64, r=4, mode=ExecutionMode.SIDR,
+            dist=contiguous_dist(64, 4), dense=True,
+        )
+        sidr_big = run(
+            nmaps=64, r=16, mode=ExecutionMode.SIDR,
+            dist=contiguous_dist(64, 16), dense=True,
+            out_bytes=[1 * MB] * 16,
+        )
+        assert sidr_big.first_result_time < sidr_small.first_result_time
+        stock_small = run(nmaps=64, r=4, mode=ExecutionMode.STOCK)
+        stock_big = run(
+            nmaps=64, r=16, mode=ExecutionMode.STOCK,
+            out_bytes=[1 * MB] * 16,
+        )
+        # Global barrier: no first-result benefit from more reducers.
+        assert stock_big.first_result_time >= 0.95 * stock_small.last_map_finish
+
+    def test_locality_prefers_local_hosts(self):
+        hosts = SMALL_CLUSTER.topology().host_names
+        splits = tuple(
+            SimSplit(
+                index=i,
+                read_bytes=16 * MB,
+                cells=(16 * MB) // 4,
+                output_bytes=1 * MB,
+                preferred_hosts=(hosts[i % len(hosts)],),
+                local_fraction_preferred=1.0,
+                local_fraction_other=0.0,
+            )
+            for i in range(16)
+        )
+        spec = SimJobSpec(
+            name="loc",
+            splits=splits,
+            distribution=UniformDistribution(2),
+            reduce_output_bytes=(1 * MB, 1 * MB),
+        )
+        tl = simulate_job(spec, SMALL_CLUSTER, mode=ExecutionMode.STOCK)
+        # With one preferred host per split and round-robin placement,
+        # every split should be picked by its own host: all local reads,
+        # so all map durations equal (no remote penalty).
+        durations = [
+            f - s for s, f in zip(tl.map_start, tl.map_finish)
+        ]
+        assert max(durations) - min(durations) < 1e-6
+
+
+class TestSkewScenario:
+    def test_parity_skew_slows_stock(self):
+        """Figure 13's mechanism: half the reducers idle, half doubly
+        loaded -> longer completion than balanced routing."""
+        balanced = run(
+            nmaps=32, r=8, mode=ExecutionMode.SIDR,
+            dist=contiguous_dist(32, 8), dense=True,
+        )
+        skewed = run(
+            nmaps=32, r=8, mode=ExecutionMode.STOCK,
+            dist=ParitySkewDistribution(8), dense=False,
+        )
+        assert skewed.makespan > balanced.makespan
+
+    def test_starved_reducers_finish_instantly_after_barrier(self):
+        tl = run(
+            nmaps=32, r=8, mode=ExecutionMode.STOCK,
+            dist=ParitySkewDistribution(8), dense=False,
+        )
+        finishes = sorted(tl.reduce_finish)
+        # Two clusters of completion times: idle half then loaded half.
+        assert finishes[3] < finishes[4]
+
+
+class TestInterference:
+    def test_stock_maps_slower_than_sidr_maps(self):
+        """Copying reducers drag map IO in stock mode; SIDR's narrow copy
+        windows barely do (the Figure 9 map-curve gap)."""
+        stock = run(nmaps=64, r=8, mode=ExecutionMode.STOCK)
+        sidr = run(
+            nmaps=64, r=8, mode=ExecutionMode.SIDR,
+            dist=contiguous_dist(64, 8), dense=True,
+        )
+        assert stock.last_map_finish > sidr.last_map_finish
+
+    def test_interference_disabled_equalizes(self):
+        cost = CostModel(shuffle_interference=0.0)
+        stock = run(nmaps=64, r=8, mode=ExecutionMode.STOCK, cost=cost)
+        sidr = run(
+            nmaps=64, r=8, mode=ExecutionMode.SIDR,
+            dist=contiguous_dist(64, 8), dense=True, cost=cost,
+        )
+        assert stock.last_map_finish == pytest.approx(
+            sidr.last_map_finish, rel=0.05
+        )
+
+
+class TestTimeline:
+    def test_summary_fields(self):
+        tl = run()
+        s = tl.summary()
+        assert s["makespan"] >= s["last_map_finish"]
+        assert s["first_result"] <= s["makespan"]
+
+    def test_curves_monotone(self):
+        tl = run()
+        mc = tl.map_completion_curve()
+        rc = tl.reduce_completion_curve()
+        assert list(mc.fractions) == sorted(mc.fractions)
+        assert list(rc.fractions) == sorted(rc.fractions)
+        assert rc.fractions[-1] == pytest.approx(1.0)
+
+    def test_sampled_curve(self):
+        import numpy as np
+
+        tl = run()
+        ts = np.linspace(0, tl.makespan, 10)
+        vals = tl.sampled_reduce_curve(ts)
+        assert vals[0] == 0.0
+        assert vals[-1] == pytest.approx(1.0)
+
+
+class TestStraggler:
+    """A single straggling map task (5x input) — the mechanism behind
+    Figure 12's variance claim, isolated."""
+
+    def _straggler_splits(self, nmaps, straggler_idx):
+        out = []
+        for i in range(nmaps):
+            factor = 5 if i == straggler_idx else 1
+            out.append(
+                SimSplit(
+                    index=i,
+                    read_bytes=16 * MB * factor,
+                    cells=(16 * MB // 4) * factor,
+                    output_bytes=int(16 * MB * 0.9) * factor,
+                )
+            )
+        return tuple(out)
+
+    def test_stock_straggler_delays_every_reduce(self):
+        nmaps, r = 32, 8
+        spec = SimJobSpec(
+            name="strag",
+            splits=self._straggler_splits(nmaps, straggler_idx=3),
+            distribution=UniformDistribution(r),
+            reduce_output_bytes=tuple([1 * MB] * r),
+        )
+        tl = simulate_job(spec, SMALL_CLUSTER, mode=ExecutionMode.STOCK)
+        # Global barrier: no reduce can begin processing before the
+        # straggler (the last map) ends.
+        for p in tl.reduce_processing_start:
+            assert p >= tl.last_map_finish
+
+    def test_sidr_straggler_delays_only_dependents(self):
+        nmaps, r = 32, 8
+        straggler = 3
+        dist = contiguous_dist(nmaps, r)
+        spec = SimJobSpec(
+            name="strag",
+            splits=self._straggler_splits(nmaps, straggler),
+            distribution=dist,
+            reduce_output_bytes=tuple([1 * MB] * r),
+            dense_output=True,
+        )
+        tl = simulate_job(spec, SMALL_CLUSTER, mode=ExecutionMode.SIDR)
+        straggler_done = tl.map_finish[straggler]
+        dependents = {
+            l for l in range(r)
+            if straggler in dist.producers_of(l, nmaps)
+        }
+        independents = set(range(r)) - dependents
+        assert dependents and independents
+        # Keyblocks not fed by the straggler finish before it does...
+        early = [l for l in independents
+                 if tl.reduce_finish[l] < straggler_done]
+        assert len(early) >= len(independents) // 2
+        # ...while its dependents necessarily wait for it.
+        for l in dependents:
+            assert tl.reduce_processing_start[l] >= straggler_done

@@ -1,0 +1,185 @@
+"""Fine-grained simulator scheduling tests: queue fairness, priorities,
+reduce waves, and host placement."""
+
+import pytest
+
+from repro.sim.cluster import ClusterConfig
+from repro.sim.costmodel import MB, CostModel
+from repro.sim.jobsim import ExecutionMode, simulate_job
+from repro.sim.workload import (
+    DependencyDistribution,
+    SimJobSpec,
+    SimSplit,
+    UniformDistribution,
+)
+
+TINY = ClusterConfig(num_nodes=2, hosts_per_rack=2)
+
+
+def splits(n, **kw):
+    return tuple(
+        SimSplit(
+            index=i,
+            read_bytes=8 * MB,
+            cells=(8 * MB) // 4,
+            output_bytes=4 * MB,
+            **kw,
+        )
+        for i in range(n)
+    )
+
+
+def contiguous(nmaps, r):
+    shares = []
+    for i in range(nmaps):
+        lo, hi = i / nmaps * r, (i + 1) / nmaps * r
+        d = {}
+        l = int(lo)
+        while l < hi and l < r:
+            d[l] = (min(hi, l + 1) - max(lo, l)) / (hi - lo)
+            l += 1
+        shares.append(d)
+    return DependencyDistribution(shares, r)
+
+
+class TestReduceWaves:
+    def test_more_reduces_than_slots_run_in_waves(self):
+        """TINY has 6 reduce slots; 12 reduce tasks need two waves —
+        the second wave's tasks are scheduled strictly later."""
+        spec = SimJobSpec(
+            name="waves",
+            splits=splits(12),
+            distribution=UniformDistribution(12),
+            reduce_output_bytes=tuple([1 * MB] * 12),
+        )
+        tl = simulate_job(spec, TINY, mode=ExecutionMode.STOCK)
+        sched = sorted(tl.reduce_scheduled)
+        assert sched[5] == 0.0       # first wave fills all 6 slots at t=0
+        assert sched[6] > 0.0        # second wave waits for a slot
+
+    def test_stock_reduces_scheduled_by_id(self):
+        spec = SimJobSpec(
+            name="order",
+            splits=splits(12),
+            distribution=UniformDistribution(12),
+            reduce_output_bytes=tuple([1 * MB] * 12),
+        )
+        tl = simulate_job(spec, TINY, mode=ExecutionMode.STOCK)
+        # The first 6 ids occupy wave one (§3.3: "monotonically
+        # increasing order of their IDs").
+        first_wave = sorted(
+            range(12), key=lambda l: tl.reduce_scheduled[l]
+        )[:6]
+        assert set(first_wave) == set(range(6))
+
+
+class TestPriorities:
+    def test_sidr_priorities_schedule_first(self):
+        nmaps, r = 16, 8
+        prio = tuple(0.0 if l >= 6 else 1.0 for l in range(r))
+        spec = SimJobSpec(
+            name="prio",
+            splits=splits(nmaps),
+            distribution=contiguous(nmaps, r),
+            reduce_output_bytes=tuple([1 * MB] * r),
+            dense_output=True,
+            priorities=prio,
+        )
+        tl = simulate_job(spec, TINY, mode=ExecutionMode.SIDR)
+        # Prioritized keyblocks (6, 7) are scheduled in the first wave.
+        first_wave = sorted(range(r), key=lambda l: tl.reduce_scheduled[l])[:6]
+        assert {6, 7} <= set(first_wave)
+
+    def test_priorities_ignored_in_stock_mode(self):
+        nmaps, r = 16, 8
+        prio = tuple(float(r - l) for l in range(r))
+        spec = SimJobSpec(
+            name="prio-stock",
+            splits=splits(nmaps),
+            distribution=UniformDistribution(r),
+            reduce_output_bytes=tuple([1 * MB] * r),
+            priorities=prio,
+        )
+        tl = simulate_job(spec, TINY, mode=ExecutionMode.STOCK)
+        first_wave = sorted(range(r), key=lambda l: tl.reduce_scheduled[l])[:6]
+        assert set(first_wave) == set(range(6))  # still id order
+
+
+class TestMapQueueFairness:
+    def test_all_maps_run_even_with_stale_host_queues(self):
+        """Host queues may reference already-scheduled splits (lazy
+        cleanup); every map still runs exactly once."""
+        hosts = TINY.topology().host_names
+        sp = tuple(
+            SimSplit(
+                index=i,
+                read_bytes=8 * MB,
+                cells=(8 * MB) // 4,
+                output_bytes=1 * MB,
+                # Every split prefers every host: maximal queue overlap.
+                preferred_hosts=tuple(hosts),
+            )
+            for i in range(20)
+        )
+        spec = SimJobSpec(
+            name="fair",
+            splits=sp,
+            distribution=UniformDistribution(2),
+            reduce_output_bytes=(1 * MB, 1 * MB),
+        )
+        tl = simulate_job(spec, TINY, mode=ExecutionMode.STOCK)
+        assert len(tl.map_finish) == 20
+        assert all(f > 0 for f in tl.map_finish)
+
+    def test_sidr_ineligible_maps_wait(self):
+        """With one reduce slot total, only the scheduled reduces' deps
+        may run; later maps start strictly after earlier reduces free
+        slots."""
+        one_slot = ClusterConfig(
+            num_nodes=1, hosts_per_rack=1,
+            map_slots_per_node=2, reduce_slots_per_node=1,
+        )
+        nmaps, r = 8, 4
+        dist = contiguous(nmaps, r)
+        spec = SimJobSpec(
+            name="gate",
+            splits=splits(nmaps),
+            distribution=dist,
+            reduce_output_bytes=tuple([1 * MB] * r),
+            dense_output=True,
+        )
+        tl = simulate_job(spec, one_slot, mode=ExecutionMode.SIDR)
+        # Block 3's maps (6, 7) only become eligible when reduce 3 is
+        # scheduled, which needs the single slot released three times.
+        assert tl.map_start[6] >= tl.reduce_finish[2]
+        tl.validate()
+
+
+class TestDeterminismAcrossModes:
+    def test_same_total_work_different_order(self):
+        """Stock and SIDR process identical inputs; their total map
+        compute (sum of durations) matches when interference is off."""
+        cost = CostModel(shuffle_interference=0.0, jitter_sigma=0.0)
+        nmaps, r = 16, 4
+        base = dict(
+            splits=splits(nmaps),
+            reduce_output_bytes=tuple([1 * MB] * r),
+        )
+        stock = simulate_job(
+            SimJobSpec(name="a", distribution=UniformDistribution(r), **base),
+            TINY, cost, mode=ExecutionMode.STOCK,
+        )
+        sidr = simulate_job(
+            SimJobSpec(
+                name="b", distribution=contiguous(nmaps, r),
+                dense_output=True, **base,
+            ),
+            TINY, cost, mode=ExecutionMode.SIDR,
+        )
+        total_stock = sum(
+            f - s for s, f in zip(stock.map_start, stock.map_finish)
+        )
+        total_sidr = sum(
+            f - s for s, f in zip(sidr.map_start, sidr.map_finish)
+        )
+        assert total_stock == pytest.approx(total_sidr)

@@ -1,0 +1,93 @@
+"""Unit tests for TaskTimeline metrics and curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.timeline import TaskTimeline
+
+
+def timeline(map_finish, reduce_finish, weights=None):
+    n_m, n_r = len(map_finish), len(reduce_finish)
+    tl = TaskTimeline(
+        mode="test",
+        num_maps=n_m,
+        num_reduces=n_r,
+        map_start=[0.0] * n_m,
+        map_finish=list(map_finish),
+        reduce_scheduled=[0.0] * n_r,
+        reduce_processing_start=[min(reduce_finish)] * n_r
+        if reduce_finish
+        else [],
+        reduce_finish=list(reduce_finish),
+        reduce_weights=list(weights) if weights else [1.0 / n_r] * n_r,
+    )
+    # Fix processing_start to be <= each finish for validation.
+    tl.reduce_processing_start = [f for f in reduce_finish]
+    return tl
+
+
+class TestMetrics:
+    def test_makespan_and_first(self):
+        tl = timeline([10.0, 20.0], [25.0, 40.0])
+        assert tl.makespan == 40.0
+        assert tl.last_map_finish == 20.0
+        assert tl.first_result_time == 25.0
+
+    def test_early_reduce_count(self):
+        tl = timeline([10.0, 50.0], [30.0, 60.0])
+        assert tl.reduces_finished_before_last_map() == 1
+
+    def test_validate_rejects_inverted_phases(self):
+        tl = timeline([10.0], [20.0])
+        tl.reduce_processing_start = [25.0]  # after finish
+        with pytest.raises(SimulationError):
+            tl.validate()
+
+    def test_validate_rejects_missing_tasks(self):
+        tl = timeline([10.0], [20.0])
+        tl.map_finish = []
+        with pytest.raises(SimulationError):
+            tl.validate()
+
+
+class TestCurves:
+    def test_map_curve(self):
+        tl = timeline([30.0, 10.0, 20.0], [40.0])
+        c = tl.map_completion_curve()
+        assert c.times == (10.0, 20.0, 30.0)
+        assert c.fractions[-1] == pytest.approx(1.0)
+
+    def test_reduce_curve_weighted(self):
+        tl = timeline([1.0], [10.0, 20.0], weights=[0.75, 0.25])
+        c = tl.reduce_completion_curve()
+        assert c.fraction_at(10.0) == pytest.approx(0.75)
+        assert c.fraction_at(20.0) == pytest.approx(1.0)
+
+    def test_reduce_curve_unweighted_default(self):
+        tl = timeline([1.0], [10.0, 20.0, 30.0, 40.0])
+        c = tl.reduce_completion_curve()
+        assert c.fraction_at(20.0) == pytest.approx(0.5)
+
+    def test_sampled_curve_bounds(self):
+        tl = timeline([1.0], [10.0, 20.0])
+        vals = tl.sampled_reduce_curve(np.array([0.0, 15.0, 99.0]))
+        assert vals[0] == 0.0
+        assert vals[1] == pytest.approx(0.5)
+        assert vals[2] == pytest.approx(1.0)
+
+    def test_fraction_done_at(self):
+        tl = timeline([1.0], [10.0, 20.0])
+        assert tl.fraction_done_at(5.0) == 0.0
+        assert tl.fraction_done_at(10.0) == pytest.approx(0.5)
+
+    def test_summary_keys(self):
+        tl = timeline([5.0], [10.0])
+        s = tl.summary()
+        assert set(s) == {
+            "makespan",
+            "last_map_finish",
+            "first_result",
+            "early_reduces",
+            "connections",
+        }
