@@ -7,7 +7,6 @@ stdout (visible with ``pytest -s`` / in bench_output.txt context) and to
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

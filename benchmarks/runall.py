@@ -7,12 +7,15 @@ A plain script (no pytest) for readers who just want the artifacts:
 
 At scale 1 (the paper's geometry) the full pass takes a couple of
 minutes; ``--scale 10`` gives a quick look.  Reports land in
-``benchmarks/results/`` (or ``--out``).
+``benchmarks/results/`` (or ``--out``), alongside a machine-readable
+``BENCH_obs.json`` with per-section wall times, the figure summary
+numbers, and a tracing-overhead measurement.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import tempfile
 import time
 from pathlib import Path
@@ -32,7 +35,20 @@ def main() -> int:
     from repro.bench import figures, tables
     from repro.bench.report import format_series, format_table
 
-    def save(name: str, text: str) -> None:
+    bench: dict = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale,
+        "sections": {},
+    }
+    section_start = [time.time()]
+
+    def save(name: str, text: str, data: dict | None = None) -> None:
+        now = time.time()
+        section = {"seconds": round(now - section_start[0], 3)}
+        if data:
+            section.update(data)
+        bench["sections"][name] = section
+        section_start[0] = now
         (out / f"{name}.txt").write_text(text + "\n")
         print(f"== {name} ==")
         print(text)
@@ -57,6 +73,7 @@ def main() -> int:
             {k: c for k, c in fig9.curves.items() if "Reduce" in k},
             title="output availability",
         ),
+        data={"summaries": fig9.summaries, "notes": fig9.notes},
     )
 
     counts = (22, 66, 176, 528) if scale == 1 else (22, 66, 176)
@@ -74,6 +91,7 @@ def main() -> int:
                 f"(best vs SciHadoop {fig10.notes['sidr_best_vs_scihadoop']:.2f}x)"
             ),
         ),
+        data={"summaries": fig10.summaries, "notes": fig10.notes},
     )
 
     fig11 = figures.fig11_filter_query(scale=scale)
@@ -87,6 +105,7 @@ def main() -> int:
             ],
             title="Figure 11 — Query 2 (filter)",
         ),
+        data={"summaries": fig11.summaries, "notes": fig11.notes},
     )
 
     fig12 = figures.fig12_variance(scale=scale, runs=10)
@@ -100,6 +119,7 @@ def main() -> int:
             ],
             title="Figure 12 — variance over 10 jittered runs",
         ),
+        data={"summaries": fig12.summaries, "notes": fig12.notes},
     )
 
     fig13 = figures.fig13_skew(scale=scale)
@@ -113,6 +133,7 @@ def main() -> int:
                 "faster; paper 42%)"
             ),
         ),
+        data={"summaries": fig13.summaries, "notes": fig13.notes},
     )
 
     # Tables -----------------------------------------------------------
@@ -127,6 +148,17 @@ def main() -> int:
             ],
             title="Table 3 — network connections",
         ),
+        data={
+            "rows": [
+                {
+                    "maps": r.num_maps,
+                    "reduces": r.num_reduces,
+                    "hadoop": r.hadoop_connections,
+                    "sidr": r.sidr_connections,
+                }
+                for r in t3
+            ]
+        },
     )
 
     with tempfile.TemporaryDirectory() as d:
@@ -144,6 +176,18 @@ def main() -> int:
             ],
             title="Table 2 — reduce write scaling",
         ),
+        data={
+            "rows": [
+                {
+                    "strategy": r.strategy,
+                    "reduces": r.total_reduces,
+                    "seconds": r.seconds_mean,
+                    "bytes": r.file_size_bytes,
+                    "seeks": r.seeks,
+                }
+                for r in t2
+            ]
+        },
     )
 
     micro = tables.sec45_partition_micro()
@@ -157,10 +201,73 @@ def main() -> int:
             ],
             title=f"§4.5 — 6.48M keys (slowdown {micro.slowdown:.2f}x)",
         ),
+        data={
+            "default_seconds": micro.default_seconds,
+            "partition_plus_seconds": micro.partition_plus_seconds,
+            "slowdown": micro.slowdown,
+        },
     )
 
-    print(f"all reports regenerated in {time.time() - t0:.0f}s -> {out}")
+    # Observability overhead ------------------------------------------
+    overhead = _measure_tracing_overhead()
+    save(
+        "obs_overhead",
+        "tracing overhead (weekly-mean engine workload, min of "
+        f"{overhead['runs']}):\n"
+        f"  observability off: {overhead['off_ms']:.1f} ms\n"
+        f"  observability on:  {overhead['on_ms']:.1f} ms\n"
+        f"  overhead:          {overhead['overhead']:+.1%}",
+        data=overhead,
+    )
+
+    bench["total_seconds"] = round(time.time() - t0, 3)
+    (out / "BENCH_obs.json").write_text(
+        json.dumps(bench, indent=1, sort_keys=True) + "\n"
+    )
+    print(
+        f"all reports regenerated in {time.time() - t0:.0f}s -> {out} "
+        f"(machine-readable: {out / 'BENCH_obs.json'})"
+    )
     return 0
+
+
+def _measure_tracing_overhead(runs: int = 3) -> dict:
+    """Min-of-N engine wall time with spans/metrics on vs off."""
+    import numpy as np
+
+    from repro.mapreduce.engine import LocalEngine
+    from repro.query.language import StructuralQuery
+    from repro.query.operators import MeanOp
+    from repro.query.splits import slice_splits
+    from repro.scidata.generators import temperature_dataset
+    from repro.sidr.planner import build_sidr_job
+
+    field = temperature_dataset(days=364, lat=40, lon=40, seed=3)
+    data = field.arrays["temperature"].astype(np.float64)
+    plan = StructuralQuery(
+        variable="temperature", extraction_shape=(7, 5, 2), operator=MeanOp()
+    ).compile(field.metadata)
+    job, barrier, _ = build_sidr_job(
+        plan, slice_splits(plan, num_splits=16), 8, data
+    )
+
+    def best(engine) -> float:
+        engine.run_serial(job, barrier)  # warmup
+        t = float("inf")
+        for _ in range(runs):
+            s = time.perf_counter()
+            engine.run_serial(job, barrier)
+            t = min(t, time.perf_counter() - s)
+        return t
+
+    t_off = best(LocalEngine(observability=False))
+    t_on = best(LocalEngine(observability=True))
+    return {
+        "runs": runs,
+        "off_ms": round(t_off * 1e3, 2),
+        "on_ms": round(t_on * 1e3, 2),
+        "overhead": round(t_on / t_off - 1.0, 4),
+    }
 
 
 if __name__ == "__main__":

@@ -8,7 +8,6 @@ constant (SciHadoop's coordinate splits read exactly their slab: zero
 boundary IO by construction).
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.report import format_table
@@ -74,7 +73,6 @@ def test_byte_reader_locality_loss(benchmark, setup, record_report):
 def test_coordinate_reader_exact_io(setup):
     """The SciHadoop-style coordinate reader touches exactly its slab —
     zero boundary bytes, measured through Dataset IO stats."""
-    from repro.query.recordreader import StructuralRecordReader
     from repro.query.splits import slice_splits
     from repro.scidata.dataset import open_dataset
 

@@ -19,7 +19,7 @@ from repro.bench.tables import (
     ablation_store_vs_recompute,
 )
 from repro.bench.workloads import query1_workload
-from repro.query.splits import aligned_slice_splits, slice_splits
+from repro.query.splits import aligned_slice_splits
 from repro.sidr.dependencies import compute_dependencies
 from repro.sidr.partition_plus import partition_plus
 

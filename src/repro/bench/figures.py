@@ -35,6 +35,9 @@ class FigureResult:
     curves: dict[str, CompletionCurve]
     summaries: dict[str, dict[str, float]]
     notes: dict[str, float] = field(default_factory=dict)
+    #: Raw timelines behind the curves, keyed like ``summaries`` — kept
+    #: so the CLI can export simulated runs as observability traces.
+    timelines: dict[str, TaskTimeline] = field(default_factory=dict)
 
 
 def _mode(variant: SystemVariant) -> ExecutionMode:
@@ -77,6 +80,7 @@ def fig09_task_completion(
     wl = query1_workload(scale=scale)
     curves: dict[str, CompletionCurve] = {}
     summaries: dict[str, dict[str, float]] = {}
+    timelines: dict[str, TaskTimeline] = {}
     for variant, label in [
         (SystemVariant.HADOOP, "H"),
         (SystemVariant.SCIHADOOP, "SH"),
@@ -86,7 +90,8 @@ def fig09_task_completion(
         curves[f"Map({label})"] = tl.map_completion_curve()
         curves[f"Reduce({label})"] = tl.reduce_completion_curve()
         summaries[label] = tl.summary()
-    return FigureResult("Figure 9", curves, summaries)
+        timelines[label] = tl
+    return FigureResult("Figure 9", curves, summaries, timelines=timelines)
 
 
 # --------------------------------------------------------------------- #
@@ -108,21 +113,24 @@ def fig10_reduce_scaling(
     wl = query1_workload(scale=scale)
     curves: dict[str, CompletionCurve] = {}
     summaries: dict[str, dict[str, float]] = {}
+    timelines: dict[str, TaskTimeline] = {}
     tl_sh = _run(wl, SystemVariant.SCIHADOOP, 22, seed=seed)
     curves["Map(SH,22)"] = tl_sh.map_completion_curve()
     curves["Reduce(SH,22)"] = tl_sh.reduce_completion_curve()
     summaries["SH-22"] = tl_sh.summary()
+    timelines["SH-22"] = tl_sh
     for r in sidr_reduce_counts:
         tl = _run(wl, SystemVariant.SIDR, r, seed=seed)
         curves[f"Reduce(SS,{r})"] = tl.reduce_completion_curve()
         summaries[f"SS-{r}"] = tl.summary()
+        timelines[f"SS-{r}"] = tl
     best = min(
         summaries[k]["makespan"] for k in summaries if k.startswith("SS-")
     )
     notes = {
         "sidr_best_vs_scihadoop": summaries["SH-22"]["makespan"] / best,
     }
-    return FigureResult("Figure 10", curves, summaries, notes)
+    return FigureResult("Figure 10", curves, summaries, notes, timelines=timelines)
 
 
 # --------------------------------------------------------------------- #
@@ -143,15 +151,18 @@ def fig11_filter_query(
     wl = query2_workload(scale=scale)
     curves: dict[str, CompletionCurve] = {}
     summaries: dict[str, dict[str, float]] = {}
+    timelines: dict[str, TaskTimeline] = {}
     tl_sh = _run(wl, SystemVariant.SCIHADOOP, 22, seed=seed)
     curves["Map(SH,22)"] = tl_sh.map_completion_curve()
     curves["Reduce(SH,22)"] = tl_sh.reduce_completion_curve()
     summaries["SH-22"] = tl_sh.summary()
+    timelines["SH-22"] = tl_sh
     for r in sidr_reduce_counts:
         tl = _run(wl, SystemVariant.SIDR, r, seed=seed)
         curves[f"Reduce(SS,{r})"] = tl.reduce_completion_curve()
         summaries[f"SS-{r}"] = tl.summary()
-    return FigureResult("Figure 11", curves, summaries)
+        timelines[f"SS-{r}"] = tl
+    return FigureResult("Figure 11", curves, summaries, timelines=timelines)
 
 
 # --------------------------------------------------------------------- #
@@ -176,6 +187,7 @@ def fig12_variance(
     curves: dict[str, CompletionCurve] = {}
     summaries: dict[str, dict[str, float]] = {}
     notes: dict[str, float] = {}
+    kept: dict[str, TaskTimeline] = {}
     # Map curve (averaged) for reference, from the first reduce count.
     for r in reduce_counts:
         timelines = [
@@ -205,6 +217,9 @@ def fig12_variance(
             "max_pointwise_std": float(std.max()),
         }
         notes[f"max_std_{r}"] = float(std.max())
+        # Representative timeline (seed 0) per reduce count; exporting
+        # all seeds would bloat traces without adding structure.
+        kept[f"SS-{r}"] = timelines[0]
         if r == reduce_counts[0]:
             map_mat = np.vstack(
                 [
@@ -219,7 +234,7 @@ def fig12_variance(
                 tuple(float(t) for t in ts),
                 tuple(float(f) for f in map_mat.mean(axis=0)),
             )
-    return FigureResult("Figure 12", curves, summaries, notes)
+    return FigureResult("Figure 12", curves, summaries, notes, timelines=kept)
 
 
 # --------------------------------------------------------------------- #
@@ -246,6 +261,7 @@ def fig13_skew(
     wl = skew_workload(scale=scale)
     curves: dict[str, CompletionCurve] = {}
     summaries: dict[str, dict[str, float]] = {}
+    timelines: dict[str, TaskTimeline] = {}
     tl_stock = _run(
         wl, SystemVariant.SCIHADOOP, num_reduces, seed=seed, skewed=True,
         cost=cost,
@@ -253,11 +269,13 @@ def fig13_skew(
     curves[f"Reduce(stock,{num_reduces})"] = tl_stock.reduce_completion_curve()
     curves["Map(stock)"] = tl_stock.map_completion_curve()
     summaries["stock"] = tl_stock.summary()
+    timelines["stock"] = tl_stock
     tl_sidr = _run(wl, SystemVariant.SIDR, num_reduces, seed=seed, cost=cost)
     curves[f"Reduce(SIDR,{num_reduces})"] = tl_sidr.reduce_completion_curve()
     summaries["SIDR"] = tl_sidr.summary()
+    timelines["SIDR"] = tl_sidr
     notes = {
         "speedup": summaries["stock"]["makespan"]
         / summaries["SIDR"]["makespan"],
     }
-    return FigureResult("Figure 13", curves, summaries, notes)
+    return FigureResult("Figure 13", curves, summaries, notes, timelines=timelines)

@@ -26,7 +26,6 @@ from repro.arrays.shape import volume
 from repro.arrays.slab import Slab
 from repro.bench.workloads import Workload, query1_workload
 from repro.mapreduce.partitioner import HashPartitioner, JavaStyleKeyHash
-from repro.query.language import QueryPlan
 from repro.scidata.sparse import (
     ContiguousWriter,
     CoordinatePairWriter,

@@ -36,7 +36,6 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.errors import QueryError
 from repro.query.language import QueryPlan, StructuralQuery

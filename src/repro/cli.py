@@ -1,17 +1,23 @@
 """Command-line interface.
 
-Four subcommands mirroring the library's main entry points::
+Five subcommands mirroring the library's main entry points::
 
     python -m repro.cli info    FILE                 # show NCLite metadata
     python -m repro.cli query   FILE --variable V --extract 7,5,1 \\
                                 --operator mean [--reduces 4] [--stride ...]
+                                [--trace out.json] [--metrics out.json]
     python -m repro.cli simulate --figure 9|10|11|12|13 [--scale 10]
+                                [--trace out.json] [--metrics out.json]
+    python -m repro.cli report  TRACEFILE            # pretty-print a trace
     python -m repro.cli tables  --table 2|3|partition
 
 ``query`` executes a structural query for real through the SIDR engine
 (dependency barriers + count validation) and prints the output records;
 ``simulate`` regenerates a paper figure on the simulated cluster;
-``tables`` regenerates a paper table.
+``tables`` regenerates a paper table.  ``--trace`` writes a Chrome
+trace_event file (``.jsonl`` for the line-stream format) loadable in
+Perfetto; ``--metrics`` writes the metric snapshots as JSON; ``report``
+renders a saved trace as a human-readable per-phase breakdown.
 """
 
 from __future__ import annotations
@@ -80,6 +86,18 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"{res.shuffle_connections} shuffle connections",
         file=sys.stderr,
     )
+    if args.trace or args.metrics:
+        from repro.obs import write_metrics, write_trace
+
+        run = (job.name, res.obs)
+        if args.trace:
+            write_trace(args.trace, run)
+            print(f"# trace written to {args.trace}", file=sys.stderr)
+        if args.metrics:
+            write_metrics(
+                args.metrics, run, extra={"counters": res.counters.as_dict()}
+            )
+            print(f"# metrics written to {args.metrics}", file=sys.stderr)
     limit = args.limit
     for i, (k, v) in enumerate(res.all_records()):
         if limit and i >= limit:
@@ -122,6 +140,30 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if result.notes:
         for k, v in result.notes.items():
             print(f"note: {k} = {v:.3f}")
+    if args.trace or args.metrics:
+        from repro.obs import write_metrics, write_trace
+
+        runs = [
+            (label, tl.to_observability(label))
+            for label, tl in result.timelines.items()
+        ]
+        if args.trace:
+            write_trace(args.trace, runs)
+            print(f"# trace written to {args.trace}", file=sys.stderr)
+        if args.metrics:
+            write_metrics(args.metrics, runs)
+            print(f"# metrics written to {args.metrics}", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import format_report, load_trace
+
+    runs = load_trace(args.tracefile)
+    if not runs:
+        print(f"error: no runs found in {args.tracefile}", file=sys.stderr)
+        return 1
+    print(format_report(runs))
     return 0
 
 
@@ -198,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--splits", type=int, default=16)
     p_query.add_argument("--limit", type=int, default=20,
                          help="max output rows (0 = all)")
+    p_query.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a Perfetto-loadable trace "
+                         "(.jsonl = line stream)")
+    p_query.add_argument("--metrics", default=None, metavar="FILE",
+                         help="write metric snapshots as JSON")
     p_query.set_defaults(fn=cmd_query)
 
     p_sim = sub.add_parser("simulate", help="regenerate a paper figure")
@@ -206,7 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="divide the dataset's time dim (10 = fast)")
     p_sim.add_argument("--runs", type=int, default=10,
                        help="runs for figure 12")
+    p_sim.add_argument("--trace", default=None, metavar="FILE",
+                       help="write the simulated runs as a Perfetto trace")
+    p_sim.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write metric snapshots as JSON")
     p_sim.set_defaults(fn=cmd_simulate)
+
+    p_rep = sub.add_parser(
+        "report", help="pretty-print a saved trace (Chrome JSON or JSONL)"
+    )
+    p_rep.add_argument("tracefile")
+    p_rep.set_defaults(fn=cmd_report)
 
     p_tab = sub.add_parser("tables", help="regenerate a paper table")
     p_tab.add_argument("--table", required=True)

@@ -9,7 +9,7 @@ deterministic given the namenode's seed so experiments are repeatable.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 from repro.dfs.block import DEFAULT_BLOCK_SIZE, Block, BlockId

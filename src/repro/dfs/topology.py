@@ -9,7 +9,7 @@ distance queries that tree needs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DfsError
 

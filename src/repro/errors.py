@@ -63,3 +63,7 @@ class SchedulerError(ReproError):
 
 class SimulationError(ReproError):
     """Discrete-event simulation internal error (causality, resource misuse)."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the tracing/metrics layer (double-ended span, bucket clash...)."""

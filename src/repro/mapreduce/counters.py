@@ -18,7 +18,9 @@ class Counters:
 
     * ``map.input.records`` / ``map.output.records``
     * ``combine.input.records`` / ``combine.output.records``
-    * ``shuffle.segments`` / ``shuffle.bytes`` / ``shuffle.connections``
+    * ``shuffle.segments`` / ``shuffle.records`` (records crossing the
+      shuffle — what ``shuffle.bytes`` misleadingly reported before) /
+      ``shuffle.bytes`` (estimated serialized payload size)
     * ``reduce.input.groups`` / ``reduce.input.records`` /
       ``reduce.output.records``
     * ``barrier.early.starts`` — reduce tasks that began before the last

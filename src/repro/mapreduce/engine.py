@@ -27,7 +27,7 @@ import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
 from repro.errors import BarrierViolationError, JobConfigError, ShuffleError
@@ -35,7 +35,13 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.shuffle import MapOutputFile, ShuffleStore
 from repro.mapreduce.sortmerge import group_sorted, merge_segments, sort_records
-from repro.mapreduce.types import KeyValue, MapTaskId, ReduceTaskId
+from repro.mapreduce.types import KeyValue, MapTaskId
+from repro.obs import (
+    COUNT_BUCKETS,
+    JobObservability,
+    RATE_BUCKETS,
+    TIME_BUCKETS,
+)
 
 
 # --------------------------------------------------------------------- #
@@ -114,11 +120,19 @@ class TraceEvent:
 
 
 class EngineTrace:
-    """Append-only, thread-safe event log."""
+    """Append-only, thread-safe event log.
+
+    Since the span layer landed (:mod:`repro.obs`) this is a
+    *compatibility bridge*: the engine's task spans feed it start/finish
+    events via :meth:`JobObservability.task`, so every historical
+    consumer (tests, figures, ``reduce_starts_before_last_map``) keeps
+    working while rich traces come from ``JobResult.obs``.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._events: list[TraceEvent] = []
+        self._first_seq: dict[tuple[str, str, int], int] = {}
         self._seq = 0
         self._t0 = time.perf_counter()
 
@@ -132,6 +146,7 @@ class EngineTrace:
                 index=index,
             )
             self._events.append(ev)
+            self._first_seq.setdefault((kind, event, index), self._seq)
             self._seq += 1
             return ev
 
@@ -141,11 +156,10 @@ class EngineTrace:
             return list(self._events)
 
     def seq_of(self, kind: str, event: str, index: int) -> int:
-        """Logical sequence number of the first matching event (-1 if absent)."""
-        for ev in self.events:
-            if ev.kind == kind and ev.event == event and ev.index == index:
-                return ev.seq
-        return -1
+        """Logical sequence number of the first matching event (-1 if
+        absent) — an O(1) index lookup, not a scan."""
+        with self._lock:
+            return self._first_seq.get((kind, event, index), -1)
 
     def reduce_starts_before_last_map(self) -> int:
         """Number of reduce tasks that started before the final map
@@ -175,6 +189,9 @@ class JobResult:
     trace: EngineTrace
     shuffle_connections: int
     empty_fetches: int
+    #: Span tracer + metrics registry for this run (None only when a
+    #: caller supplied a pre-built result without observability).
+    obs: JobObservability | None = None
 
     def all_records(self) -> list[KeyValue]:
         """All output records across partitions, sorted by key — the
@@ -196,11 +213,27 @@ class LocalEngine:
         *,
         map_workers: int = 4,
         reduce_workers: int = 3,
+        observability: bool = True,
     ) -> None:
         if map_workers <= 0 or reduce_workers <= 0:
             raise JobConfigError("worker counts must be positive")
         self.map_workers = map_workers
         self.reduce_workers = reduce_workers
+        #: When False, spans/metrics become no-ops (the legacy
+        #: EngineTrace still records) — the near-zero-overhead mode the
+        #: tracing-overhead benchmark compares against.
+        self.observability = observability
+
+    def _make_obs(self, job: JobConf, obs: JobObservability | None) -> JobObservability:
+        if obs is None:
+            obs = JobObservability(
+                job.name,
+                enabled=self.observability,
+                legacy_trace=EngineTrace(),
+            )
+        if obs.trace is None:
+            obs.trace = EngineTrace()
+        return obs
 
     # ------------------------------------------------------------------ #
     # Map task
@@ -211,71 +244,81 @@ class LocalEngine:
         split_index: int,
         store: ShuffleStore,
         counters: Counters,
-        trace: EngineTrace,
+        obs: JobObservability,
     ) -> None:
-        trace.record("map", "start", split_index)
-        split = job.splits[split_index]
-        mapper = job.mapper_factory()
-        mapper.setup()
-        # Partition intermediate records as they are produced — Hadoop
-        # partitions in-line with map execution (§4.5).
-        buckets: dict[int, list[KeyValue]] = {}
-        source_counts: dict[int, int] = {}
-        n = job.num_reduce_tasks
-        records_in = 0
-        records_out = 0
+        with obs.task("map", split_index) as task_span:
+            split = job.splits[split_index]
+            mapper = job.mapper_factory()
+            mapper.setup()
+            # Partition intermediate records as they are produced — Hadoop
+            # partitions in-line with map execution (§4.5).
+            buckets: dict[int, list[KeyValue]] = {}
+            source_counts: dict[int, int] = {}
+            n = job.num_reduce_tasks
+            records_in = 0
+            records_out = 0
 
-        def consume(kv_iter) -> None:
-            nonlocal records_out
-            for k2, v2 in kv_iter:
-                p = job.partitioner.partition(k2, n)
-                if not (0 <= p < n):
-                    raise ShuffleError(
-                        f"partitioner returned {p} for {n} reduce tasks"
+            def consume(kv_iter) -> None:
+                nonlocal records_out
+                for k2, v2 in kv_iter:
+                    p = job.partitioner.partition(k2, n)
+                    if not (0 <= p < n):
+                        raise ShuffleError(
+                            f"partitioner returned {p} for {n} reduce tasks"
+                        )
+                    buckets.setdefault(p, []).append((k2, v2))
+                    records_out += 1
+
+            # The reader streams into the mapper, so reading and mapping
+            # share one phase span (see docs/OBSERVABILITY.md).
+            with obs.phase("map.read", task_span) as read_span:
+                for k, v in job.reader_factory(split):
+                    records_in += 1
+                    consume(mapper.map(k, v))
+                consume(mapper.cleanup())
+            counters.increment("map.input.records", records_in)
+            counters.increment("map.output.records", records_out)
+
+            # Source-count annotation: before combining, every intermediate
+            # record represents exactly one source record of this map.  (For
+            # chunked structural readers each record already aggregates a
+            # chunk; the reader is responsible for emitting per-record source
+            # counts via the value's `source_count` attribute/key.)
+            with obs.phase("map.spill", task_span):
+                files: list[MapOutputFile] = []
+                for p, recs in buckets.items():
+                    src = 0
+                    for _k, v in recs:
+                        src += _source_count_of(v)
+                    source_counts[p] = src
+                    if job.combiner_factory is not None:
+                        combiner = job.combiner_factory()
+                        counters.increment("combine.input.records", len(recs))
+                        combined: list[KeyValue] = []
+                        for k2, vals in group_sorted(sort_records(recs)):
+                            combined.extend(combiner.reduce(k2, vals))
+                        recs = combined
+                        counters.increment("combine.output.records", len(recs))
+                    files.append(
+                        MapOutputFile(
+                            map_id=MapTaskId(split_index),
+                            partition=p,
+                            records=tuple(sort_records(recs)),
+                            source_records=src,
+                        )
                     )
-                buckets.setdefault(p, []).append((k2, v2))
-                records_out += 1
-
-        for k, v in job.reader_factory(split):
-            records_in += 1
-            consume(mapper.map(k, v))
-        consume(mapper.cleanup())
-        counters.increment("map.input.records", records_in)
-        counters.increment("map.output.records", records_out)
-
-        # Source-count annotation: before combining, every intermediate
-        # record represents exactly one source record of this map.  (For
-        # chunked structural readers each record already aggregates a
-        # chunk; the reader is responsible for emitting per-record source
-        # counts via the value's `source_count` attribute/key.)
-        files: list[MapOutputFile] = []
-        for p, recs in buckets.items():
-            src = 0
-            for _k, v in recs:
-                src += _source_count_of(v)
-            source_counts[p] = src
-            if job.combiner_factory is not None:
-                combiner = job.combiner_factory()
-                counters.increment("combine.input.records", len(recs))
-                combined: list[KeyValue] = []
-                for k2, vals in group_sorted(sort_records(recs)):
-                    combined.extend(combiner.reduce(k2, vals))
-                recs = combined
-                counters.increment("combine.output.records", len(recs))
-            files.append(
-                MapOutputFile(
-                    map_id=MapTaskId(split_index),
-                    partition=p,
-                    records=tuple(sort_records(recs)),
-                    source_records=src,
-                )
-            )
-        if files:
-            store.spill(files)
-        else:
-            store.spill_empty(MapTaskId(split_index))
-        counters.increment("shuffle.segments", len(files))
-        trace.record("map", "finish", split_index)
+                if files:
+                    store.spill(files)
+                else:
+                    store.spill_empty(MapTaskId(split_index))
+            counters.increment("shuffle.segments", len(files))
+            if obs.enabled and read_span is not None:
+                obs.metrics.counter("map.emit.records").inc(records_out)
+                dur = read_span.duration
+                if dur > 0 and records_out:
+                    obs.metrics.histogram(
+                        "map.emit.records_per_sec", RATE_BUCKETS
+                    ).observe(records_out / dur)
 
     # ------------------------------------------------------------------ #
     # Reduce task
@@ -287,54 +330,74 @@ class LocalEngine:
         barrier: BarrierPolicy,
         store: ShuffleStore,
         counters: Counters,
-        trace: EngineTrace,
+        obs: JobObservability,
         completed_at_start: frozenset[int],
     ) -> list[KeyValue]:
-        trace.record("reduce", "start", partition)
-        total = job.num_map_tasks
-        if not barrier.ready(partition, completed_at_start, total):
-            raise BarrierViolationError(
-                f"reduce {partition} scheduled before barrier satisfied"
-            )
-        fetch_from = barrier.fetch_set(partition, total)
-        if job.contact_all_maps:
-            fetch_from = frozenset(range(total))
-        missing = fetch_from - completed_at_start
-        if missing:
-            raise BarrierViolationError(
-                f"reduce {partition} would fetch from unfinished maps {sorted(missing)}"
-            )
-        validator = job.context.get("reduce_start_validator")
-        if validator is not None:
-            tally = store.total_source_records(
-                barrier.fetch_set(partition, total), partition
-            )
-            validator.validate(partition, tally)
+        with obs.task("reduce", partition) as task_span:
+            total = job.num_map_tasks
+            if not barrier.ready(partition, completed_at_start, total):
+                raise BarrierViolationError(
+                    f"reduce {partition} scheduled before barrier satisfied"
+                )
+            fetch_from = barrier.fetch_set(partition, total)
+            if job.contact_all_maps:
+                fetch_from = frozenset(range(total))
+            missing = fetch_from - completed_at_start
+            if missing:
+                raise BarrierViolationError(
+                    f"reduce {partition} would fetch from unfinished maps {sorted(missing)}"
+                )
+            with obs.phase("reduce.fetch", task_span) as fetch_span:
+                validator = job.context.get("reduce_start_validator")
+                if validator is not None:
+                    tally = store.total_source_records(
+                        barrier.fetch_set(partition, total), partition
+                    )
+                    validator.validate(partition, tally)
 
-        segments = []
-        bytes_approx = 0
-        for m in sorted(fetch_from):
-            f = store.fetch(m, partition)
-            if f is not None and f.num_records:
-                segments.append(f.records)
-                bytes_approx += f.num_records
-        counters.increment("shuffle.bytes", bytes_approx)
+                segments = []
+                shuffled_records = 0
+                shuffled_bytes = 0
+                for m in sorted(fetch_from):
+                    f = store.fetch(m, partition)
+                    if f is not None and f.num_records:
+                        segments.append(f.records)
+                        shuffled_records += f.num_records
+                        shuffled_bytes += f.approx_serialized_bytes
+            # ``shuffle.records`` is the record count this counter
+            # historically (and misleadingly) reported as "bytes";
+            # ``shuffle.bytes`` is now a real serialized-size estimate.
+            counters.increment("shuffle.records", shuffled_records)
+            counters.increment("shuffle.bytes", shuffled_bytes)
+            if obs.enabled and fetch_span is not None:
+                obs.metrics.histogram(
+                    "shuffle.fetch.seconds", TIME_BUCKETS
+                ).observe(fetch_span.duration)
 
-        reducer = job.reducer_factory()
-        reducer.setup()
-        out: list[KeyValue] = []
-        groups = 0
-        records = 0
-        for key, values in group_sorted(merge_segments(segments)):
-            groups += 1
-            records += len(values)
-            out.extend(reducer.reduce(key, values))
-        out.extend(reducer.cleanup())
-        counters.increment("reduce.input.groups", groups)
-        counters.increment("reduce.input.records", records)
-        counters.increment("reduce.output.records", len(out))
-        trace.record("reduce", "finish", partition)
-        return out
+            reducer = job.reducer_factory()
+            reducer.setup()
+            out: list[KeyValue] = []
+            groups = 0
+            records = 0
+            group_sizes: list[int] | None = [] if obs.enabled else None
+            # Merging streams into the reducer, so merge + reduce share
+            # one phase span; group sizes land in the skew histogram.
+            with obs.phase("reduce.reduce", task_span):
+                for key, values in group_sorted(merge_segments(segments)):
+                    groups += 1
+                    records += len(values)
+                    if group_sizes is not None:
+                        group_sizes.append(len(values))
+                    out.extend(reducer.reduce(key, values))
+                out.extend(reducer.cleanup())
+            counters.increment("reduce.input.groups", groups)
+            counters.increment("reduce.input.records", records)
+            counters.increment("reduce.output.records", len(out))
+            if group_sizes:
+                obs.metrics.histogram(
+                    "reduce.group.size", COUNT_BUCKETS
+                ).observe_many(group_sizes)
+            return out
 
     # ------------------------------------------------------------------ #
     # Serial execution
@@ -345,6 +408,7 @@ class LocalEngine:
         barrier: BarrierPolicy | None = None,
         *,
         on_reduce_complete: Callable[[int, list[KeyValue]], None] | None = None,
+        obs: JobObservability | None = None,
     ) -> JobResult:
         """Deterministic execution: maps in split order, each reduce fires
         at the earliest logical point its barrier allows.
@@ -355,9 +419,9 @@ class LocalEngine:
         downstream work on early results (paper §6).
         """
         barrier = barrier or GlobalBarrier()
-        store = ShuffleStore()
+        obs = self._make_obs(job, obs)
+        store = ShuffleStore(metrics=obs.metrics if obs.enabled else None)
         counters = Counters()
-        trace = EngineTrace()
         total_maps = job.num_map_tasks
         outputs: dict[int, list[KeyValue]] = {}
         pending = set(range(job.num_reduce_tasks))
@@ -365,7 +429,7 @@ class LocalEngine:
         last_map_done = False
 
         for i in range(total_maps):
-            self._run_map(job, i, store, counters, trace)
+            self._run_map(job, i, store, counters, obs)
             completed.add(i)
             last_map_done = len(completed) == total_maps
             fired = [
@@ -375,10 +439,11 @@ class LocalEngine:
             ]
             for p in fired:
                 pending.discard(p)
+                obs.barrier_wait(p)
                 if not last_map_done:
-                    counters.increment("barrier.early.starts")
+                    self._note_early_start(obs, counters, p, len(completed))
                 outputs[p] = self._run_reduce(
-                    job, p, barrier, store, counters, trace, frozenset(completed)
+                    job, p, barrier, store, counters, obs, frozenset(completed)
                 )
                 if on_reduce_complete is not None:
                     on_reduce_complete(p, outputs[p])
@@ -387,14 +452,34 @@ class LocalEngine:
                 f"reduces {sorted(pending)} never became ready; dependency "
                 "map must be incomplete"
             )
+        obs.finish()
         return JobResult(
             job_name=job.name,
             outputs=outputs,
             counters=counters,
-            trace=trace,
+            trace=obs.trace,
             shuffle_connections=store.connections,
             empty_fetches=store.empty_fetches,
+            obs=obs,
         )
+
+    def _note_early_start(
+        self,
+        obs: JobObservability,
+        counters: Counters,
+        partition: int,
+        maps_done: int,
+    ) -> None:
+        """A reduce fired while maps are still outstanding (Figure 4b)."""
+        counters.increment("barrier.early.starts")
+        if obs.enabled:
+            obs.metrics.counter("barrier.early.starts").inc()
+            obs.tracer.instant(
+                "reduce.early_start",
+                parent=obs.job_span,
+                track=f"reduce {partition}",
+                args={"index": partition, "maps_done": maps_done},
+            )
 
     # ------------------------------------------------------------------ #
     # Threaded execution
@@ -405,6 +490,7 @@ class LocalEngine:
         barrier: BarrierPolicy | None = None,
         *,
         on_reduce_complete: Callable[[int, list[KeyValue]], None] | None = None,
+        obs: JobObservability | None = None,
     ) -> JobResult:
         """Concurrent execution with separate map and reduce pools.
 
@@ -415,9 +501,9 @@ class LocalEngine:
         partition commits.
         """
         barrier = barrier or GlobalBarrier()
-        store = ShuffleStore()
+        obs = self._make_obs(job, obs)
+        store = ShuffleStore(metrics=obs.metrics if obs.enabled else None)
         counters = Counters()
-        trace = EngineTrace()
         total_maps = job.num_map_tasks
         outputs: dict[int, list[KeyValue]] = {}
         lock = threading.Lock()
@@ -432,7 +518,7 @@ class LocalEngine:
             def reduce_job(p: int, snapshot: frozenset[int]) -> None:
                 try:
                     out = self._run_reduce(
-                        job, p, barrier, store, counters, trace, snapshot
+                        job, p, barrier, store, counters, obs, snapshot
                     )
                     with lock:
                         outputs[p] = out
@@ -453,15 +539,16 @@ class LocalEngine:
                     ]
                     for p in fired:
                         pending.discard(p)
+                        obs.barrier_wait(p)
                         if len(snapshot) < total_maps:
-                            counters.increment("barrier.early.starts")
+                            self._note_early_start(obs, counters, p, len(snapshot))
                         reduce_futures.append(
                             reduce_pool.submit(reduce_job, p, snapshot)
                         )
 
             def map_job(i: int) -> None:
                 try:
-                    self._run_map(job, i, store, counters, trace)
+                    self._run_map(job, i, store, counters, obs)
                     on_map_done(i)
                 except BaseException as exc:
                     with lock:
@@ -480,15 +567,17 @@ class LocalEngine:
                     )
             wait(reduce_futures)
 
+        obs.finish()
         if errors:
             raise errors[0]
         return JobResult(
             job_name=job.name,
             outputs=outputs,
             counters=counters,
-            trace=trace,
+            trace=obs.trace,
             shuffle_connections=store.connections,
             empty_fetches=store.empty_fetches,
+            obs=obs,
         )
 
 

@@ -17,12 +17,43 @@ are implemented here and selected by the engine.
 
 from __future__ import annotations
 
+import sys
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 from typing import Any
 
 from repro.errors import ShuffleError
 from repro.mapreduce.types import KeyValue, MapTaskId
+
+
+def estimate_serialized_bytes(records: tuple[KeyValue, ...]) -> int:
+    """Approximate wire size of a record run, as Hadoop's Writable
+    serialization would see it.
+
+    Keys are coordinate tuples (8 bytes per component), numeric values
+    are 8 bytes, strings/bytes their length, containers the sum of their
+    elements; anything else falls back to ``sys.getsizeof``.  This is an
+    *estimate* — the point is that ``shuffle.bytes`` scales with payload
+    size rather than merely counting records (which ``shuffle.records``
+    now reports).
+    """
+    return sum(_nbytes(k) + _nbytes(v) for k, v in records)
+
+
+def _nbytes(obj: Any) -> int:
+    if isinstance(obj, (int, float, bool)) or obj is None:
+        return 8
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    if isinstance(obj, (tuple, list, frozenset, set)):
+        return sum(_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_nbytes(k) + _nbytes(v) for k, v in obj.items())
+    nb = getattr(obj, "nbytes", None)  # numpy scalars/arrays
+    if isinstance(nb, int):
+        return nb
+    return sys.getsizeof(obj)
 
 
 @dataclass(frozen=True)
@@ -56,6 +87,12 @@ class MapOutputFile:
     def num_records(self) -> int:
         return len(self.records)
 
+    @cached_property
+    def approx_serialized_bytes(self) -> int:
+        """Estimated wire size of this file (cached; the records tuple
+        is immutable so the estimate cannot go stale)."""
+        return estimate_serialized_bytes(self.records)
+
 
 @dataclass
 class MapOutputIndex:
@@ -73,14 +110,25 @@ class MapOutputIndex:
 
 
 class ShuffleStore:
-    """Thread-safe store of spilled map output, with fetch accounting."""
+    """Thread-safe store of spilled map output, with fetch accounting.
 
-    def __init__(self) -> None:
+    When constructed with a :class:`~repro.obs.metrics.MetricsRegistry`,
+    spill and fetch activity is mirrored into the shared metric
+    vocabulary (``shuffle.spill.*`` / ``shuffle.fetch.*``).
+    """
+
+    def __init__(self, *, metrics: Any | None = None) -> None:
         self._lock = threading.Lock()
         self._files: dict[tuple[int, int], MapOutputFile] = {}
         self._indexes: dict[int, MapOutputIndex] = {}
         self._connections = 0
         self._empty_fetches = 0
+        # Resolve metric handles once; per-call registry lookups would
+        # put a dict probe on the fetch hot path.
+        self._m_spill_files = metrics.counter("shuffle.spill.files") if metrics else None
+        self._m_spill_records = metrics.counter("shuffle.spill.records") if metrics else None
+        self._m_fetch_conn = metrics.counter("shuffle.fetch.connections") if metrics else None
+        self._m_fetch_empty = metrics.counter("shuffle.fetch.empty") if metrics else None
 
     # ------------------------------------------------------------------ #
     # Map side
@@ -98,6 +146,9 @@ class ShuffleStore:
                 raise ShuffleError(f"map task {map_id} already spilled")
             for f in files:
                 self._files[(map_id.index, f.partition)] = f
+            if self._m_spill_files is not None:
+                self._m_spill_files.inc(len(files))
+                self._m_spill_records.inc(sum(f.num_records for f in files))
             self._indexes[map_id.index] = MapOutputIndex(
                 map_id=map_id,
                 partitions=frozenset(
@@ -140,8 +191,12 @@ class ShuffleStore:
                 )
             self._connections += 1
             f = self._files.get((map_index, partition))
+            if self._m_fetch_conn is not None:
+                self._m_fetch_conn.inc()
             if f is None or f.num_records == 0:
                 self._empty_fetches += 1
+                if self._m_fetch_empty is not None:
+                    self._m_fetch_empty.inc()
             return f
 
     def index_of(self, map_index: int) -> MapOutputIndex:

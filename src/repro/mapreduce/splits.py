@@ -8,7 +8,7 @@ so the engine and scheduler treat them uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.dfs.filesystem import SimulatedDFS

@@ -1,0 +1,65 @@
+"""Unified observability: spans, metrics, trace export, job reports.
+
+The one vocabulary shared by the real engine
+(:mod:`repro.mapreduce.engine`), the shuffle layer, the SIDR schedule
+policy, and the discrete-event simulator — so a Perfetto trace of a
+real threaded run and of a simulated cluster run read the same way.
+See ``docs/OBSERVABILITY.md`` for the span and metric name reference.
+"""
+
+from repro.obs.jobobs import JobObservability
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RATE_BUCKETS,
+    TIME_BUCKETS,
+)
+from repro.obs.spans import (
+    CAT_BARRIER,
+    CAT_INSTANT,
+    CAT_JOB,
+    CAT_PHASE,
+    CAT_TASK,
+    Span,
+    SpanTracer,
+)
+from repro.obs.export import (
+    chrome_trace_doc,
+    load_trace,
+    normalized_runs,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.report import format_report, format_run_report
+
+__all__ = [
+    "CAT_BARRIER",
+    "CAT_INSTANT",
+    "CAT_JOB",
+    "CAT_PHASE",
+    "CAT_TASK",
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JobObservability",
+    "MetricsRegistry",
+    "RATE_BUCKETS",
+    "Span",
+    "SpanTracer",
+    "TIME_BUCKETS",
+    "chrome_trace_doc",
+    "format_report",
+    "format_run_report",
+    "load_trace",
+    "normalized_runs",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,307 @@
+"""Trace export: Chrome ``trace_event`` JSON and a JSONL stream.
+
+The Chrome format (one JSON object with a ``traceEvents`` array) loads
+directly in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+Every finished span becomes a complete event (``ph: "X"``) with
+microsecond ``ts``/``dur``; instants become ``ph: "i"``.  Display
+tracks map to ``tid`` values with ``thread_name``/``thread_sort_index``
+metadata so phases stack under their task lane, and multiple runs
+(e.g. the simulator's Hadoop-vs-SIDR arms) export as separate ``pid``
+processes in one file.
+
+The JSONL format is a line stream (one JSON object per line: ``job``,
+``span``, ``metrics`` records) for tailing and ad-hoc ``jq`` analysis.
+
+``load_trace`` reads either format back into the normalized run
+structure that :mod:`repro.obs.report` consumes:
+
+    {"label": str,
+     "spans": [{"name", "category", "track", "start", "dur", "args"}],
+     "metrics": {...} | None}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ObservabilityError
+from repro.obs.jobobs import JobObservability
+
+Run = tuple[str, JobObservability]
+
+
+def _as_runs(
+    runs: JobObservability | Run | list[Run],
+) -> list[Run]:
+    if isinstance(runs, JobObservability):
+        return [(runs.job_name, runs)]
+    if isinstance(runs, tuple):
+        return [runs]
+    return list(runs)
+
+
+def _track_order(track: str) -> tuple[int, float, str]:
+    """Display order: job lane, then maps by index, then reduces."""
+    kind, _, idx = track.partition(" ")
+    try:
+        n = float(idx)
+    except ValueError:
+        n = 0.0
+    ranks = {"job": 0, "map": 1, "reduce": 2}
+    return (ranks.get(kind, 3), n, track)
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace_event
+# --------------------------------------------------------------------- #
+def chrome_trace_doc(
+    runs: JobObservability | Run | list[Run],
+) -> dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from one or more runs."""
+    events: list[dict[str, Any]] = []
+    metrics: dict[str, Any] = {}
+    for pid, (label, obs) in enumerate(_as_runs(runs), start=1):
+        events.append(
+            {
+                "ph": "M", "name": "process_name",
+                "pid": pid, "tid": 0, "ts": 0,
+                "args": {"name": label},
+            }
+        )
+        spans = obs.tracer.finished_spans()
+        tracks = sorted({s.track for s in spans}, key=_track_order)
+        tids = {t: i for i, t in enumerate(tracks, start=1)}
+        for track, tid in tids.items():
+            events.append(
+                {
+                    "ph": "M", "name": "thread_name",
+                    "pid": pid, "tid": tid, "ts": 0,
+                    "args": {"name": track},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M", "name": "thread_sort_index",
+                    "pid": pid, "tid": tid, "ts": 0,
+                    "args": {"sort_index": tid},
+                }
+            )
+        for s in spans:
+            args = dict(s.args)
+            args["span_id"] = s.span_id
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
+            ev: dict[str, Any] = {
+                "name": s.name,
+                "cat": s.category,
+                "pid": pid,
+                "tid": tids[s.track],
+                "ts": round(s.start * 1e6, 3),
+                "args": args,
+            }
+            if s.category == "instant":
+                ev["ph"] = "i"
+                ev["s"] = "t"
+                ev["dur"] = 0.0
+            else:
+                ev["ph"] = "X"
+                ev["dur"] = round(s.duration * 1e6, 3)
+            events.append(ev)
+        metrics[label] = obs.metrics.snapshot()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": metrics},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path, runs: JobObservability | Run | list[Run]
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace_doc(runs), indent=1) + "\n")
+    return path
+
+
+# --------------------------------------------------------------------- #
+# JSONL stream
+# --------------------------------------------------------------------- #
+def write_jsonl(
+    path: str | Path, runs: JobObservability | Run | list[Run]
+) -> Path:
+    path = Path(path)
+    with path.open("w") as fh:
+        for label, obs in _as_runs(runs):
+            fh.write(json.dumps({"type": "job", "label": label}) + "\n")
+            for s in obs.tracer.finished_spans():
+                fh.write(
+                    json.dumps(
+                        {
+                            "type": "span",
+                            "label": label,
+                            "name": s.name,
+                            "category": s.category,
+                            "track": s.track,
+                            "span_id": s.span_id,
+                            "parent_id": s.parent_id,
+                            "start": s.start,
+                            "dur": s.duration,
+                            "args": s.args,
+                        }
+                    )
+                    + "\n"
+                )
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "metrics",
+                        "label": label,
+                        "metrics": obs.metrics.snapshot(),
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def write_trace(
+    path: str | Path, runs: JobObservability | Run | list[Run]
+) -> Path:
+    """Format by extension: ``.jsonl`` → line stream, else Chrome JSON."""
+    if str(path).endswith(".jsonl"):
+        return write_jsonl(path, runs)
+    return write_chrome_trace(path, runs)
+
+
+def write_metrics(
+    path: str | Path,
+    runs: JobObservability | Run | list[Run],
+    *,
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Write the metric snapshots of one or more runs as JSON."""
+    doc: dict[str, Any] = {
+        label: obs.metrics.snapshot() for label, obs in _as_runs(runs)
+    }
+    if extra:
+        doc.update(extra)
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+# --------------------------------------------------------------------- #
+# Loading (for `repro.cli report`)
+# --------------------------------------------------------------------- #
+def normalized_runs(
+    runs: JobObservability | Run | list[Run],
+) -> list[dict[str, Any]]:
+    """Normalize live observability objects without a disk round-trip."""
+    out = []
+    for label, obs in _as_runs(runs):
+        out.append(
+            {
+                "label": label,
+                "spans": [
+                    {
+                        "name": s.name,
+                        "category": s.category,
+                        "track": s.track,
+                        "start": s.start,
+                        "dur": s.duration,
+                        "args": dict(s.args),
+                    }
+                    for s in obs.tracer.finished_spans()
+                ],
+                "metrics": obs.metrics.snapshot(),
+            }
+        )
+    return out
+
+
+def _runs_from_chrome(doc: dict[str, Any]) -> list[dict[str, Any]]:
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError("not a Chrome trace: missing traceEvents")
+    labels: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    spans: dict[int, list[dict[str, Any]]] = {}
+    for ev in events:
+        pid = ev.get("pid", 1)
+        if ev.get("ph") == "M":
+            if ev.get("name") == "process_name":
+                labels[pid] = ev.get("args", {}).get("name", f"pid {pid}")
+            elif ev.get("name") == "thread_name":
+                threads[(pid, ev.get("tid", 0))] = ev.get("args", {}).get(
+                    "name", ""
+                )
+        elif ev.get("ph") in ("X", "i"):
+            spans.setdefault(pid, []).append(ev)
+    metrics = doc.get("otherData", {}).get("metrics", {})
+    runs = []
+    for pid in sorted(spans):
+        label = labels.get(pid, f"pid {pid}")
+        runs.append(
+            {
+                "label": label,
+                "spans": [
+                    {
+                        "name": ev.get("name", "?"),
+                        "category": ev.get("cat", "phase"),
+                        "track": threads.get(
+                            (pid, ev.get("tid", 0)), str(ev.get("tid", 0))
+                        ),
+                        "start": float(ev.get("ts", 0.0)) / 1e6,
+                        "dur": float(ev.get("dur", 0.0)) / 1e6,
+                        "args": ev.get("args", {}),
+                    }
+                    for ev in spans[pid]
+                ],
+                "metrics": metrics.get(label),
+            }
+        )
+    return runs
+
+
+def _runs_from_jsonl(lines: list[str]) -> list[dict[str, Any]]:
+    runs: dict[str, dict[str, Any]] = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        label = rec.get("label", "job")
+        run = runs.setdefault(
+            label, {"label": label, "spans": [], "metrics": None}
+        )
+        if rec.get("type") == "span":
+            run["spans"].append(
+                {
+                    "name": rec["name"],
+                    "category": rec.get("category", "phase"),
+                    "track": rec.get("track", rec["name"]),
+                    "start": float(rec["start"]),
+                    "dur": float(rec["dur"]),
+                    "args": rec.get("args", {}),
+                }
+            )
+        elif rec.get("type") == "metrics":
+            run["metrics"] = rec.get("metrics")
+    return list(runs.values())
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load a saved trace (Chrome JSON or JSONL) into normalized runs."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ObservabilityError(f"empty trace file {path}")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return _runs_from_jsonl(text.splitlines())
+    if isinstance(doc, dict):
+        return _runs_from_chrome(doc)
+    raise ObservabilityError(f"unrecognized trace format in {path}")

@@ -1,0 +1,135 @@
+"""JobObservability: the per-run bundle of tracer + metrics.
+
+One :class:`JobObservability` is created per engine run (or per
+simulated job) and threaded through every task.  It owns:
+
+* a :class:`~repro.obs.spans.SpanTracer` rooted at a single ``job`` span,
+* a :class:`~repro.obs.metrics.MetricsRegistry`,
+* optionally a legacy ``EngineTrace`` (duck-typed: anything with a
+  ``record(kind, event, index)`` method).  The engine's historical flat
+  trace is now a *bridge* over the span layer: task spans emit the
+  matching start/finish events so every existing consumer — tests,
+  figures, ``reduce_starts_before_last_map`` — keeps working unchanged.
+
+``enabled=False`` turns the span/metric layer into cheap no-ops while
+still feeding the legacy trace, which is what the engine's
+``observability=False`` mode (and the overhead benchmark) uses.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from collections.abc import Iterator
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
+from repro.obs.spans import CAT_BARRIER, CAT_JOB, CAT_TASK, Span, SpanTracer
+
+
+class JobObservability:
+    """Tracer + metrics + legacy-trace bridge for one job run."""
+
+    def __init__(
+        self,
+        job_name: str = "job",
+        *,
+        enabled: bool = True,
+        tracer: SpanTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        legacy_trace: Any | None = None,
+        start_at: float | None = None,
+    ) -> None:
+        self.job_name = job_name
+        self.enabled = enabled
+        self.tracer = tracer or SpanTracer()
+        self.metrics = metrics or MetricsRegistry()
+        self.trace = legacy_trace
+        self.job_span: Span | None = None
+        if enabled:
+            self.job_span = self.tracer.start_span(
+                "job",
+                category=CAT_JOB,
+                track="job",
+                at=start_at,
+                args={"name": job_name},
+            )
+
+    # ------------------------------------------------------------------ #
+    # Span helpers used by the engine
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def task(self, kind: str, index: int) -> Iterator[Span | None]:
+        """A task span (``map``/``reduce``) on its own display track.
+
+        Also drives the legacy trace: ``start`` on entry, ``finish`` on
+        clean exit only — matching the historical engine behaviour where
+        a failing task never recorded its finish event.
+        """
+        if self.trace is not None:
+            self.trace.record(kind, "start", index)
+        span = None
+        if self.enabled:
+            span = self.tracer.start_span(
+                kind,
+                parent=self.job_span,
+                category=CAT_TASK,
+                track=f"{kind} {index}",
+                args={"index": index},
+            )
+        try:
+            yield span
+        except BaseException as exc:
+            if span is not None:
+                self.tracer.end_span(span, args={"error": type(exc).__name__})
+            raise
+        else:
+            if span is not None:
+                self.tracer.end_span(span)
+            if self.trace is not None:
+                self.trace.record(kind, "finish", index)
+
+    @contextmanager
+    def phase(
+        self, name: str, parent: Span | None, **args: Any
+    ) -> Iterator[Span | None]:
+        """A phase span nested under a task span."""
+        if not self.enabled:
+            yield None
+            return
+        with self.tracer.span(name, parent=parent, args=args or None) as s:
+            yield s
+
+    def barrier_wait(self, partition: int, *, since: float | None = None) -> Span | None:
+        """Record how long reduce ``partition`` waited on its barrier.
+
+        The wait interval runs from ``since`` (default: job start — a
+        reduce task is logically pending from the moment the job
+        launches) to now; it lands on the reduce's display track so the
+        wait abuts the reduce span in a trace viewer.
+        """
+        if not self.enabled:
+            return None
+        now = self.tracer.now()
+        start = since
+        if start is None:
+            start = self.job_span.start if self.job_span is not None else 0.0
+        span = self.tracer.start_span(
+            "barrier.wait",
+            parent=self.job_span,
+            category=CAT_BARRIER,
+            track=f"reduce {partition}",
+            at=start,
+            args={"index": partition},
+        )
+        self.tracer.end_span(span, at=now)
+        self.metrics.histogram("barrier.wait.seconds", TIME_BUCKETS).observe(
+            now - start
+        )
+        return span
+
+    # ------------------------------------------------------------------ #
+    def finish(self, **args: Any) -> None:
+        """Close the job span and record the makespan gauge."""
+        if self.job_span is not None and self.job_span.end is None:
+            self.tracer.end_span(self.job_span, args=args or None)
+            self.metrics.gauge("job.makespan.seconds").set(self.job_span.duration)

@@ -1,0 +1,252 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of the observability layer (spans are
+the temporal half).  All metric types are thread-safe and cheap enough
+to update from the engine's hot paths; histograms batch with
+:meth:`Histogram.observe_many` so per-group accounting costs one lock
+acquisition per reduce task, not one per key group.
+
+Metric name vocabulary shared by the real engine and the simulator
+(see ``docs/OBSERVABILITY.md``):
+
+* ``barrier.wait.seconds`` — histogram, per-reduce barrier wait
+* ``shuffle.fetch.seconds`` — histogram, per-reduce fetch-phase time
+* ``reduce.group.size`` — histogram, records per reduce key group
+* ``map.emit.records_per_sec`` — histogram, per-map emit rate
+* ``shuffle.fetch.connections`` / ``shuffle.fetch.empty`` — counters
+* ``shuffle.spill.files`` / ``shuffle.spill.records`` — counters
+* ``barrier.early.starts`` — counter
+* ``sched.reduce.scheduled`` / ``sched.map.scheduled`` /
+  ``sched.maps.unlocked`` — counters (SIDR schedule policy)
+* ``job.makespan.seconds`` — gauge
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+from typing import Any
+
+from repro.errors import ObservabilityError
+
+#: Default latency buckets (seconds): 100 µs .. 1 min, roughly log-spaced.
+TIME_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0
+)
+#: Count buckets (e.g. reduce group sizes): powers of two.
+COUNT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384)
+#: Rate buckets (records/second): powers of ten.
+RATE_BUCKETS: tuple[float, ...] = (1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8)
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins float."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow
+    bucket, with running count/sum/min/max."""
+
+    def __init__(self, name: str, buckets: Iterable[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # last slot = overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def _slot(self, value: float) -> int:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                return i
+        return len(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.observe_many((value,))
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        with self._lock:
+            for v in values:
+                v = float(v)
+                self._counts[self._slot(v)] += 1
+                self._count += 1
+                self._sum += v
+                if v < self._min:
+                    self._min = v
+                if v > self._max:
+                    self._max = v
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding
+        the q-th observation (conservative; exact only at bucket edges)."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            seen = 0
+            for i, c in enumerate(self._counts):
+                seen += c
+                if seen >= rank and c:
+                    return (
+                        self.buckets[i] if i < len(self.buckets) else self._max
+                    )
+            return self._max
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    A name is bound to exactly one metric type; re-registering a
+    histogram with different buckets is an error (silent bucket drift
+    would corrupt merged snapshots).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unbound(self, name: str, want: str) -> None:
+        kinds = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for kind, store in kinds.items():
+            if kind != want and name in store:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                self._check_unbound(name, "counter")
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                self._check_unbound(name, "gauge")
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = TIME_BUCKETS
+    ) -> Histogram:
+        bounds = tuple(float(b) for b in buckets)
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                self._check_unbound(name, "histogram")
+                h = self._histograms[name] = Histogram(name, bounds)
+            elif h.buckets != bounds:
+                raise ObservabilityError(
+                    f"histogram {name!r} re-registered with different buckets"
+                )
+            return h
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready snapshot of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            hists = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(hists.items())},
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counter sums, gauge
+        last-write, histogram bucket-wise sums)."""
+        snap = other.snapshot()
+        for name, value in snap["counters"].items():
+            self.counter(name).inc(value)
+        for name, value in snap["gauges"].items():
+            self.gauge(name).set(value)
+        for name, h in snap["histograms"].items():
+            mine = self.histogram(name, h["buckets"])
+            with mine._lock:
+                for i, c in enumerate(h["counts"]):
+                    mine._counts[i] += c
+                mine._count += h["count"]
+                mine._sum += h["sum"]
+                if h["min"] is not None:
+                    mine._min = min(mine._min, h["min"])
+                if h["max"] is not None:
+                    mine._max = max(mine._max, h["max"])

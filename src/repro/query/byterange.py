@@ -40,7 +40,7 @@ from repro.mapreduce.splits import ByteRangeSplit
 from repro.mapreduce.types import KeyValue
 from repro.query.language import QueryPlan
 from repro.query.operators import Chunk
-from repro.scidata.dataset import Dataset, open_dataset
+from repro.scidata.dataset import open_dataset
 from repro.scidata.nclite import read_header
 
 

@@ -28,9 +28,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.arrays.extraction import StridedExtraction
 from repro.arrays.slab import Slab
-from repro.errors import QueryError
 from repro.mapreduce.mapper import Mapper
 from repro.mapreduce.types import KeyValue
 from repro.query.language import QueryPlan

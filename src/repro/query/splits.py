@@ -20,9 +20,9 @@ Two generators:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.arrays.extraction import ExtractionShape, StridedExtraction
+from repro.arrays.extraction import StridedExtraction
 from repro.arrays.linearize import slab_to_index_runs
 from repro.arrays.shape import Shape, volume
 from repro.arrays.slab import Slab

@@ -23,8 +23,6 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from repro.arrays.extraction import StridedExtraction
-from repro.arrays.slab import Slab
 from repro.errors import BarrierViolationError, PartitionError
 from repro.query.language import QueryPlan
 from repro.sidr.keyblocks import KeyBlockPartition

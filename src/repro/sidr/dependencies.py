@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import bisect
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 from repro.arrays.linearize import slab_index_range

@@ -34,8 +34,7 @@ a strict cell bound should pick a skew bound that divides the row (the
 from __future__ import annotations
 
 from repro.arrays.linearize import coord_to_index
-from repro.arrays.shape import Shape, ceil_div, volume
-from repro.arrays.slab import Slab
+from repro.arrays.shape import Shape, volume
 from repro.arrays.tiling import grid_shape
 from repro.errors import PartitionError
 from repro.sidr.keyblocks import KeyBlock, KeyBlockPartition

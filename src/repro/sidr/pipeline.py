@@ -26,21 +26,21 @@ the composed serial oracle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
-from repro.arrays.slab import Slab
 from repro.errors import QueryError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import EngineTrace, LocalEngine
 from repro.mapreduce.shuffle import ShuffleStore
 from repro.mapreduce.types import KeyValue
+from repro.obs import JobObservability
 from repro.query.language import QueryPlan, StructuralQuery
-from repro.query.splits import CoordinateSplit, slice_splits
+from repro.query.splits import slice_splits
 from repro.scidata.metadata import simple_metadata
-from repro.sidr.planner import SIDRPlan, build_plan
+from repro.sidr.planner import build_plan
 
 
 @dataclass(frozen=True)
@@ -137,9 +137,9 @@ class PipelinedQuery:
         s2_input = np.full(s2_space, np.nan)
         engine = LocalEngine()
         s2_job, s2_barrier = self.s2_plan.configure_job(s2_input)
-        s2_store = ShuffleStore()
+        s2_obs = JobObservability(s2_job.name, legacy_trace=EngineTrace())
+        s2_store = ShuffleStore(metrics=s2_obs.metrics)
         s2_counters = Counters()
-        s2_trace = EngineTrace()
         s2_done_maps: set[int] = set()
         s2_pending_reduces = set(range(self.s2_plan.num_reduce_tasks))
         s2_outputs: dict[int, list[KeyValue]] = {}
@@ -152,7 +152,7 @@ class PipelinedQuery:
                 if i in s2_done_maps:
                     continue
                 if self.gates[i] <= committed_blocks:
-                    engine._run_map(s2_job, i, s2_store, s2_counters, s2_trace)
+                    engine._run_map(s2_job, i, s2_store, s2_counters, s2_obs)
                     s2_done_maps.add(i)
                     log(2, "map", i)
             # Fire any stage-2 reduce whose dependencies are met.
@@ -162,7 +162,7 @@ class PipelinedQuery:
                     s2_pending_reduces.discard(l)
                     s2_outputs[l] = engine._run_reduce(
                         s2_job, l, s2_barrier, s2_store, s2_counters,
-                        s2_trace, snapshot,
+                        s2_obs, snapshot,
                     )
                     log(2, "reduce", l)
 

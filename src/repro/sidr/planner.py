@@ -18,14 +18,14 @@ input metadata" (§3.1).  The resulting plan plugs into:
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.arrays.slab import Slab
 from repro.errors import PartitionError
 from repro.mapreduce.engine import DependencyBarrier
 from repro.mapreduce.job import JobConf
-from repro.mapreduce.mapper import ChunkAggregateMapper, Mapper
+from repro.mapreduce.mapper import ChunkAggregateMapper
 from repro.mapreduce.partitioner import RangePartitioner
 from repro.mapreduce.reducer import AggregateReducer, CombinerAdapter, Reducer
 from repro.query.language import QueryPlan
@@ -70,8 +70,10 @@ class SIDRPlan:
             self.query_plan, self.partition, exact=exact
         )
 
-    def schedule_policy(self) -> SidrSchedulePolicy:
-        return SidrSchedulePolicy(deps=self.deps, priorities=self.priorities)
+    def schedule_policy(self, *, metrics: Any | None = None) -> SidrSchedulePolicy:
+        return SidrSchedulePolicy(
+            deps=self.deps, priorities=self.priorities, metrics=metrics
+        )
 
     # ------------------------------------------------------------------ #
     # Output geometry (§4.4)

@@ -19,6 +19,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import SchedulerError
+from repro.obs.metrics import MetricsRegistry
 from repro.sidr.dependencies import DependencyMap
 
 
@@ -29,6 +30,9 @@ class SidrSchedulePolicy:
     deps: DependencyMap
     #: Lower value = schedule earlier; defaults to all-equal (index order).
     priorities: Sequence[float] | None = None
+    #: Optional shared metrics registry; scheduling decisions land under
+    #: the ``sched.*`` counters (see docs/OBSERVABILITY.md).
+    metrics: MetricsRegistry | None = None
 
     _eligible_maps: set[int] = field(default_factory=set, repr=False)
     _scheduled_reduces: set[int] = field(default_factory=set, repr=False)
@@ -67,6 +71,9 @@ class SidrSchedulePolicy:
         self._scheduled_reduces.add(block)
         newly = self.deps.dependencies[block] - self._eligible_maps
         self._eligible_maps |= newly
+        if self.metrics is not None:
+            self.metrics.counter("sched.reduce.scheduled").inc()
+            self.metrics.counter("sched.maps.unlocked").inc(len(newly))
         return frozenset(newly)
 
     # ------------------------------------------------------------------ #
@@ -88,6 +95,8 @@ class SidrSchedulePolicy:
                 "reduce depends on it"
             )
         self._scheduled_maps.add(split_index)
+        if self.metrics is not None:
+            self.metrics.counter("sched.map.scheduled").inc()
 
     # ------------------------------------------------------------------ #
     @property

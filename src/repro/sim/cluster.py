@@ -7,7 +7,7 @@ link, three data disks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dfs.topology import ClusterTopology
 from repro.errors import SchedulerError

@@ -31,7 +31,7 @@ from __future__ import annotations
 import enum
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -89,6 +89,7 @@ class _JobSim:
             reduce_scheduled=[0.0] * spec.num_reduces,
             reduce_processing_start=[0.0] * spec.num_reduces,
             reduce_finish=[0.0] * spec.num_reduces,
+            reduce_barrier_ready=[0.0] * spec.num_reduces,
             reduce_weights=list(spec.weights()),
         )
         # --- map state -------------------------------------------------
@@ -264,6 +265,9 @@ class _JobSim:
     # ------------------------------------------------------------------ #
     def _begin_reduce_processing(self, st: _ReduceState) -> None:
         l = st.index
+        # Barrier satisfied now: the moment the observability layer's
+        # per-reduce barrier.wait span closes.
+        self.timeline.reduce_barrier_ready[l] = self.sim.now
         # Fetch set: stock Hadoop contacts every map (§4.6); SIDR only its
         # producers.
         if self.mode is ExecutionMode.STOCK:

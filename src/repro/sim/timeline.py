@@ -29,6 +29,10 @@ class TaskTimeline:
     reduce_scheduled: list[float] = field(default_factory=list)
     reduce_processing_start: list[float] = field(default_factory=list)
     reduce_finish: list[float] = field(default_factory=list)
+    #: When each reduce's barrier became satisfied (its last dependency
+    #: map finished, or its schedule time if maps were already done).
+    #: May be empty on timelines built before this field existed.
+    reduce_barrier_ready: list[float] = field(default_factory=list)
     #: Output-share weight of each reduce task (sums to 1).
     reduce_weights: list[float] = field(default_factory=list)
     shuffle_connections: int = 0
@@ -79,13 +83,20 @@ class TaskTimeline:
         )
 
     def reduce_completion_curve(self) -> CompletionCurve:
-        """Output availability weighted by each reduce's output share."""
+        """Output availability weighted by each reduce's output share.
+
+        A job with zero reduce tasks has an empty curve (not a crash):
+        map-only jobs and degenerate simulator configs are legal.
+        """
+        if self.num_reduces == 0 or not self.reduce_finish:
+            return CompletionCurve((), ())
         order = np.argsort(self.reduce_finish, kind="stable")
         w = np.asarray(self.reduce_weights, dtype=np.float64)
         if w.size == 0:
-            w = np.full(self.num_reduces, 1.0 / max(self.num_reduces, 1))
+            w = np.full(self.num_reduces, 1.0 / self.num_reduces)
         fr = np.cumsum(w[order])
-        fr /= fr[-1]
+        if fr[-1] > 0:
+            fr /= fr[-1]
         ts = np.asarray(self.reduce_finish)[order]
         return CompletionCurve(tuple(float(t) for t in ts), tuple(float(f) for f in fr))
 
@@ -96,6 +107,8 @@ class TaskTimeline:
         """Reduce-availability fractions at the given times (for averaging
         across runs in the Figure 12 variance analysis)."""
         curve = self.reduce_completion_curve()
+        if not curve.times:
+            return np.zeros(len(np.atleast_1d(np.asarray(times))))
         ct = np.asarray(curve.times)
         cf = np.asarray(curve.fractions)
         idx = np.searchsorted(ct, np.asarray(times), side="right")
@@ -110,3 +123,87 @@ class TaskTimeline:
             "early_reduces": float(self.reduces_finished_before_last_map()),
             "connections": float(self.shuffle_connections),
         }
+
+    # ------------------------------------------------------------------ #
+    # Observability bridge
+    # ------------------------------------------------------------------ #
+    def to_observability(self, job_name: str | None = None):
+        """Replay this timeline as spans/metrics in the engine's exact
+        observability vocabulary (``job``/``map``/``reduce`` task spans,
+        ``barrier.wait``, ``reduce.fetch``, ``reduce.reduce``), so a
+        simulated run exports to the same Perfetto trace format as a
+        real :class:`~repro.mapreduce.engine.LocalEngine` run.
+        """
+        from repro.obs import CAT_TASK, TIME_BUCKETS, JobObservability
+
+        obs = JobObservability(
+            job_name or f"sim-{self.mode}", enabled=True, start_at=0.0
+        )
+        tr = obs.tracer
+        for m in range(self.num_maps):
+            span = tr.start_span(
+                "map",
+                parent=obs.job_span,
+                category=CAT_TASK,
+                track=f"map {m}",
+                at=self.map_start[m],
+                args={"index": m},
+            )
+            tr.end_span(span, at=self.map_finish[m])
+        wait_hist = obs.metrics.histogram("barrier.wait.seconds", TIME_BUCKETS)
+        fetch_hist = obs.metrics.histogram("shuffle.fetch.seconds", TIME_BUCKETS)
+        last_map = self.last_map_finish
+        early = 0
+        for l in range(self.num_reduces):
+            scheduled = self.reduce_scheduled[l]
+            ready = (
+                self.reduce_barrier_ready[l]
+                if l < len(self.reduce_barrier_ready)
+                else self.reduce_processing_start[l]
+            )
+            ready = min(max(ready, scheduled), self.reduce_finish[l])
+            bw = tr.start_span(
+                "barrier.wait",
+                parent=obs.job_span,
+                category="barrier",
+                track=f"reduce {l}",
+                at=scheduled,
+                args={"index": l},
+            )
+            tr.end_span(bw, at=ready)
+            wait_hist.observe(ready - scheduled)
+            span = tr.start_span(
+                "reduce",
+                parent=obs.job_span,
+                category=CAT_TASK,
+                track=f"reduce {l}",
+                at=ready,
+                args={"index": l},
+            )
+            copy_end = max(self.reduce_processing_start[l], ready)
+            fetch = tr.start_span(
+                "reduce.fetch", parent=span, at=ready, args={"index": l}
+            )
+            tr.end_span(fetch, at=copy_end)
+            fetch_hist.observe(copy_end - ready)
+            red = tr.start_span(
+                "reduce.reduce", parent=span, at=copy_end, args={"index": l}
+            )
+            tr.end_span(red, at=self.reduce_finish[l])
+            tr.end_span(span, at=self.reduce_finish[l])
+            if ready < last_map:
+                early += 1
+                tr.instant(
+                    "reduce.early_start",
+                    parent=obs.job_span,
+                    track=f"reduce {l}",
+                    at=ready,
+                    args={"index": l},
+                )
+        obs.metrics.counter("barrier.early.starts").inc(early)
+        obs.metrics.counter("shuffle.fetch.connections").inc(
+            self.shuffle_connections
+        )
+        tr.end_span(obs.job_span, at=self.makespan)
+        obs.metrics.gauge("job.makespan.seconds").set(self.makespan)
+        return obs

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arrays.shape import volume
 from repro.arrays.slab import Slab, slabs_cover
 from repro.arrays.tiling import (
     grid_shape,

@@ -13,7 +13,6 @@ from repro.bench.workloads import (
     small_query2,
 )
 from repro.errors import QueryError
-from repro.sim.cluster import ClusterConfig
 from repro.sim.workload import (
     DependencyDistribution,
     ParitySkewDistribution,

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, _parse_shape
@@ -98,6 +100,71 @@ class TestQuery:
         assert rc == 1
 
 
+class TestQueryTrace:
+    def test_trace_is_valid_chrome_json(self, ncfile, tmp_path, capsys):
+        """Acceptance: ``query --trace out.json`` writes a loadable
+        Chrome trace_event document with complete span events."""
+        trace = tmp_path / "out.json"
+        metrics = tmp_path / "m.json"
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,2",
+                "--operator", "mean",
+                "--reduces", "3",
+                "--splits", "6",
+                "--limit", "1",
+                "--trace", str(trace),
+                "--metrics", str(metrics),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert xs
+        for e in xs:
+            assert {"pid", "tid", "ts", "dur", "name", "cat"} <= set(e)
+        jobs = [e for e in xs if e["cat"] == "job"]
+        assert len(jobs) == 1
+        reduces = [e for e in xs if e["cat"] == "task" and e["name"] == "reduce"]
+        assert len(reduces) == 3
+        assert all(
+            e["args"]["parent_id"] == jobs[0]["args"]["span_id"]
+            for e in reduces
+        )
+        waits = [e for e in xs if e["name"] == "barrier.wait"]
+        assert len(waits) == 3
+        mdoc = json.loads(metrics.read_text())
+        assert "counters" in mdoc
+
+    def test_report_renders_saved_trace(self, ncfile, tmp_path, capsys):
+        trace = tmp_path / "out.json"
+        main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,2",
+                "--operator", "mean",
+                "--reduces", "2",
+                "--splits", "4",
+                "--limit", "0",
+                "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["report", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-phase totals:" in out
+        assert "barrier waits (per reduce):" in out
+
+    def test_report_missing_file_is_error(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSimulate:
     def test_fig13_fast(self, capsys):
         rc = main(["simulate", "--figure", "13", "--scale", "20"])
@@ -110,6 +177,25 @@ class TestSimulate:
         rc = main(["simulate", "--figure", "12", "--scale", "20", "--runs", "2"])
         assert rc == 0
         assert "Figure 12" in capsys.readouterr().out
+
+    def test_simulate_trace_export(self, tmp_path, capsys):
+        trace = tmp_path / "sim.json"
+        rc = main(
+            ["simulate", "--figure", "13", "--scale", "20",
+             "--trace", str(trace)]
+        )
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        labels = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        }
+        assert labels == {"stock", "SIDR"}
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "== stock ==" in out and "== SIDR ==" in out
 
 
 class TestTables:

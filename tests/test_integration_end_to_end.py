@@ -9,7 +9,6 @@ quickstart example mirrors it.
 import numpy as np
 import pytest
 
-from repro.arrays.slab import Slab
 from repro.dfs.filesystem import SimulatedDFS
 from repro.mapreduce.engine import LocalEngine
 from repro.query.language import StructuralQuery

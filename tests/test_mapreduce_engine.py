@@ -1,6 +1,5 @@
 """Engine tests: semantics, barriers, traces, counters, both exec modes."""
 
-import threading
 
 import pytest
 
@@ -12,7 +11,7 @@ from repro.mapreduce.engine import (
     LocalEngine,
 )
 from repro.mapreduce.job import JobConf
-from repro.mapreduce.mapper import FunctionMapper, IdentityMapper
+from repro.mapreduce.mapper import IdentityMapper
 from repro.mapreduce.partitioner import HashPartitioner, RangePartitioner
 from repro.mapreduce.reducer import FunctionReducer
 from repro.mapreduce.splits import ByteRangeSplit, generate_byte_splits

@@ -160,7 +160,6 @@ class TestRangePartitioner:
         else:
             cuts = [vol]
         p = RangePartitioner(space, cuts)
-        from repro.arrays.linearize import coord_to_index
         from repro.arrays.slab import Slab
 
         last = 0

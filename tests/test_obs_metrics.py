@@ -1,0 +1,145 @@
+"""Unit tests for counters/gauges/histograms (repro.obs.metrics)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    COUNT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    TIME_BUCKETS,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = MetricsRegistry().counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_buckets_must_increase(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", (1.0, 1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", ())
+
+    def test_observe_and_stats(self):
+        h = Histogram("h", (1.0, 10.0, 100.0))
+        h.observe_many([0.5, 5.0, 50.0, 500.0])
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        snap = h.snapshot()
+        assert snap["counts"] == [1, 1, 1, 1]  # last slot = overflow
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500.0
+        assert h.mean() == pytest.approx(555.5 / 4)
+
+    def test_quantile(self):
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        h.observe_many([0.5] * 9 + [3.0])
+        assert h.quantile(0.5) == 1.0    # median in the first bucket
+        assert h.quantile(1.0) == 4.0    # conservative: bucket upper bound
+        h.observe(99.0)                  # overflow bucket reports the max
+        assert h.quantile(1.0) == 99.0
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.5)
+
+    def test_empty_snapshot(self):
+        h = Histogram("h", (1.0,))
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert h.quantile(0.9) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.histogram("h", TIME_BUCKETS) is m.histogram("h", TIME_BUCKETS)
+
+    def test_type_clash_rejected(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(ObservabilityError):
+            m.gauge("x")
+        with pytest.raises(ObservabilityError):
+            m.histogram("x")
+
+    def test_bucket_mismatch_rejected(self):
+        m = MetricsRegistry()
+        m.histogram("h", TIME_BUCKETS)
+        with pytest.raises(ObservabilityError):
+            m.histogram("h", COUNT_BUCKETS)
+
+    def test_snapshot_shape(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(2)
+        m.gauge("g").set(1.0)
+        m.histogram("h", (1.0,)).observe(0.5)
+        snap = m.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_sums_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        a.histogram("h", (1.0, 2.0)).observe_many([0.5, 1.5])
+        b.histogram("h", (1.0, 2.0)).observe_many([0.5, 9.0])
+        b.gauge("g").set(7.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 7
+        h = snap["histograms"]["h"]
+        assert h["count"] == 4
+        assert h["counts"] == [2, 1, 1]
+        assert h["min"] == 0.5 and h["max"] == 9.0
+        assert snap["gauges"]["g"] == 7.0
+
+    def test_merge_bucket_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", (1.0,)).observe(0.5)
+        b.histogram("h", (2.0,)).observe(0.5)
+        with pytest.raises(ObservabilityError):
+            a.merge(b)
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_lossless(self):
+        m = MetricsRegistry()
+        n_threads, per_thread = 8, 1000
+
+        def work():
+            c = m.counter("hits")
+            h = m.histogram("lat", TIME_BUCKETS)
+            for _ in range(per_thread):
+                c.inc()
+                h.observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("hits").value == n_threads * per_thread
+        assert m.histogram("lat", TIME_BUCKETS).count == n_threads * per_thread

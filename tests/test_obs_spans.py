@@ -1,0 +1,140 @@
+"""Unit tests for the span tracer (repro.obs.spans)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import CAT_INSTANT, CAT_TASK, SpanTracer
+
+
+class TestBasics:
+    def test_start_end(self):
+        tr = SpanTracer()
+        s = tr.start_span("work")
+        assert not s.finished
+        tr.end_span(s)
+        assert s.finished
+        assert s.duration >= 0.0
+
+    def test_duration_of_open_span_is_error(self):
+        tr = SpanTracer()
+        s = tr.start_span("open")
+        with pytest.raises(ObservabilityError):
+            _ = s.duration
+
+    def test_double_end_is_error(self):
+        tr = SpanTracer()
+        s = tr.start_span("once")
+        tr.end_span(s)
+        with pytest.raises(ObservabilityError):
+            tr.end_span(s)
+
+    def test_end_clamped_to_start(self):
+        """Clock skew between explicit timestamps must not produce
+        negative durations."""
+        tr = SpanTracer()
+        s = tr.start_span("x", at=5.0)
+        tr.end_span(s, at=3.0)
+        assert s.end == 5.0
+        assert s.duration == 0.0
+
+    def test_ids_are_unique_and_ordered(self):
+        tr = SpanTracer()
+        ids = [tr.start_span(f"s{i}").span_id for i in range(10)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+
+class TestHierarchy:
+    def test_parent_linkage(self):
+        tr = SpanTracer()
+        job = tr.start_span("job")
+        task = tr.start_span("map", parent=job, category=CAT_TASK)
+        phase = tr.start_span("map.read", parent=task)
+        assert job.parent_id is None
+        assert task.parent_id == job.span_id
+        assert phase.parent_id == task.span_id
+        assert tr.children_of(job) == [task]
+        assert tr.children_of(task) == [phase]
+
+    def test_track_defaults_to_parent(self):
+        tr = SpanTracer()
+        task = tr.start_span("map", track="map 3")
+        phase = tr.start_span("map.read", parent=task)
+        assert phase.track == "map 3"
+
+    def test_track_defaults_to_name_without_parent(self):
+        tr = SpanTracer()
+        assert tr.start_span("solo").track == "solo"
+
+
+class TestContextManager:
+    def test_clean_exit_finishes(self):
+        tr = SpanTracer()
+        with tr.span("outer") as s:
+            pass
+        assert s.finished
+
+    def test_error_recorded_and_reraised(self):
+        tr = SpanTracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom") as s:
+                raise ValueError("x")
+        assert s.finished
+        assert s.args["error"] == "ValueError"
+
+
+class TestSyntheticClock:
+    def test_explicit_timestamps(self):
+        """The simulator replays timelines with synthetic ``at=`` times."""
+        tr = SpanTracer()
+        s = tr.start_span("sim", at=10.0)
+        tr.end_span(s, at=25.5)
+        assert s.start == 10.0
+        assert s.duration == 15.5
+
+    def test_instant(self):
+        tr = SpanTracer()
+        s = tr.instant("marker", at=3.0, args={"index": 1})
+        assert s.category == CAT_INSTANT
+        assert s.start == 3.0
+        assert s.duration == 0.0
+
+
+class TestQueries:
+    def test_find_and_len(self):
+        tr = SpanTracer()
+        tr.start_span("a")
+        b = tr.start_span("b")
+        tr.end_span(b)
+        assert len(tr) == 2
+        assert [s.name for s in tr.find("b")] == ["b"]
+        assert [s.name for s in tr.finished_spans()] == ["b"]
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        tr = SpanTracer()
+        root = tr.start_span("job")
+        n_threads, per_thread = 8, 50
+
+        def work(t):
+            for i in range(per_thread):
+                with tr.span(f"t{t}.{i}", parent=root):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(tr) == 1 + n_threads * per_thread
+        spans = tr.spans()
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == len(ids)
+        assert all(
+            s.parent_id == root.span_id for s in spans if s is not root
+        )

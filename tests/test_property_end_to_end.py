@@ -31,7 +31,7 @@ from repro.query.operators import (
 )
 from repro.query.splits import slice_splits
 from repro.scidata.metadata import simple_metadata
-from repro.sidr.planner import build_plan, build_sidr_job
+from repro.sidr.planner import build_sidr_job
 
 OPERATORS = [
     SumOp(),

@@ -6,7 +6,7 @@ import pytest
 from repro.arrays.slab import Slab
 from repro.errors import QueryError
 from repro.query.language import StructuralQuery
-from repro.query.operators import MeanOp, MedianOp, SumOp
+from repro.query.operators import MeanOp, SumOp
 
 
 class TestCompile:

@@ -1,7 +1,6 @@
 """Unit tests for scientific record readers."""
 
 import numpy as np
-import pytest
 
 from repro.query.operators import Chunk
 from repro.query.recordreader import (

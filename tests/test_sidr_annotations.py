@@ -5,13 +5,12 @@ import pytest
 from repro.errors import BarrierViolationError
 from repro.mapreduce.engine import DependencyBarrier, LocalEngine
 from repro.query.language import StructuralQuery
-from repro.query.operators import MeanOp, SumOp
+from repro.query.operators import SumOp
 from repro.query.splits import slice_splits
 from repro.sidr.annotations import (
     CountAnnotationValidator,
     expected_source_cells,
 )
-from repro.sidr.dependencies import compute_dependencies
 from repro.sidr.partition_plus import partition_plus
 from repro.sidr.planner import build_plan
 

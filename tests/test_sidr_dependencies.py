@@ -7,13 +7,9 @@ over-approximation would waste connections.
 """
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import PartitionError
-from repro.mapreduce.engine import GlobalBarrier, LocalEngine
-from repro.query.language import StructuralQuery
-from repro.query.operators import MeanOp
+from repro.mapreduce.engine import LocalEngine
 from repro.query.splits import aligned_slice_splits, slice_splits
 from repro.sidr.dependencies import (
     DependencyMap,
@@ -112,9 +108,11 @@ class TestGroundTruth:
         store = ShuffleStore()
         from repro.mapreduce.counters import Counters
         from repro.mapreduce.engine import EngineTrace
+        from repro.obs import JobObservability
 
+        obs = JobObservability("gt", legacy_trace=EngineTrace())
         for i in range(len(splits)):
-            engine._run_map(job, i, store, Counters(), EngineTrace())
+            engine._run_map(job, i, store, Counters(), obs)
         return [store.index_of(i).partitions for i in range(len(splits))]
 
     @pytest.mark.parametrize("num_splits,r", [(5, 3), (9, 4), (14, 6)])

@@ -143,7 +143,6 @@ class TestPartitionPlus:
     def test_matches_range_partitioner(self):
         """The boundaries drive a RangePartitioner that assigns every key
         to the block geometrically containing it."""
-        from repro.arrays.linearize import coord_to_index
         from repro.mapreduce.partitioner import RangePartitioner
 
         space = (12, 5)

@@ -108,3 +108,40 @@ class TestMapScheduling:
             marked |= p.on_reduce_scheduled(l)
         assert marked == set(range(6))
         assert p.scheduled_reduces == frozenset({0, 1, 2})
+
+
+class TestSchedulerMetrics:
+    def test_decisions_counted(self):
+        from repro.obs import MetricsRegistry
+
+        m = MetricsRegistry()
+        p = SidrSchedulePolicy(deps=simple_deps(), metrics=m)
+        for l in p.reduce_schedule_order():
+            p.on_reduce_scheduled(l)
+        for i in range(6):
+            p.on_map_scheduled(i)
+        c = m.snapshot()["counters"]
+        assert c["sched.reduce.scheduled"] == 3
+        assert c["sched.maps.unlocked"] == 6
+        assert c["sched.map.scheduled"] == 6
+
+    def test_plan_threads_metrics_through(self):
+        from repro.obs import MetricsRegistry
+        from repro.query.language import StructuralQuery
+        from repro.query.operators import MeanOp
+        from repro.query.splits import slice_splits
+        from repro.scidata.generators import temperature_dataset
+        from repro.sidr.planner import build_plan
+
+        field = temperature_dataset(days=14, lat=10, lon=6)
+        plan = StructuralQuery(
+            variable="temperature",
+            extraction_shape=(7, 5, 1),
+            operator=MeanOp(),
+        ).compile(field.metadata)
+        splits = slice_splits(plan, num_splits=4)
+        sidr = build_plan(plan, splits, 2)
+        m = MetricsRegistry()
+        policy = sidr.schedule_policy(metrics=m)
+        policy.on_reduce_scheduled(0)
+        assert m.snapshot()["counters"]["sched.reduce.scheduled"] == 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.costmodel import MB, CostModel
+from repro.sim.costmodel import MB
 from repro.sim.failure import (
     RecoveryModel,
     breakeven_failure_prob,

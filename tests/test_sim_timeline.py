@@ -91,3 +91,85 @@ class TestCurves:
             "early_reduces",
             "connections",
         }
+
+
+def map_only_timeline(map_finish):
+    n_m = len(map_finish)
+    return TaskTimeline(
+        mode="test",
+        num_maps=n_m,
+        num_reduces=0,
+        map_start=[0.0] * n_m,
+        map_finish=list(map_finish),
+    )
+
+
+class TestZeroReduces:
+    """Regression: map-only timelines used to crash with an IndexError
+    in ``reduce_completion_curve`` (``fr[-1]`` on an empty cumsum)."""
+
+    def test_empty_reduce_curve(self):
+        c = map_only_timeline([10.0, 20.0]).reduce_completion_curve()
+        assert c.times == ()
+        assert c.fractions == ()
+
+    def test_fraction_done_at_zero_reduces(self):
+        assert map_only_timeline([10.0]).fraction_done_at(99.0) == 0.0
+
+    def test_sampled_curve_zero_reduces(self):
+        vals = map_only_timeline([10.0]).sampled_reduce_curve(
+            np.array([0.0, 5.0, 50.0])
+        )
+        assert list(vals) == [0.0, 0.0, 0.0]
+
+    def test_summary_zero_reduces(self):
+        s = map_only_timeline([10.0]).summary()
+        assert s["first_result"] == float("inf")
+        assert s["early_reduces"] == 0.0
+        assert s["makespan"] == 10.0
+
+
+class TestObservabilityBridge:
+    def test_replay_matches_timeline(self):
+        tl = TaskTimeline(
+            mode="test",
+            num_maps=2,
+            num_reduces=1,
+            map_start=[0.0, 1.0],
+            map_finish=[4.0, 6.0],
+            reduce_scheduled=[0.5],
+            reduce_processing_start=[5.0],
+            reduce_finish=[9.0],
+            reduce_barrier_ready=[4.0],
+            reduce_weights=[1.0],
+            shuffle_connections=2,
+        )
+        obs = tl.to_observability("replay")
+        tr = obs.tracer
+        job = tr.find("job")[0]
+        assert job.start == 0.0 and job.end == 9.0
+        maps = sorted(tr.find("map"), key=lambda s: s.args["index"])
+        assert [(s.start, s.end) for s in maps] == [(0.0, 4.0), (1.0, 6.0)]
+        wait = tr.find("barrier.wait")[0]
+        assert (wait.start, wait.end) == (0.5, 4.0)
+        reduce = tr.find("reduce")[0]
+        assert (reduce.start, reduce.end) == (4.0, 9.0)
+        fetch = tr.find("reduce.fetch")[0]
+        assert (fetch.start, fetch.end) == (4.0, 5.0)
+        red = tr.find("reduce.reduce")[0]
+        assert (red.start, red.end) == (5.0, 9.0)
+        # Barrier satisfied at t=4 < last map finish at t=6: early start.
+        assert len(tr.find("reduce.early_start")) == 1
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["barrier.early.starts"] == 1
+        assert snap["counters"]["shuffle.fetch.connections"] == 2
+        assert snap["gauges"]["job.makespan.seconds"] == 9.0
+
+    def test_replay_without_barrier_ready_falls_back(self):
+        """Old timelines (no ``reduce_barrier_ready``) still replay, using
+        the processing start as the barrier-satisfaction time."""
+        tl = timeline([5.0], [10.0])
+        obs = tl.to_observability()
+        wait = obs.tracer.find("barrier.wait")[0]
+        assert wait.end == 10.0  # processing_start fallback
+        assert obs.job_name == "sim-test"
