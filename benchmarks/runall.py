@@ -220,6 +220,32 @@ def main() -> int:
         data=overhead,
     )
 
+    # Failure recovery: measured vs analytical (§6) -------------------
+    recovery = _measure_recovery()
+    save(
+        "recovery",
+        format_table(
+            ["model", "maps re-run", "predicted", "measured (s)",
+             "predicted (s)", "output ok"],
+            [
+                [r["model"], r["maps_reexecuted"],
+                 r["predicted_maps_reexecuted"],
+                 f"{r['measured_seconds']:.4f}",
+                 f"{r['predicted_seconds']:.4f}",
+                 "yes" if r["output_ok"] else "NO"]
+                for r in recovery["models"]
+            ],
+            title=(
+                "single reduce failure — measured engine recovery vs "
+                "sim/failure.py prediction"
+            ),
+        ),
+        data=recovery,
+    )
+    (out / "BENCH_recovery.json").write_text(
+        json.dumps(recovery, indent=1, sort_keys=True) + "\n"
+    )
+
     bench["total_seconds"] = round(time.time() - t0, 3)
     (out / "BENCH_obs.json").write_text(
         json.dumps(bench, indent=1, sort_keys=True) + "\n"
@@ -267,6 +293,86 @@ def _measure_tracing_overhead(runs: int = 3) -> dict:
         "off_ms": round(t_off * 1e3, 2),
         "on_ms": round(t_on * 1e3, 2),
         "overhead": round(t_on / t_off - 1.0, 4),
+    }
+
+
+def _measure_recovery(fail_reduce: int = 1) -> dict:
+    """Inject one after-fetch reduce failure and measure the recovery
+    work of each §6 design on the real engine, next to the analytical
+    single-failure prediction (``BENCH_recovery.json``)."""
+    import numpy as np
+
+    from repro.bench.workloads import sim_spec_from_plan
+    from repro.faults import (
+        WHEN_AFTER_FETCH,
+        FaultKind,
+        FaultRule,
+        InjectionPlan,
+        RecoveryModel,
+    )
+    from repro.mapreduce.engine import LocalEngine, RetryPolicy
+    from repro.query.language import StructuralQuery
+    from repro.query.operators import MeanOp
+    from repro.query.splits import slice_splits
+    from repro.scidata.generators import temperature_dataset
+    from repro.sidr.planner import build_sidr_job
+    from repro.sim.failure import predict_single_failure
+
+    field = temperature_dataset(days=364, lat=40, lon=40, seed=3)
+    data = field.arrays["temperature"].astype(np.float64)
+    plan = StructuralQuery(
+        variable="temperature", extraction_shape=(7, 5, 2), operator=MeanOp()
+    ).compile(field.metadata)
+    splits = slice_splits(plan, num_splits=16)
+
+    def run(engine):
+        job, barrier, sidr = build_sidr_job(plan, splits, 8, data)
+        return engine.run_serial(job, barrier), sidr
+
+    baseline, sidr = run(LocalEngine())
+    expected = baseline.all_records()
+    spec = sim_spec_from_plan(sidr)
+    fault = InjectionPlan(
+        rules=(
+            FaultRule(
+                task="reduce",
+                kind=FaultKind.TRANSIENT,
+                indices=frozenset({fail_reduce}),
+                times=1,
+                when=WHEN_AFTER_FETCH,
+            ),
+        )
+    )
+    models = []
+    for model in RecoveryModel:
+        res, _ = run(
+            LocalEngine(
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+                faults=fault,
+                recovery=model,
+            )
+        )
+        measured = 0.0
+        if res.obs is not None:
+            measured = res.obs.metrics.histogram("recovery.seconds").sum
+        pred = predict_single_failure(spec, model, fail_reduce)
+        models.append(
+            {
+                "model": model.value,
+                "maps_reexecuted": res.counters.get(
+                    "recovery.maps_reexecuted"
+                ),
+                "predicted_maps_reexecuted": pred.maps_reexecuted,
+                "measured_seconds": round(measured, 6),
+                "predicted_seconds": round(pred.recovery_seconds, 6),
+                "output_ok": res.all_records() == expected,
+            }
+        )
+    return {
+        "fail_reduce": fail_reduce,
+        "num_maps": len(splits),
+        "num_reduces": 8,
+        "models": models,
     }
 
 

@@ -289,6 +289,42 @@ def sim_spec(
     )
 
 
+def sim_spec_from_plan(
+    plan: SIDRPlan,
+    *,
+    name: str = "sidr-real-job",
+    intermediate_ratio: float = 1.0,
+) -> SimJobSpec:
+    """Translate a *real* engine job's :class:`SIDRPlan` into simulator
+    cost terms, so :mod:`repro.sim.failure` can price recovery designs
+    for the exact job the engine measured (the CLI ``recovery``
+    subcommand and ``BENCH_recovery.json`` comparison)."""
+    dist = DependencyDistribution.from_sidr_plan(plan)
+    splits = tuple(
+        SimSplit(
+            index=sp.index,
+            read_bytes=max(1, sp.length_bytes),
+            cells=max(1, sp.cells),
+            output_bytes=max(1, int(sp.length_bytes * intermediate_ratio)),
+        )
+        for sp in plan.splits
+    )
+    total_keys = sum(b.num_keys for b in plan.partition.blocks)
+    out_bytes = tuple(
+        max(1, int(OUTPUT_ITEM_BYTES * b.num_keys))
+        for b in plan.partition.blocks
+    )
+    if total_keys <= 0:
+        raise QueryError("plan has no intermediate keys")
+    return SimJobSpec(
+        name=name,
+        splits=splits,
+        distribution=dist,
+        reduce_output_bytes=out_bytes,
+        dense_output=True,
+    )
+
+
 def _sidr_output_bytes(plan: SIDRPlan, total: int) -> tuple[int, ...]:
     keys = sum(b.num_keys for b in plan.partition.blocks)
     return tuple(

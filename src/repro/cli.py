@@ -1,15 +1,19 @@
 """Command-line interface.
 
-Five subcommands mirroring the library's main entry points::
+Six subcommands mirroring the library's main entry points::
 
     python -m repro.cli info    FILE                 # show NCLite metadata
     python -m repro.cli query   FILE --variable V --extract 7,5,1 \\
                                 --operator mean [--reduces 4] [--stride ...]
                                 [--trace out.json] [--metrics out.json]
+                                [--inject-faults PLAN.json] [--fault-seed N]
+                                [--max-attempts K] [--recovery MODE]
     python -m repro.cli simulate --figure 9|10|11|12|13 [--scale 10]
                                 [--trace out.json] [--metrics out.json]
     python -m repro.cli report  TRACEFILE            # pretty-print a trace
     python -m repro.cli tables  --table 2|3|partition
+    python -m repro.cli recovery FILE --variable V --extract 7,5,1 ...
+                                [--fail-reduce L] [--fault-seed N]
 
 ``query`` executes a structural query for real through the SIDR engine
 (dependency barriers + count validation) and prints the output records;
@@ -18,6 +22,13 @@ Five subcommands mirroring the library's main entry points::
 trace_event file (``.jsonl`` for the line-stream format) loadable in
 Perfetto; ``--metrics`` writes the metric snapshots as JSON; ``report``
 renders a saved trace as a human-readable per-phase breakdown.
+
+``--inject-faults`` loads a fault-injection plan (schema in
+``docs/FAULT_TOLERANCE.md``) and runs the query under it with
+``--max-attempts`` retries per task; ``recovery`` injects one reduce
+failure and runs the same job under all three §6 recovery designs,
+printing the measured recovery work next to the analytical prediction
+from :mod:`repro.sim.failure`.
 """
 
 from __future__ import annotations
@@ -54,16 +65,16 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_query(args: argparse.Namespace) -> int:
-    from repro.mapreduce.engine import LocalEngine
+def _compile_query(args: argparse.Namespace):
+    """Shared query/recovery front half: compile the structural query
+    against the file's metadata and slice map splits."""
     from repro.query.language import StructuralQuery
     from repro.query.operators import get_operator
     from repro.query.splits import slice_splits
     from repro.scidata.dataset import open_dataset
-    from repro.sidr.planner import build_sidr_job
 
     params = {}
-    if args.threshold is not None:
+    if getattr(args, "threshold", None) is not None:
         params["threshold"] = args.threshold
     op = get_operator(args.operator, **params)
     q = StructuralQuery(
@@ -74,18 +85,49 @@ def cmd_query(args: argparse.Namespace) -> int:
     )
     with open_dataset(args.file) as ds:
         plan = q.compile(ds.metadata)
-    print(f"# {plan.describe()}", file=sys.stderr)
     splits = slice_splits(plan, num_splits=args.splits)
+    return plan, splits
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.faults import InjectionPlan, RecoveryModel
+    from repro.mapreduce.engine import LocalEngine, RetryPolicy
+    from repro.sidr.planner import build_sidr_job
+
+    fault_plan = None
+    if args.inject_faults:
+        fault_plan = InjectionPlan.from_json(
+            Path(args.inject_faults).read_text(),
+            seed_override=args.fault_seed,
+        )
+    engine = LocalEngine(
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        faults=fault_plan,
+        recovery=RecoveryModel.parse(args.recovery),
+    )
+    plan, splits = _compile_query(args)
+    print(f"# {plan.describe()}", file=sys.stderr)
     job, barrier, sidr = build_sidr_job(
         plan, splits, args.reduces, source=args.file
     )
-    res = LocalEngine().run_threaded(job, barrier)
+    res = engine.run_threaded(job, barrier)
     print(
         f"# {len(splits)} map tasks, {args.reduces} reduce tasks, "
         f"{res.counters.get('barrier.early.starts')} early starts, "
         f"{res.shuffle_connections} shuffle connections",
         file=sys.stderr,
     )
+    if fault_plan is not None or args.max_attempts > 1:
+        print(
+            f"# {res.counters.get('task.attempts')} attempts, "
+            f"{res.counters.get('task.failures')} failures "
+            f"({res.counters.get('faults.injected')} injected), "
+            f"{res.counters.get('task.retries')} retries, "
+            f"{res.counters.get('recovery.maps_reexecuted')} maps re-executed",
+            file=sys.stderr,
+        )
     if args.trace or args.metrics:
         from repro.obs import write_metrics, write_trace
 
@@ -104,6 +146,104 @@ def cmd_query(args: argparse.Namespace) -> int:
             print(f"... ({plan.num_intermediate_keys - limit} more)")
             break
         print(f"{','.join(map(str, k))}\t{v}")
+    return 0
+
+
+def cmd_recovery(args: argparse.Namespace) -> int:
+    """Inject one reduce failure and compare the three §6 recovery
+    designs on the real engine — measured work vs the analytical
+    prediction from :mod:`repro.sim.failure`."""
+    from repro.bench.report import format_table
+    from repro.bench.workloads import sim_spec_from_plan
+    from repro.faults import (
+        WHEN_AFTER_FETCH,
+        FaultKind,
+        FaultRule,
+        InjectionPlan,
+        RecoveryModel,
+    )
+    from repro.mapreduce.engine import LocalEngine, RetryPolicy
+    from repro.sidr.planner import build_sidr_job
+    from repro.sim.failure import predict_single_failure
+
+    plan, splits = _compile_query(args)
+    print(f"# {plan.describe()}", file=sys.stderr)
+    fail_reduce = args.fail_reduce
+    if not (0 <= fail_reduce < args.reduces):
+        raise SystemExit(
+            f"--fail-reduce {fail_reduce} out of range 0..{args.reduces - 1}"
+        )
+
+    sidr = None
+
+    def run(engine):
+        nonlocal sidr
+        job, barrier, sidr = build_sidr_job(
+            plan, splits, args.reduces, source=args.file
+        )
+        return engine.run_threaded(job, barrier)
+
+    baseline = run(LocalEngine())
+    expected = baseline.all_records()
+    spec = sim_spec_from_plan(sidr)
+
+    fault = InjectionPlan(
+        rules=(
+            FaultRule(
+                task="reduce",
+                kind=FaultKind.TRANSIENT,
+                indices=frozenset({fail_reduce}),
+                times=1,
+                when=WHEN_AFTER_FETCH,
+                message="cli recovery drill",
+            ),
+        ),
+        seed=args.fault_seed,
+    )
+    rows = []
+    for model in RecoveryModel:
+        engine = LocalEngine(
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=fault,
+            recovery=model,
+        )
+        res = run(engine)
+        ok = res.all_records() == expected
+        measured_maps = res.counters.get("recovery.maps_reexecuted")
+        measured_secs = 0.0
+        if res.obs is not None:
+            measured_secs = res.obs.metrics.histogram("recovery.seconds").sum
+        pred = predict_single_failure(spec, model, fail_reduce)
+        rows.append(
+            [
+                model.value,
+                measured_maps,
+                pred.maps_reexecuted,
+                f"{measured_secs:.4f}",
+                f"{pred.recovery_seconds:.4f}",
+                "yes" if ok else "NO",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "model",
+                "maps re-run",
+                "predicted",
+                "measured (s)",
+                "predicted (s)",
+                "output ok",
+            ],
+            rows,
+            title=(
+                f"recovery drill — reduce {fail_reduce} fails once "
+                f"after fetch ({len(splits)} maps, {args.reduces} reduces)"
+            ),
+        )
+    )
+    if any(r[-1] == "NO" for r in rows):
+        print("error: recovered output differs from baseline", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -245,7 +385,36 @@ def build_parser() -> argparse.ArgumentParser:
                          "(.jsonl = line stream)")
     p_query.add_argument("--metrics", default=None, metavar="FILE",
                          help="write metric snapshots as JSON")
+    p_query.add_argument("--inject-faults", default=None, metavar="PLAN.json",
+                         help="run under a fault-injection plan "
+                         "(schema: docs/FAULT_TOLERANCE.md)")
+    p_query.add_argument("--fault-seed", type=int, default=None,
+                         help="override the plan's fraction-selector seed")
+    p_query.add_argument("--max-attempts", type=int, default=1,
+                         help="retries per task (1 = fail fast)")
+    p_query.add_argument("--recovery", default="persisted",
+                         help="persisted|reexecute-all|reexecute-deps")
     p_query.set_defaults(fn=cmd_query)
+
+    p_rec = sub.add_parser(
+        "recovery",
+        help="compare §6 recovery designs on one injected reduce failure",
+    )
+    p_rec.add_argument("file")
+    p_rec.add_argument("--variable", required=True)
+    p_rec.add_argument("--extract", required=True, metavar="D0,D1,...")
+    p_rec.add_argument("--stride", default=None, metavar="D0,D1,...")
+    p_rec.add_argument(
+        "--operator", default="mean",
+        help="sum|count|mean|min|max|stddev|median|filter_gt",
+    )
+    p_rec.add_argument("--threshold", type=float, default=None)
+    p_rec.add_argument("--reduces", type=int, default=4)
+    p_rec.add_argument("--splits", type=int, default=16)
+    p_rec.add_argument("--fail-reduce", type=int, default=0,
+                       help="reduce task to fail once after its fetch")
+    p_rec.add_argument("--fault-seed", type=int, default=0)
+    p_rec.set_defaults(fn=cmd_recovery)
 
     p_sim = sub.add_parser("simulate", help="regenerate a paper figure")
     p_sim.add_argument("--figure", required=True, choices=list("9") + ["10", "11", "12", "13"])

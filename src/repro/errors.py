@@ -40,6 +40,16 @@ class ShuffleError(ReproError):
     """Intermediate data routing violated an invariant."""
 
 
+class StaleFetchError(ShuffleError):
+    """A reduce task consumed map output that was superseded mid-flight.
+
+    Raised when the attempt a reduce fetched from is no longer the
+    current committed attempt (the map was re-executed while the reduce
+    ran).  The engine treats this as retryable: the reduce is re-run
+    against the fresh attempt.
+    """
+
+
 class BarrierViolationError(ShuffleError):
     """A reduce task attempted to run before its data dependencies were met.
 
@@ -67,3 +77,44 @@ class SimulationError(ReproError):
 
 class ObservabilityError(ReproError):
     """Misuse of the tracing/metrics layer (double-ended span, bucket clash...)."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (unknown kind, bad selector...)."""
+
+
+class InjectedFaultError(ReproError):
+    """A deliberately injected task fault (crash or transient).
+
+    Raised by the fault-injection layer inside a task body; the engine's
+    retry machinery treats it like any other task failure.
+    """
+
+
+class JobFailedError(ReproError):
+    """A job failed after retries were exhausted.
+
+    ExceptionGroup-style: ``errors`` carries *every* task error observed
+    during the run (a threaded run can fail in several tasks at once),
+    not just the first one.  ``__cause__`` is set to the first error so
+    tracebacks chain naturally.
+    """
+
+    def __init__(self, message: str, errors: "tuple | list" = ()) -> None:
+        super().__init__(message)
+        self.errors: tuple[BaseException, ...] = tuple(errors)
+
+    @classmethod
+    def from_errors(
+        cls, job_name: str, errors: "list[BaseException]"
+    ) -> "JobFailedError":
+        shown = "; ".join(f"{type(e).__name__}: {e}" for e in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        err = cls(
+            f"job {job_name!r} failed with {len(errors)} task error(s): "
+            f"{shown}{more}",
+            errors,
+        )
+        if errors:
+            err.__cause__ = errors[0]
+        return err

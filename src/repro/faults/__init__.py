@@ -1,0 +1,25 @@
+"""Fault tolerance: deterministic injection plans + recovery models.
+
+See ``docs/FAULT_TOLERANCE.md`` for the attempt model, the injection
+plan JSON schema, and the three recovery modes.
+"""
+
+from repro.faults.plan import (
+    BoundFaults,
+    FaultKind,
+    FaultRule,
+    InjectionPlan,
+    WHEN_AFTER_FETCH,
+    WHEN_START,
+)
+from repro.faults.recovery import RecoveryModel
+
+__all__ = [
+    "BoundFaults",
+    "FaultKind",
+    "FaultRule",
+    "InjectionPlan",
+    "RecoveryModel",
+    "WHEN_AFTER_FETCH",
+    "WHEN_START",
+]

@@ -25,6 +25,11 @@ class Counters:
       ``reduce.output.records``
     * ``barrier.early.starts`` — reduce tasks that began before the last
       map finished (always 0 under the global barrier)
+    * ``task.attempts`` / ``task.failures`` / ``task.retries`` — one per
+      task attempt started / failed / retried after a failure
+    * ``faults.injected`` — failed attempts caused by the injection plan
+    * ``recovery.maps_reexecuted`` — maps re-run to regenerate a failed
+      reduce's input (only its dependency set under ``REEXECUTE_DEPS``)
     """
 
     def __init__(self) -> None:

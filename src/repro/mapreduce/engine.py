@@ -19,18 +19,38 @@ fetch set is checked against completed maps and a
 consume an incomplete key group.  When the job carries a count-annotation
 validator (§3.2.1 approach 2), every reduce start is additionally
 validated against the expected source-record tally.
+
+Fault tolerance (paper §6): every logical task runs as a sequence of
+**attempts** governed by a :class:`RetryPolicy` (per-task cap,
+exponential backoff with deterministic jitter, job-level failure
+budget).  Faults can be injected deterministically via an
+:class:`~repro.faults.InjectionPlan`.  Under the no-persistence recovery
+modes (:class:`~repro.faults.RecoveryModel`), a reduce failure after
+fetch triggers re-execution of the producing maps — *only* its
+dependency set I_l under ``REEXECUTE_DEPS``, which is the paper's §6
+proposal running for real.  A failing threaded run cancels undispatched
+work and raises :class:`~repro.errors.JobFailedError` carrying every
+collected task error.  See ``docs/FAULT_TOLERANCE.md``.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
-from repro.errors import BarrierViolationError, JobConfigError, ShuffleError
+from repro.errors import (
+    BarrierViolationError,
+    InjectedFaultError,
+    JobConfigError,
+    JobFailedError,
+    ShuffleError,
+)
+from repro.faults import BoundFaults, InjectionPlan, RecoveryModel, WHEN_AFTER_FETCH
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.shuffle import MapOutputFile, ShuffleStore
@@ -42,6 +62,11 @@ from repro.obs import (
     RATE_BUCKETS,
     TIME_BUCKETS,
 )
+
+#: Errors that retrying can never fix: the job itself is misconfigured
+#: (or the barrier's core invariant was violated), so attempts stop
+#: immediately regardless of the retry policy.
+_NON_RETRYABLE = (JobConfigError, BarrierViolationError)
 
 
 # --------------------------------------------------------------------- #
@@ -103,6 +128,94 @@ class ReduceStartValidator(Protocol):
     def validate(self, partition: int, tallied_source_records: int) -> None:
         """Raise :class:`BarrierViolationError` when the tally is short."""
         ...
+
+
+# --------------------------------------------------------------------- #
+# Retry policy & attempt bookkeeping
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine retries failing task attempts.
+
+    Backoff for attempt ``n`` is ``min(base * 2**n, cap)`` shrunk by up
+    to ``jitter`` of itself; the jitter RNG is seeded from (seed, task,
+    attempt) so a given configuration backs off identically every run.
+    ``failure_budget`` caps *total* failed attempts across the whole job
+    (None = unlimited): once exceeded, the failing task stops retrying
+    and the job fails fast.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.01
+    backoff_cap: float = 1.0
+    jitter: float = 0.5
+    failure_budget: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise JobConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise JobConfigError("backoff delays must be non-negative")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise JobConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.failure_budget is not None and self.failure_budget < 0:
+            raise JobConfigError("failure_budget must be non-negative")
+
+    def backoff(self, kind: str, index: int, attempt: int) -> float:
+        base = min(self.backoff_base * (2 ** attempt), self.backoff_cap)
+        if base <= 0 or self.jitter == 0:
+            return base
+        # String seeds hash deterministically across processes (unlike
+        # tuple hashes under PYTHONHASHSEED randomization).
+        rng = random.Random(f"{self.seed}:{kind}:{index}:{attempt}")
+        return base * (1.0 - self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One attempt of one logical task, as the engine saw it."""
+
+    kind: str          # "map" | "reduce"
+    index: int
+    attempt: int       # 0-based, global across retries and recoveries
+    outcome: str       # "ok" | "failed"
+    error: str = ""    # exception type name when failed
+    seconds: float = 0.0
+
+
+class _RunState:
+    """Per-run mutable state shared by every task thread."""
+
+    def __init__(self, engine: "LocalEngine", job: JobConf) -> None:
+        self.lock = threading.Lock()
+        #: Global attempt counter per logical task — recovery re-runs of
+        #: a map continue its numbering, so injection plans keyed by
+        #: attempt stay unambiguous.
+        self.next_attempt: dict[tuple[str, int], int] = {}
+        self.failures = 0
+        self.attempt_log: list[TaskAttempt] = []
+        self.faults: BoundFaults | None = None
+        if engine.faults is not None:
+            self.faults = engine.faults.bind(
+                job.num_map_tasks, job.num_reduce_tasks
+            )
+
+    def claim_attempt(self, kind: str, index: int) -> int:
+        with self.lock:
+            n = self.next_attempt.get((kind, index), 0)
+            self.next_attempt[(kind, index)] = n + 1
+            return n
+
+    def record(self, att: TaskAttempt) -> None:
+        with self.lock:
+            self.attempt_log.append(att)
+
+    def count_failure(self, budget: int | None) -> bool:
+        """Register one failed attempt; True when the budget is blown."""
+        with self.lock:
+            self.failures += 1
+            return budget is not None and self.failures > budget
 
 
 # --------------------------------------------------------------------- #
@@ -192,6 +305,9 @@ class JobResult:
     #: Span tracer + metrics registry for this run (None only when a
     #: caller supplied a pre-built result without observability).
     obs: JobObservability | None = None
+    #: Every task attempt in execution order — retries and recovery
+    #: re-executions included.
+    attempts: tuple[TaskAttempt, ...] = field(default_factory=tuple)
 
     def all_records(self) -> list[KeyValue]:
         """All output records across partitions, sorted by key — the
@@ -214,6 +330,9 @@ class LocalEngine:
         map_workers: int = 4,
         reduce_workers: int = 3,
         observability: bool = True,
+        retry: RetryPolicy | None = None,
+        faults: InjectionPlan | None = None,
+        recovery: RecoveryModel = RecoveryModel.PERSISTED,
     ) -> None:
         if map_workers <= 0 or reduce_workers <= 0:
             raise JobConfigError("worker counts must be positive")
@@ -223,6 +342,15 @@ class LocalEngine:
         #: EngineTrace still records) — the near-zero-overhead mode the
         #: tracing-overhead benchmark compares against.
         self.observability = observability
+        #: Attempt/backoff policy; the default (max_attempts=1) matches
+        #: the historical die-on-first-failure behaviour.
+        self.retry = retry or RetryPolicy()
+        #: Declarative fault plan, bound to the job shape per run.
+        self.faults = faults
+        #: Intermediate-data lifecycle: PERSISTED keeps spills for the
+        #: whole job; the re-execute modes stream them (fetch consumes)
+        #: and recover reduce failures by re-running maps.
+        self.recovery = recovery
 
     def _make_obs(self, job: JobConf, obs: JobObservability | None) -> JobObservability:
         if obs is None:
@@ -245,8 +373,13 @@ class LocalEngine:
         store: ShuffleStore,
         counters: Counters,
         obs: JobObservability,
+        *,
+        attempt: int = 0,
+        faults: BoundFaults | None = None,
     ) -> None:
-        with obs.task("map", split_index) as task_span:
+        with obs.task("map", split_index, attempt) as task_span:
+            if faults is not None:
+                faults.fire("map", split_index, attempt)
             split = job.splits[split_index]
             mapper = job.mapper_factory()
             mapper.setup()
@@ -285,6 +418,9 @@ class LocalEngine:
             # chunk; the reader is responsible for emitting per-record source
             # counts via the value's `source_count` attribute/key.)
             with obs.phase("map.spill", task_span):
+                corrupt = faults is not None and faults.should_corrupt(
+                    "map", split_index, attempt
+                )
                 files: list[MapOutputFile] = []
                 for p, recs in buckets.items():
                     src = 0
@@ -299,18 +435,31 @@ class LocalEngine:
                             combined.extend(combiner.reduce(k2, vals))
                         recs = combined
                         counters.increment("combine.output.records", len(recs))
+                    run = tuple(sort_records(recs))
+                    if corrupt:
+                        # Injected torn spill: reversing the sorted run
+                        # breaks key order, so MapOutputFile validation
+                        # rejects the commit and the attempt fails here.
+                        run = tuple(reversed(run))
                     files.append(
                         MapOutputFile(
                             map_id=MapTaskId(split_index),
                             partition=p,
-                            records=tuple(sort_records(recs)),
+                            records=run,
                             source_records=src,
                         )
                     )
+                if corrupt:
+                    # Every run was too uniform for the reversal to break
+                    # ordering; surface the injected corruption directly.
+                    raise InjectedFaultError(
+                        f"injected corrupt-spill fault in map {split_index} "
+                        f"(attempt {attempt})"
+                    )
                 if files:
-                    store.spill(files)
+                    store.spill(files, attempt=attempt)
                 else:
-                    store.spill_empty(MapTaskId(split_index))
+                    store.spill_empty(MapTaskId(split_index), attempt=attempt)
             counters.increment("shuffle.segments", len(files))
             if obs.enabled and read_span is not None:
                 obs.metrics.counter("map.emit.records").inc(records_out)
@@ -332,8 +481,13 @@ class LocalEngine:
         counters: Counters,
         obs: JobObservability,
         completed_at_start: frozenset[int],
+        *,
+        attempt: int = 0,
+        faults: BoundFaults | None = None,
     ) -> list[KeyValue]:
-        with obs.task("reduce", partition) as task_span:
+        with obs.task("reduce", partition, attempt) as task_span:
+            if faults is not None:
+                faults.fire("reduce", partition, attempt)
             total = job.num_map_tasks
             if not barrier.ready(partition, completed_at_start, total):
                 raise BarrierViolationError(
@@ -373,6 +527,11 @@ class LocalEngine:
                 obs.metrics.histogram(
                     "shuffle.fetch.seconds", TIME_BUCKETS
                 ).observe(fetch_span.duration)
+            if faults is not None:
+                # Post-fetch injection point: the attempt has consumed
+                # its shuffle input, so failing here is what forces the
+                # no-persist modes to re-execute producing maps.
+                faults.fire("reduce", partition, attempt, WHEN_AFTER_FETCH)
 
             reducer = job.reducer_factory()
             reducer.setup()
@@ -400,6 +559,158 @@ class LocalEngine:
             return out
 
     # ------------------------------------------------------------------ #
+    # Attempt-based retry & dependency-aware recovery
+    # ------------------------------------------------------------------ #
+    def _execute_with_retry(
+        self,
+        kind: str,
+        index: int,
+        state: _RunState,
+        counters: Counters,
+        obs: JobObservability,
+        body: Callable[[int], Any],
+    ) -> Any:
+        """Run ``body(attempt)`` until success, retry exhaustion, or a
+        blown failure budget.  Attempt numbers are global per logical
+        task (recovery re-runs keep counting up); the per-invocation
+        retry cap is ``self.retry.max_attempts``."""
+        policy = self.retry
+        tries = 0
+        while True:
+            attempt = state.claim_attempt(kind, index)
+            tries += 1
+            counters.increment("task.attempts")
+            t0 = time.perf_counter()
+            try:
+                out = body(attempt)
+            except _NON_RETRYABLE:
+                raise
+            except Exception as exc:
+                seconds = time.perf_counter() - t0
+                state.record(
+                    TaskAttempt(kind, index, attempt, "failed",
+                                type(exc).__name__, seconds)
+                )
+                counters.increment("task.failures")
+                if isinstance(exc, InjectedFaultError):
+                    counters.increment("faults.injected")
+                over_budget = state.count_failure(policy.failure_budget)
+                if tries >= policy.max_attempts or over_budget:
+                    raise
+                counters.increment("task.retries")
+                delay = policy.backoff(kind, index, attempt)
+                obs.retry_backoff(
+                    kind, index, attempt, delay, error=type(exc).__name__
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                state.record(
+                    TaskAttempt(kind, index, attempt, "ok",
+                                seconds=time.perf_counter() - t0)
+                )
+                return out
+
+    def _map_with_retry(
+        self,
+        job: JobConf,
+        i: int,
+        store: ShuffleStore,
+        counters: Counters,
+        obs: JobObservability,
+        state: _RunState,
+    ) -> None:
+        self._execute_with_retry(
+            "map", i, state, counters, obs,
+            lambda attempt: self._run_map(
+                job, i, store, counters, obs,
+                attempt=attempt, faults=state.faults,
+            ),
+        )
+
+    def _reduce_with_recovery(
+        self,
+        job: JobConf,
+        p: int,
+        barrier: BarrierPolicy,
+        store: ShuffleStore,
+        counters: Counters,
+        obs: JobObservability,
+        state: _RunState,
+        snapshot: frozenset[int],
+    ) -> list[KeyValue]:
+        """One reduce task with retry; on retry under a no-persistence
+        recovery mode, first regenerate whatever input the failed
+        attempt consumed by re-executing the producing maps."""
+        first_attempt = True
+
+        def body(attempt: int) -> list[KeyValue]:
+            nonlocal first_attempt
+            if not first_attempt:
+                self._recover_reduce_inputs(
+                    job, p, barrier, store, counters, obs, state
+                )
+            first_attempt = False
+            store.begin_reduce_attempt(p)
+            out = self._run_reduce(
+                job, p, barrier, store, counters, obs, snapshot,
+                attempt=attempt, faults=state.faults,
+            )
+            # Attempt-aware invalidation: if any map we fetched from was
+            # re-executed while we ran, our input is superseded — raise
+            # (retryably) instead of committing possibly-stale output.
+            store.check_fetch_fresh(p)
+            return out
+
+        return self._execute_with_retry("reduce", p, state, counters, obs, body)
+
+    def _recover_reduce_inputs(
+        self,
+        job: JobConf,
+        p: int,
+        barrier: BarrierPolicy,
+        store: ShuffleStore,
+        counters: Counters,
+        obs: JobObservability,
+        state: _RunState,
+    ) -> None:
+        """Regenerate reduce ``p``'s lost input before its retry.
+
+        * ``PERSISTED`` — spills survive; nothing to do.
+        * ``REEXECUTE_ALL`` — no dependency knowledge: conservatively
+          re-execute every map task.
+        * ``REEXECUTE_DEPS`` — re-execute only the maps in I_p whose
+          output for ``p`` the failed attempt actually consumed (a
+          subset of I_p; never more).
+        """
+        if self.recovery is RecoveryModel.PERSISTED:
+            return
+        total = job.num_map_tasks
+        if self.recovery is RecoveryModel.REEXECUTE_ALL:
+            targets = list(range(total))
+        else:
+            fetch_from = (
+                frozenset(range(total))
+                if job.contact_all_maps
+                else barrier.fetch_set(p, total)
+            )
+            targets = sorted(store.missing_inputs(p, fetch_from))
+        if not targets:
+            return
+        t0 = time.perf_counter()
+        for m in targets:
+            self._map_with_retry(job, m, store, counters, obs, state)
+        seconds = time.perf_counter() - t0
+        counters.increment("recovery.maps_reexecuted", len(targets))
+        obs.recovery(p, targets, seconds)
+
+    def _new_store(self, obs: JobObservability) -> ShuffleStore:
+        return ShuffleStore(
+            metrics=obs.metrics if obs.enabled else None,
+            persist=self.recovery is RecoveryModel.PERSISTED,
+        )
+
+    # ------------------------------------------------------------------ #
     # Serial execution
     # ------------------------------------------------------------------ #
     def run_serial(
@@ -420,7 +731,8 @@ class LocalEngine:
         """
         barrier = barrier or GlobalBarrier()
         obs = self._make_obs(job, obs)
-        store = ShuffleStore(metrics=obs.metrics if obs.enabled else None)
+        store = self._new_store(obs)
+        state = _RunState(self, job)
         counters = Counters()
         total_maps = job.num_map_tasks
         outputs: dict[int, list[KeyValue]] = {}
@@ -429,7 +741,7 @@ class LocalEngine:
         last_map_done = False
 
         for i in range(total_maps):
-            self._run_map(job, i, store, counters, obs)
+            self._map_with_retry(job, i, store, counters, obs, state)
             completed.add(i)
             last_map_done = len(completed) == total_maps
             fired = [
@@ -442,8 +754,9 @@ class LocalEngine:
                 obs.barrier_wait(p)
                 if not last_map_done:
                     self._note_early_start(obs, counters, p, len(completed))
-                outputs[p] = self._run_reduce(
-                    job, p, barrier, store, counters, obs, frozenset(completed)
+                outputs[p] = self._reduce_with_recovery(
+                    job, p, barrier, store, counters, obs, state,
+                    frozenset(completed),
                 )
                 if on_reduce_complete is not None:
                     on_reduce_complete(p, outputs[p])
@@ -461,6 +774,7 @@ class LocalEngine:
             shuffle_connections=store.connections,
             empty_fetches=store.empty_fetches,
             obs=obs,
+            attempts=tuple(state.attempt_log),
         )
 
     def _note_early_start(
@@ -499,37 +813,60 @@ class LocalEngine:
         still-running maps — the wall-clock counterpart of Figure 4(b).
         ``on_reduce_complete`` fires on the reduce worker thread as each
         partition commits.
+
+        Failure semantics: when a task exhausts its retries (or the
+        failure budget), the run *fails fast* — every undispatched
+        future is cancelled, no further reduces are submitted, in-flight
+        tasks drain, and a :class:`JobFailedError` carrying **all**
+        collected task errors is raised.  Reduce results already
+        delivered through ``on_reduce_complete`` are never retracted.
         """
         barrier = barrier or GlobalBarrier()
         obs = self._make_obs(job, obs)
-        store = ShuffleStore(metrics=obs.metrics if obs.enabled else None)
+        store = self._new_store(obs)
+        state = _RunState(self, job)
         counters = Counters()
         total_maps = job.num_map_tasks
         outputs: dict[int, list[KeyValue]] = {}
         lock = threading.Lock()
+        abort = threading.Event()
         completed: set[int] = set()
         pending = set(range(job.num_reduce_tasks))
         errors: list[BaseException] = []
-        reduce_futures = []
+        map_futures: list = []
+        reduce_futures: list = []
+
+        def record_error(exc: BaseException) -> None:
+            """Collect the error and fail fast: cancel undispatched work."""
+            with lock:
+                errors.append(exc)
+                abort.set()
+                for f in map_futures:
+                    f.cancel()
+                for f in reduce_futures:
+                    f.cancel()
 
         with ThreadPoolExecutor(max_workers=self.map_workers) as map_pool, \
                 ThreadPoolExecutor(max_workers=self.reduce_workers) as reduce_pool:
 
             def reduce_job(p: int, snapshot: frozenset[int]) -> None:
+                if abort.is_set():
+                    return
                 try:
-                    out = self._run_reduce(
-                        job, p, barrier, store, counters, obs, snapshot
+                    out = self._reduce_with_recovery(
+                        job, p, barrier, store, counters, obs, state, snapshot
                     )
                     with lock:
                         outputs[p] = out
                     if on_reduce_complete is not None:
                         on_reduce_complete(p, out)
                 except BaseException as exc:  # propagate to caller
-                    with lock:
-                        errors.append(exc)
+                    record_error(exc)
 
             def on_map_done(i: int) -> None:
                 with lock:
+                    if abort.is_set():
+                        return
                     completed.add(i)
                     snapshot = frozenset(completed)
                     fired = [
@@ -547,29 +884,37 @@ class LocalEngine:
                         )
 
             def map_job(i: int) -> None:
+                if abort.is_set():
+                    return
                 try:
-                    self._run_map(job, i, store, counters, obs)
+                    self._map_with_retry(job, i, store, counters, obs, state)
                     on_map_done(i)
                 except BaseException as exc:
-                    with lock:
-                        errors.append(exc)
+                    record_error(exc)
 
-            map_futures = [map_pool.submit(map_job, i) for i in range(total_maps)]
+            with lock:
+                map_futures.extend(
+                    map_pool.submit(map_job, i) for i in range(total_maps)
+                )
             wait(map_futures)
             with lock:
                 still_pending = set(pending)
-            if still_pending and not errors:
+            if still_pending and not errors and not abort.is_set():
                 with lock:
                     errors.append(
                         BarrierViolationError(
                             f"reduces {sorted(still_pending)} never ready"
                         )
                     )
-            wait(reduce_futures)
+            # No new reduce submissions can happen past this point (all
+            # map threads are done), so the snapshot is final.
+            with lock:
+                reduce_snapshot = list(reduce_futures)
+            wait(reduce_snapshot)
 
         obs.finish()
         if errors:
-            raise errors[0]
+            raise JobFailedError.from_errors(job.name, errors)
         return JobResult(
             job_name=job.name,
             outputs=outputs,
@@ -578,6 +923,7 @@ class LocalEngine:
             shuffle_connections=store.connections,
             empty_fetches=store.empty_fetches,
             obs=obs,
+            attempts=tuple(state.attempt_log),
         )
 
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Any
 
-from repro.errors import ShuffleError
+from repro.errors import ShuffleError, StaleFetchError
 from repro.mapreduce.types import KeyValue, MapTaskId
 
 
@@ -115,39 +115,68 @@ class ShuffleStore:
     When constructed with a :class:`~repro.obs.metrics.MetricsRegistry`,
     spill and fetch activity is mirrored into the shared metric
     vocabulary (``shuffle.spill.*`` / ``shuffle.fetch.*``).
+
+    Spills are committed per **(map task, attempt)**: a retried map
+    commits a higher attempt number which atomically supersedes the
+    previous attempt's files.  The store records which attempt every
+    reduce fetched from, so the engine can detect a reduce that consumed
+    a now-superseded attempt (:meth:`check_fetch_fresh`) and retry it.
+
+    ``persist=False`` models the paper's §6 no-persistence proposal: a
+    fetch *consumes* the spill file (map output is streamed, not kept),
+    so a reduce that fails after fetching has genuinely lost its input
+    and the engine must re-execute the producing maps
+    (:meth:`missing_inputs` reports which).
     """
 
-    def __init__(self, *, metrics: Any | None = None) -> None:
+    def __init__(self, *, metrics: Any | None = None, persist: bool = True) -> None:
         self._lock = threading.Lock()
         self._files: dict[tuple[int, int], MapOutputFile] = {}
         self._indexes: dict[int, MapOutputIndex] = {}
+        self._attempts: dict[int, int] = {}
+        #: partition -> {map index: attempt fetched from}
+        self._fetched: dict[int, dict[int, int]] = {}
+        self._persist = persist
         self._connections = 0
         self._empty_fetches = 0
         # Resolve metric handles once; per-call registry lookups would
         # put a dict probe on the fetch hot path.
         self._m_spill_files = metrics.counter("shuffle.spill.files") if metrics else None
         self._m_spill_records = metrics.counter("shuffle.spill.records") if metrics else None
+        self._m_spill_superseded = (
+            metrics.counter("shuffle.spill.superseded") if metrics else None
+        )
         self._m_fetch_conn = metrics.counter("shuffle.fetch.connections") if metrics else None
         self._m_fetch_empty = metrics.counter("shuffle.fetch.empty") if metrics else None
 
     # ------------------------------------------------------------------ #
     # Map side
     # ------------------------------------------------------------------ #
-    def spill(self, files: list[MapOutputFile]) -> None:
-        """Commit one map task's output atomically (Hadoop commits task
-        output atomically, §2.3)."""
-        if not files:
-            raise ShuffleError("map task must spill at least an index entry")
-        map_id = files[0].map_id
-        if any(f.map_id != map_id for f in files):
-            raise ShuffleError("spill mixes files from different map tasks")
+    def _commit(
+        self, map_id: MapTaskId, files: list[MapOutputFile], attempt: int
+    ) -> None:
+        if attempt < 0:
+            raise ShuffleError(f"negative attempt {attempt}")
         with self._lock:
-            if map_id.index in self._indexes:
-                raise ShuffleError(f"map task {map_id} already spilled")
+            current = self._attempts.get(map_id.index)
+            if current is not None:
+                if attempt <= current:
+                    raise ShuffleError(
+                        f"map task {map_id} already spilled "
+                        f"(attempt {current} committed, got {attempt})"
+                    )
+                # Superseding re-spill: drop the old attempt's files in
+                # the same critical section so no fetch can observe a mix.
+                for p in self._indexes[map_id.index].records_per_partition:
+                    self._files.pop((map_id.index, p), None)
+                if self._m_spill_superseded is not None:
+                    self._m_spill_superseded.inc()
             for f in files:
                 self._files[(map_id.index, f.partition)] = f
             if self._m_spill_files is not None:
-                self._m_spill_files.inc(len(files))
+                # An empty map still writes its index entry — count it,
+                # or spill counters under-report jobs with empty maps.
+                self._m_spill_files.inc(len(files) or 1)
                 self._m_spill_records.inc(sum(f.num_records for f in files))
             self._indexes[map_id.index] = MapOutputIndex(
                 map_id=map_id,
@@ -161,18 +190,29 @@ class ShuffleStore:
                     f.partition: f.source_records for f in files
                 },
             )
+            self._attempts[map_id.index] = attempt
 
-    def spill_empty(self, map_id: MapTaskId) -> None:
-        """Record a map task that produced no output at all."""
+    def spill(self, files: list[MapOutputFile], *, attempt: int = 0) -> None:
+        """Commit one map task attempt's output atomically (Hadoop
+        commits task output atomically, §2.3)."""
+        if not files:
+            raise ShuffleError("map task must spill at least an index entry")
+        map_id = files[0].map_id
+        if any(f.map_id != map_id for f in files):
+            raise ShuffleError("spill mixes files from different map tasks")
+        self._commit(map_id, files, attempt)
+
+    def spill_empty(self, map_id: MapTaskId, *, attempt: int = 0) -> None:
+        """Record a map task attempt that produced no output at all."""
+        self._commit(map_id, [], attempt)
+
+    def attempt_of(self, map_index: int) -> int:
+        """Currently committed attempt number for a map task."""
         with self._lock:
-            if map_id.index in self._indexes:
-                raise ShuffleError(f"map task {map_id} already spilled")
-            self._indexes[map_id.index] = MapOutputIndex(
-                map_id=map_id,
-                partitions=frozenset(),
-                records_per_partition={},
-                source_per_partition={},
-            )
+            try:
+                return self._attempts[map_index]
+            except KeyError:
+                raise ShuffleError(f"map {map_index} has not spilled") from None
 
     # ------------------------------------------------------------------ #
     # Reduce side
@@ -182,7 +222,9 @@ class ShuffleStore:
 
         Counts one connection whether or not data exists — contacting a
         map that produced nothing for you is precisely the waste stock
-        Hadoop incurs (§4.6).
+        Hadoop incurs (§4.6).  The attempt served is recorded for
+        :meth:`check_fetch_fresh`; without persistence the fetch also
+        consumes the file.
         """
         with self._lock:
             if map_index not in self._indexes:
@@ -191,13 +233,58 @@ class ShuffleStore:
                 )
             self._connections += 1
             f = self._files.get((map_index, partition))
+            self._fetched.setdefault(partition, {})[map_index] = (
+                self._attempts[map_index]
+            )
             if self._m_fetch_conn is not None:
                 self._m_fetch_conn.inc()
             if f is None or f.num_records == 0:
                 self._empty_fetches += 1
                 if self._m_fetch_empty is not None:
                     self._m_fetch_empty.inc()
+            elif not self._persist:
+                # Streamed shuffle: the map side keeps nothing once the
+                # reduce has copied the file (§6 no-persist mode).
+                del self._files[(map_index, partition)]
             return f
+
+    def begin_reduce_attempt(self, partition: int) -> None:
+        """Forget which attempts ``partition`` fetched from — called by
+        the engine at the start of every reduce attempt."""
+        with self._lock:
+            self._fetched.pop(partition, None)
+
+    def check_fetch_fresh(self, partition: int) -> None:
+        """Raise :class:`StaleFetchError` if any map output ``partition``
+        fetched this attempt has since been superseded by a retry."""
+        with self._lock:
+            fetched = self._fetched.get(partition, {})
+            stale = sorted(
+                m for m, a in fetched.items() if self._attempts.get(m) != a
+            )
+        if stale:
+            raise StaleFetchError(
+                f"reduce {partition} consumed superseded output from "
+                f"maps {stale}"
+            )
+
+    def missing_inputs(
+        self, partition: int, map_indexes: frozenset[int]
+    ) -> frozenset[int]:
+        """Maps among ``map_indexes`` whose output for ``partition`` is
+        gone (consumed by a failed reduce attempt) and must re-execute."""
+        with self._lock:
+            out = set()
+            for m in map_indexes:
+                idx = self._indexes.get(m)
+                if idx is None:
+                    out.add(m)
+                elif (
+                    idx.records_per_partition.get(partition, 0) > 0
+                    and (m, partition) not in self._files
+                ):
+                    out.add(m)
+            return frozenset(out)
 
     def index_of(self, map_index: int) -> MapOutputIndex:
         with self._lock:

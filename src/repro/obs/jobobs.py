@@ -58,23 +58,29 @@ class JobObservability:
     # Span helpers used by the engine
     # ------------------------------------------------------------------ #
     @contextmanager
-    def task(self, kind: str, index: int) -> Iterator[Span | None]:
-        """A task span (``map``/``reduce``) on its own display track.
+    def task(self, kind: str, index: int, attempt: int = 0) -> Iterator[Span | None]:
+        """A task-attempt span (``map``/``reduce``) on the task's track.
 
         Also drives the legacy trace: ``start`` on entry, ``finish`` on
         clean exit only — matching the historical engine behaviour where
-        a failing task never recorded its finish event.
+        a failing task never recorded its finish event.  Retried tasks
+        record one ``start`` per attempt; the ``task.attempt`` counter
+        tallies every attempt across the job.
         """
         if self.trace is not None:
             self.trace.record(kind, "start", index)
         span = None
         if self.enabled:
+            args: dict[str, Any] = {"index": index}
+            if attempt:
+                args["attempt"] = attempt
+            self.metrics.counter("task.attempt").inc()
             span = self.tracer.start_span(
                 kind,
                 parent=self.job_span,
                 category=CAT_TASK,
                 track=f"{kind} {index}",
-                args={"index": index},
+                args=args,
             )
         try:
             yield span
@@ -126,6 +132,53 @@ class JobObservability:
             now - start
         )
         return span
+
+    def retry_backoff(
+        self,
+        kind: str,
+        index: int,
+        attempt: int,
+        delay: float,
+        *,
+        error: str = "",
+    ) -> None:
+        """Record one retry decision: a ``task.retry`` instant on the
+        task's track plus the backoff delay in ``task.retry.backoff``."""
+        if not self.enabled:
+            return
+        self.metrics.counter("task.retries").inc()
+        self.metrics.histogram("task.retry.backoff", TIME_BUCKETS).observe(delay)
+        self.tracer.instant(
+            "task.retry",
+            parent=self.job_span,
+            track=f"{kind} {index}",
+            args={
+                "index": index,
+                "attempt": attempt,
+                "backoff": delay,
+                "error": error,
+            },
+        )
+
+    def recovery(
+        self, partition: int, maps: "list[int] | tuple[int, ...]", seconds: float
+    ) -> None:
+        """Record a dependency-aware recovery: reduce ``partition``
+        forced re-execution of ``maps`` taking ``seconds`` of work."""
+        if not self.enabled:
+            return
+        self.metrics.counter("recovery.maps_reexecuted").inc(len(maps))
+        self.metrics.histogram("recovery.seconds", TIME_BUCKETS).observe(seconds)
+        self.tracer.instant(
+            "recovery.reexecute",
+            parent=self.job_span,
+            track=f"reduce {partition}",
+            args={
+                "index": partition,
+                "maps": sorted(maps),
+                "seconds": seconds,
+            },
+        )
 
     # ------------------------------------------------------------------ #
     def finish(self, **args: Any) -> None:

@@ -19,6 +19,11 @@ Metric name vocabulary shared by the real engine and the simulator
 * ``sched.reduce.scheduled`` / ``sched.map.scheduled`` /
   ``sched.maps.unlocked`` — counters (SIDR schedule policy)
 * ``job.makespan.seconds`` — gauge
+* ``task.attempt`` / ``task.retries`` — counters (fault tolerance)
+* ``task.retry.backoff`` — histogram, per-retry backoff delay
+* ``recovery.maps_reexecuted`` — counter, maps re-run for reduce recovery
+* ``recovery.seconds`` — histogram, wall time per recovery episode
+* ``shuffle.spill.superseded`` — counter, retried-map spill replacements
 """
 
 from __future__ import annotations

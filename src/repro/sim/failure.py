@@ -28,18 +28,21 @@ probability x recovery cost, evaluated per reduce task and summed.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.faults.recovery import RecoveryModel
 from repro.sim.costmodel import CostModel
 from repro.sim.workload import SimJobSpec
 
-
-class RecoveryModel(enum.Enum):
-    PERSISTED = "persisted"
-    REEXECUTE_ALL = "reexecute-all"
-    REEXECUTE_DEPS = "reexecute-deps"
+__all__ = [
+    "RecoveryModel",
+    "RecoveryCost",
+    "SingleFailureRecovery",
+    "evaluate_recovery",
+    "predict_single_failure",
+    "breakeven_failure_prob",
+]
 
 
 @dataclass(frozen=True)
@@ -130,6 +133,59 @@ def evaluate_recovery(
             recovery += p * rerun
         return RecoveryCost(model, 0.0, recovery)
 
+    raise SimulationError(f"unknown recovery model {model!r}")
+
+
+@dataclass(frozen=True)
+class SingleFailureRecovery:
+    """Predicted recovery work for ONE failed reduce task.
+
+    This is what the real engine's measured counters
+    (``recovery.maps_reexecuted``, ``recovery.seconds``) are compared
+    against — a deterministic per-failure quantity, unlike
+    :func:`evaluate_recovery`'s probability-weighted expectation.
+    """
+
+    model: RecoveryModel
+    reduce_index: int
+    #: Map tasks the design re-executes for this failure.
+    maps_reexecuted: int
+    #: Machine-seconds of recovery work (re-runs + re-fetch).
+    recovery_seconds: float
+
+
+def predict_single_failure(
+    spec: SimJobSpec,
+    model: RecoveryModel,
+    reduce_index: int,
+    *,
+    cost: CostModel | None = None,
+) -> SingleFailureRecovery:
+    """Deterministic cost of recovering one failed reduce task under a
+    design — the analytical counterpart of what
+    ``LocalEngine(recovery=...)`` measures when a fault is injected into
+    exactly that reduce."""
+    if not (0 <= reduce_index < spec.num_reduces):
+        raise SimulationError(
+            f"reduce index {reduce_index} out of range 0..{spec.num_reduces - 1}"
+        )
+    cost = cost or CostModel()
+    refetch = _refetch_cost(spec, cost, reduce_index)
+    if model is RecoveryModel.PERSISTED:
+        return SingleFailureRecovery(model, reduce_index, 0, refetch)
+    if model is RecoveryModel.REEXECUTE_ALL:
+        rerun = sum(
+            _map_rerun_cost(spec, cost, m) for m in range(spec.num_maps)
+        )
+        return SingleFailureRecovery(
+            model, reduce_index, spec.num_maps, rerun + refetch
+        )
+    if model is RecoveryModel.REEXECUTE_DEPS:
+        deps = spec.distribution.producers_of(reduce_index, spec.num_maps)
+        rerun = sum(_map_rerun_cost(spec, cost, m) for m in deps)
+        return SingleFailureRecovery(
+            model, reduce_index, len(deps), rerun + refetch
+        )
     raise SimulationError(f"unknown recovery model {model!r}")
 
 

@@ -209,3 +209,62 @@ class TestTables:
     def test_unknown_table(self):
         with pytest.raises(SystemExit):
             main(["tables", "--table", "99"])
+
+
+class TestFaultFlags:
+    def test_query_with_injected_faults(self, ncfile, tmp_path, capsys):
+        plan = {
+            "seed": 7,
+            "rules": [
+                {"task": "map", "fault": "transient",
+                 "indices": [0, 2], "times": 1}
+            ],
+        }
+        pf = tmp_path / "plan.json"
+        pf.write_text(json.dumps(plan))
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--reduces", "3",
+                "--splits", "6",
+                "--limit", "2",
+                "--inject-faults", str(pf),
+                "--max-attempts", "3",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "2 retries" in err and "2 injected" in err
+
+    def test_query_bad_plan_is_error(self, ncfile, tmp_path, capsys):
+        pf = tmp_path / "bad.json"
+        pf.write_text('{"rules": [{"task": "gpu", "fault": "crash"}]}')
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--inject-faults", str(pf),
+            ]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_recovery_subcommand(self, ncfile, capsys):
+        rc = main(
+            [
+                "recovery", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--reduces", "3",
+                "--splits", "6",
+                "--fail-reduce", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("persisted", "reexecute-all", "reexecute-deps"):
+            assert name in out
+        assert "NO" not in out  # every design recovered byte-identically

@@ -100,3 +100,89 @@ class TestShuffleStore:
         store = ShuffleStore()
         with pytest.raises(ShuffleError):
             store.total_source_records(frozenset({0}), 0)
+
+
+class TestAttemptAwareStore:
+    """Attempt-based spill commit + consume-on-fetch (no-persist mode)."""
+
+    def test_higher_attempt_supersedes(self):
+        store = ShuffleStore()
+        store.spill([mk_file(0, 0, [((1,), "old")])])
+        store.spill([mk_file(0, 0, [((1,), "new")])], attempt=1)
+        assert store.attempt_of(0) == 1
+        assert store.fetch(0, 0).records == (((1,), "new"),)
+
+    def test_supersede_drops_stale_partitions(self):
+        """A retry that emits fewer partitions must not leave the old
+        attempt's files behind for the missing ones."""
+        store = ShuffleStore()
+        store.spill([mk_file(0, 0, [((1,), "a")]), mk_file(0, 1, [((2,), "b")])])
+        store.spill([mk_file(0, 0, [((1,), "a2")])], attempt=1)
+        assert store.fetch(0, 1) is None  # old partition-1 file is gone
+
+    def test_same_attempt_respill_rejected(self):
+        store = ShuffleStore()
+        store.spill([mk_file(0, 0, [])], attempt=2)
+        with pytest.raises(ShuffleError):
+            store.spill([mk_file(0, 0, [])], attempt=2)
+        with pytest.raises(ShuffleError):
+            store.spill([mk_file(0, 0, [])], attempt=1)
+
+    def test_consume_on_fetch_when_not_persisted(self):
+        store = ShuffleStore(persist=False)
+        store.spill([mk_file(0, 0, [((1,), "x")])])
+        assert store.fetch(0, 0).records == (((1,), "x"),)
+        assert store.missing_inputs(0, frozenset({0})) == frozenset({0})
+
+    def test_persisted_fetch_is_repeatable(self):
+        store = ShuffleStore()
+        store.spill([mk_file(0, 0, [((1,), "x")])])
+        store.fetch(0, 0)
+        assert store.fetch(0, 0).records == (((1,), "x"),)
+        assert store.missing_inputs(0, frozenset({0})) == frozenset()
+
+    def test_stale_fetch_detected(self):
+        from repro.errors import StaleFetchError
+
+        store = ShuffleStore()
+        store.spill([mk_file(0, 0, [((1,), "v0")])])
+        store.begin_reduce_attempt(0)
+        store.fetch(0, 0)
+        store.check_fetch_fresh(0)  # fresh so far
+        store.spill([mk_file(0, 0, [((1,), "v1")])], attempt=1)
+        with pytest.raises(StaleFetchError):
+            store.check_fetch_fresh(0)
+        # A new attempt re-fetches the superseded map and is fresh again.
+        store.begin_reduce_attempt(0)
+        store.fetch(0, 0)
+        store.check_fetch_fresh(0)
+
+    def test_missing_inputs_ignores_empty_partitions(self):
+        """A map that produced nothing for this partition never needs
+        re-execution, consumed or not."""
+        store = ShuffleStore(persist=False)
+        store.spill([mk_file(0, 1, [((1,), "x")])])  # nothing for part 0
+        assert store.missing_inputs(0, frozenset({0})) == frozenset()
+
+
+class TestSpillMetrics:
+    def test_spill_empty_counts_index_file(self):
+        """Regression: ``spill_empty`` used to bypass the
+        ``shuffle.spill.files`` counter entirely."""
+        from repro.obs.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        store = ShuffleStore(metrics=m)
+        store.spill_empty(MapTaskId(0))
+        assert m.counter("shuffle.spill.files").value == 1
+        store.spill([mk_file(1, 0, [((1,), 1)]), mk_file(1, 1, [])])
+        assert m.counter("shuffle.spill.files").value == 3
+
+    def test_superseded_spills_counted(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        store = ShuffleStore(metrics=m)
+        store.spill([mk_file(0, 0, [])])
+        store.spill([mk_file(0, 0, [])], attempt=1)
+        assert m.counter("shuffle.spill.superseded").value == 1
