@@ -220,6 +220,24 @@ def main() -> int:
         data=overhead,
     )
 
+    # Data-plane throughput (record vs columnar) ----------------------
+    throughput = _measure_throughput()
+    save(
+        "throughput",
+        "engine throughput (weekly-mean workload, "
+        f"{throughput['cells']:,} cells, min of {throughput['runs']}):\n"
+        f"  record plane:   {throughput['record']['seconds']:.3f} s  "
+        f"{throughput['record']['cells_per_sec'] / 1e6:.2f} Mcells/s\n"
+        f"  columnar plane: {throughput['columnar']['seconds']:.3f} s  "
+        f"{throughput['columnar']['cells_per_sec'] / 1e6:.2f} Mcells/s\n"
+        f"  speedup:        {throughput['speedup']:.1f}x  "
+        f"(byte-identical: {'yes' if throughput['identical'] else 'NO'})",
+        data=throughput,
+    )
+    (out / "BENCH_throughput.json").write_text(
+        json.dumps(throughput, indent=1, sort_keys=True) + "\n"
+    )
+
     # Failure recovery: measured vs analytical (§6) -------------------
     recovery = _measure_recovery()
     save(
@@ -293,6 +311,58 @@ def _measure_tracing_overhead(runs: int = 3) -> dict:
         "off_ms": round(t_off * 1e3, 2),
         "on_ms": round(t_on * 1e3, 2),
         "overhead": round(t_on / t_off - 1.0, 4),
+    }
+
+
+def _measure_throughput(runs: int = 3) -> dict:
+    """Record vs columnar data plane on the weekly-mean workload
+    (``BENCH_throughput.json``).  Byte-identity is checked on the same
+    runs that are timed."""
+    import numpy as np
+
+    from repro.mapreduce.engine import LocalEngine
+    from repro.query.language import StructuralQuery
+    from repro.query.operators import MeanOp
+    from repro.query.splits import slice_splits
+    from repro.sidr.planner import build_sidr_job
+    from repro.scidata.generators import temperature_dataset
+
+    field = temperature_dataset(days=364, lat=40, lon=40, seed=3)
+    data = field.arrays["temperature"].astype(np.float64)
+    plan = StructuralQuery(
+        variable="temperature", extraction_shape=(7, 5, 2), operator=MeanOp()
+    ).compile(field.metadata)
+    sp = slice_splits(plan, num_splits=16)
+    engine = LocalEngine(observability=False)
+
+    def best(plane: str):
+        job, barrier, _ = build_sidr_job(
+            plan, sp, 8, data, data_plane=plane
+        )
+        res = engine.run_serial(job, barrier)  # warmup + output capture
+        t = float("inf")
+        for _ in range(runs):
+            s = time.perf_counter()
+            res = engine.run_serial(job, barrier)
+            t = min(t, time.perf_counter() - s)
+        return t, res.all_records()
+
+    t_rec, out_rec = best("record")
+    t_col, out_col = best("columnar")
+    cells = int(data.size)
+    return {
+        "runs": runs,
+        "cells": cells,
+        "identical": out_rec == out_col,
+        "record": {
+            "seconds": round(t_rec, 4),
+            "cells_per_sec": int(cells / t_rec),
+        },
+        "columnar": {
+            "seconds": round(t_col, 4),
+            "cells_per_sec": int(cells / t_col),
+        },
+        "speedup": round(t_rec / t_col, 2),
     }
 
 

@@ -24,24 +24,37 @@ def workload():
     return field, data
 
 
-def _run(field, data, op, reduces=8, splits=16):
+def _run(field, data, op, reduces=8, splits=16, data_plane="record"):
     q = StructuralQuery(
         variable="temperature", extraction_shape=(7, 5, 2), operator=op
     )
     plan = q.compile(field.metadata)
     sp = slice_splits(plan, num_splits=splits)
-    job, barrier, _ = build_sidr_job(plan, sp, reduces, data)
+    job, barrier, _ = build_sidr_job(
+        plan, sp, reduces, data, data_plane=data_plane
+    )
     return LocalEngine().run_serial(job, barrier)
 
 
-def test_weekly_mean_throughput(benchmark, workload):
+@pytest.mark.parametrize("plane", ["record", "columnar"])
+def test_weekly_mean_throughput(benchmark, workload, plane):
     field, data = workload
-    result = benchmark(lambda: _run(field, data, MeanOp()))
+    result = benchmark(lambda: _run(field, data, MeanOp(), data_plane=plane))
     assert result.counters.get("map.input.records") > 0
+    benchmark.extra_info["data_plane"] = plane
     benchmark.extra_info["cells"] = int(data.size)
     benchmark.extra_info["cells_per_sec"] = int(
         data.size / benchmark.stats["mean"]
     )
+
+
+def test_planes_byte_identical(workload):
+    """The speedup must not change a single output bit."""
+    field, data = workload
+    a = _run(field, data, MeanOp(), data_plane="record")
+    b = _run(field, data, MeanOp(), data_plane="columnar")
+    assert b.counters.get("plane.batched.instances") > 0
+    assert a.all_records() == b.all_records()
 
 
 def test_median_throughput(benchmark, workload):

@@ -29,6 +29,7 @@ no intermediate key.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -108,6 +109,14 @@ class ExtractionShape:
             )
         return tuple(x // s for x, s in zip(rel, self.shape))
 
+    @cached_property
+    def _origin_arr(self) -> np.ndarray:
+        return np.asarray(self.origin, dtype=np.int64)
+
+    @cached_property
+    def _shape_arr(self) -> np.ndarray:
+        return np.asarray(self.shape, dtype=np.int64)
+
     def translate_many(self, keys: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`translate` over an ``(n, rank)`` array."""
         keys = np.asarray(keys, dtype=np.int64)
@@ -115,10 +124,10 @@ class ExtractionShape:
             raise RankMismatchError(
                 f"expected (n, {self.rank}) key array, got {keys.shape}"
             )
-        rel = keys - np.asarray(self.origin, dtype=np.int64)
+        rel = keys - self._origin_arr
         if rel.size and (rel < 0).any():
             raise GeometryError("key array contains keys before origin")
-        return rel // np.asarray(self.shape, dtype=np.int64)
+        return rel // self._shape_arr
 
     # ------------------------------------------------------------------ #
     # Region translation
@@ -256,19 +265,29 @@ class StridedExtraction:
             out.append(q)
         return tuple(out)
 
+    @cached_property
+    def _origin_arr(self) -> np.ndarray:
+        return np.asarray(self.origin, dtype=np.int64)
+
+    @cached_property
+    def _shape_arr(self) -> np.ndarray:
+        return np.asarray(self.shape, dtype=np.int64)
+
+    @cached_property
+    def _stride_arr(self) -> np.ndarray:
+        return np.asarray(self.stride, dtype=np.int64)
+
     def translate_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized translate: returns ``(kprime, mask)`` where ``mask``
         marks keys that fall inside an instance."""
         keys = np.asarray(keys, dtype=np.int64)
         if keys.ndim != 2 or keys.shape[1] != self.rank:
             raise RankMismatchError("key array rank mismatch")
-        rel = keys - np.asarray(self.origin, dtype=np.int64)
+        rel = keys - self._origin_arr
         if rel.size and (rel < 0).any():
             raise GeometryError("key array contains keys before origin")
-        stride = np.asarray(self.stride, dtype=np.int64)
-        shape = np.asarray(self.shape, dtype=np.int64)
-        q, r = np.divmod(rel, stride)
-        mask = (r < shape).all(axis=1)
+        q, r = np.divmod(rel, self._stride_arr)
+        mask = (r < self._shape_arr).all(axis=1)
         return q, mask
 
     def preimage(self, key: Coord) -> Slab:

@@ -5,6 +5,7 @@ Six subcommands mirroring the library's main entry points::
     python -m repro.cli info    FILE                 # show NCLite metadata
     python -m repro.cli query   FILE --variable V --extract 7,5,1 \\
                                 --operator mean [--reduces 4] [--stride ...]
+                                [--data-plane record|columnar]
                                 [--trace out.json] [--metrics out.json]
                                 [--inject-faults PLAN.json] [--fault-seed N]
                                 [--max-attempts K] [--recovery MODE]
@@ -110,13 +111,21 @@ def cmd_query(args: argparse.Namespace) -> int:
     plan, splits = _compile_query(args)
     print(f"# {plan.describe()}", file=sys.stderr)
     job, barrier, sidr = build_sidr_job(
-        plan, splits, args.reduces, source=args.file
+        plan, splits, args.reduces, source=args.file,
+        data_plane=args.data_plane,
     )
+    if args.data_plane != job.data_plane:
+        print(
+            f"# data plane: {job.data_plane} (columnar unavailable for "
+            f"operator {plan.operator.name!r})",
+            file=sys.stderr,
+        )
     res = engine.run_threaded(job, barrier)
     print(
         f"# {len(splits)} map tasks, {args.reduces} reduce tasks, "
         f"{res.counters.get('barrier.early.starts')} early starts, "
-        f"{res.shuffle_connections} shuffle connections",
+        f"{res.shuffle_connections} shuffle connections, "
+        f"{job.data_plane} data plane",
         file=sys.stderr,
     )
     if fault_plan is not None or args.max_attempts > 1:
@@ -378,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--threshold", type=float, default=None)
     p_query.add_argument("--reduces", type=int, default=4)
     p_query.add_argument("--splits", type=int, default=16)
+    p_query.add_argument(
+        "--data-plane", choices=("record", "columnar"), default="record",
+        help="execution path: per-record objects (oracle) or the "
+        "vectorized columnar batch path (docs/PERFORMANCE.md)",
+    )
     p_query.add_argument("--limit", type=int, default=20,
                          help="max output rows (0 = all)")
     p_query.add_argument("--trace", default=None, metavar="FILE",

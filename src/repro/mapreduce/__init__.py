@@ -53,6 +53,12 @@ from repro.mapreduce.partitioner import (
     Partitioner,
     RangePartitioner,
 )
+from repro.mapreduce.columnar import (
+    ChunkBatch,
+    ColumnarMapOutput,
+    run_columnar_map,
+    run_columnar_reduce,
+)
 from repro.mapreduce.shuffle import MapOutputFile, MapOutputIndex, ShuffleStore
 from repro.mapreduce.sortmerge import group_sorted, merge_segments
 from repro.mapreduce.job import JobConf
@@ -88,6 +94,10 @@ __all__ = [
     "LinearIndexHash",
     "Partitioner",
     "RangePartitioner",
+    "ChunkBatch",
+    "ColumnarMapOutput",
+    "run_columnar_map",
+    "run_columnar_reduce",
     "MapOutputFile",
     "MapOutputIndex",
     "ShuffleStore",

@@ -1,0 +1,391 @@
+"""Columnar data plane: batched map/shuffle/reduce over parallel arrays.
+
+The record plane moves one Python object per intermediate record through
+reader → mapper → sort → spill → merge → group → reduce.  For structural
+queries that is pure interpretation overhead: SIDR's deterministic K→K'
+translation means every record in a batch obeys the same arithmetic, so
+the whole data plane can run as numpy array operations instead.  This
+module is the engine half of that plane:
+
+* :class:`ChunkBatch` — what a columnar record reader emits: ``(n, rank)``
+  int64 keys plus an ``(n, cells)`` value block, one row per
+  extraction-shape instance (every row complete in this split's slab).
+* :class:`ColumnarMapOutput` — the spill-file variant whose records live
+  as parallel arrays: lexsorted keys, one array per operator state
+  column, and the per-row §3.2.1 source counts.  It is duck-compatible
+  with :class:`~repro.mapreduce.shuffle.MapOutputFile` (``map_id`` /
+  ``partition`` / ``num_records`` / ``source_records``), so the
+  attempt-aware :class:`~repro.mapreduce.shuffle.ShuffleStore` —
+  supersede-on-respill, consume-on-fetch, missing-input tracking — works
+  unchanged in both planes.
+* :func:`run_columnar_map` / :func:`run_columnar_reduce` — the task
+  bodies the engine dispatches to when ``JobConf.data_plane ==
+  "columnar"``.  Sorting is one ``np.lexsort`` per partition,
+  partitioning uses the already-vectorized ``partition_many``, and
+  same-key merging is a segmented ``ufunc.reduceat`` instead of
+  ``group_sorted``'s per-record loop.
+
+The operator arithmetic itself lives behind the :class:`BatchOperator`
+protocol (implemented in :mod:`repro.query.columnar`), keeping this
+package independent of the query layer.  Outputs are byte-identical to
+the record plane: segmented ``reduceat`` reductions apply the same
+left-to-right combine order as the scalar combine implementations, and
+finalization goes through the scalar operator per key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.errors import InjectedFaultError, JobConfigError, ShuffleError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.shuffle import SPILL_CHECKS_ENABLED, ShuffleStore
+from repro.mapreduce.types import KeyValue, MapTaskId
+from repro.obs import COUNT_BUCKETS, JobObservability, RATE_BUCKETS
+
+
+class BatchOperator(Protocol):
+    """Vectorized face of a distributive structural operator.
+
+    State travels as parallel columns (one array per component of the
+    scalar ``Partial.state``); the implementations guarantee the column
+    arithmetic reproduces the scalar protocol bit for bit.
+    """
+
+    def map_batch(self, values: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Fold an ``(n, cells)`` value block into per-row state columns
+        with one ``axis=1`` reduction per column."""
+        ...
+
+    def map_record(self, chunk: Any) -> tuple[tuple[Any, ...], int]:
+        """Scalar fallback: ``(state_row, source_count)`` for one chunk."""
+        ...
+
+    def combine_columns(
+        self, columns: tuple[np.ndarray, ...], starts: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """Segmented combine: reduce each column over the groups that
+        begin at ``starts`` (``ufunc.reduceat`` semantics)."""
+        ...
+
+    def finalize_row(self, row: tuple[Any, ...], source_count: int) -> Any:
+        """Reduce-side finalization of one combined state row."""
+        ...
+
+
+@dataclass(frozen=True)
+class ChunkBatch:
+    """A batch of whole extraction-shape instances from one split slab.
+
+    ``keys[i]`` is the K' coordinate of instance ``i``; ``values[i]`` is
+    its cells flattened in C order — the same order the record plane's
+    per-instance slice-and-flatten produces.  All rows carry the same
+    cell count, so the §3.2.1 source count per row is ``values.shape[1]``.
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        keys = np.asarray(self.keys, dtype=np.int64)
+        values = np.asarray(self.values)
+        if keys.ndim != 2:
+            raise ShuffleError(f"batch keys must be (n, rank), got {keys.shape}")
+        if values.ndim != 2:
+            raise ShuffleError(f"batch values must be (n, cells), got {values.shape}")
+        if keys.shape[0] != values.shape[0]:
+            raise ShuffleError(
+                f"batch key/value row mismatch: {keys.shape[0]} != {values.shape[0]}"
+            )
+        object.__setattr__(self, "keys", keys)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def num_instances(self) -> int:
+        return self.keys.shape[0]
+
+    @property
+    def cells_per_instance(self) -> int:
+        return self.values.shape[1]
+
+
+def lexsorted_rows(keys: np.ndarray) -> bool:
+    """True when the rows of an ``(n, rank)`` array are in non-descending
+    lexicographic order — the vectorized counterpart of the record
+    plane's adjacent-pair key scan."""
+    if keys.shape[0] < 2:
+        return True
+    a, b = keys[:-1], keys[1:]
+    neq = a != b
+    rows = np.flatnonzero(neq.any(axis=1))
+    if rows.size == 0:
+        return True
+    first = neq[rows].argmax(axis=1)
+    return bool((b[rows, first] >= a[rows, first]).all())
+
+
+def group_starts(keys: np.ndarray) -> np.ndarray:
+    """Start offsets of each equal-key run in a lexsorted key array."""
+    n = keys.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    change = np.any(keys[1:] != keys[:-1], axis=1)
+    return np.flatnonzero(np.concatenate(([True], change))).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ColumnarMapOutput:
+    """Sorted columnar run for one (map task, keyblock).
+
+    The same contract as :class:`~repro.mapreduce.shuffle.MapOutputFile`
+    — key-sorted records plus the §3.2.1 ``source_records`` annotation —
+    with records decomposed into parallel arrays: ``keys`` (lexsorted
+    ``(n, rank)`` int64), ``states`` (one array of length ``n`` per
+    operator state column), ``source_counts`` (``(n,)`` int64).
+    ``approx_serialized_bytes`` is O(1) from the buffers' ``nbytes``
+    instead of a recursive Python-object walk.
+    """
+
+    map_id: MapTaskId
+    partition: int
+    keys: np.ndarray
+    states: tuple[np.ndarray, ...] = field(repr=False)
+    source_counts: np.ndarray = field(repr=False)
+    source_records: int = 0
+
+    def __post_init__(self) -> None:
+        if self.partition < 0:
+            raise ShuffleError(f"negative partition {self.partition}")
+        if self.source_records < 0:
+            raise ShuffleError("negative source record count")
+        keys = np.asarray(self.keys, dtype=np.int64)
+        if keys.ndim != 2:
+            raise ShuffleError(f"columnar keys must be (n, rank), got {keys.shape}")
+        counts = np.asarray(self.source_counts, dtype=np.int64)
+        n = keys.shape[0]
+        if counts.shape != (n,):
+            raise ShuffleError(
+                f"source_counts shape {counts.shape} != ({n},)"
+            )
+        for col in self.states:
+            if np.asarray(col).shape[0] != n:
+                raise ShuffleError("state column length mismatch")
+        object.__setattr__(self, "keys", keys)
+        object.__setattr__(self, "source_counts", counts)
+        if SPILL_CHECKS_ENABLED:
+            self.check_sorted()
+
+    def check_sorted(self) -> None:
+        """Validate the lexsort invariant (same gate as MapOutputFile)."""
+        if not lexsorted_rows(self.keys):
+            raise ShuffleError(
+                f"map output file {self.map_id}/{self.partition} not sorted"
+            )
+
+    @property
+    def num_records(self) -> int:
+        return self.keys.shape[0]
+
+    @cached_property
+    def approx_serialized_bytes(self) -> int:
+        """O(1) wire-size estimate: the parallel buffers are the payload."""
+        return int(
+            self.keys.nbytes
+            + sum(int(np.asarray(c).nbytes) for c in self.states)
+            + self.source_counts.nbytes
+        )
+
+
+def _batch_operator(job: Any) -> BatchOperator:
+    bop = job.context.get("batch_operator")
+    if bop is None:
+        raise JobConfigError(
+            f"job {job.name!r} selects the columnar data plane but carries "
+            "no context['batch_operator']; use SIDRPlan.configure_job("
+            "data_plane='columnar') to wire one"
+        )
+    return bop
+
+
+def run_columnar_map(
+    job: Any,
+    split_index: int,
+    store: ShuffleStore,
+    counters: Counters,
+    obs: JobObservability,
+    task_span: Any,
+    *,
+    attempt: int = 0,
+    corrupt: bool = False,
+) -> None:
+    """Columnar map-task body (reader → batch partials → lexsort spill).
+
+    The reader may interleave :class:`ChunkBatch` items (whole instances,
+    vectorized) with plain ``(key, chunk)`` records (clipped edges and
+    stride-gap leftovers) — the fallback rows go through the scalar
+    ``map_record`` and join the same columns, so one spill path serves
+    both.  Counter semantics match the record plane record for record;
+    ``plane.*`` additionally reports how much of the split was batched.
+    """
+    bop = _batch_operator(job)
+    n = job.num_reduce_tasks
+    key_parts: list[np.ndarray] = []
+    col_parts: list[tuple[np.ndarray, ...]] = []
+    count_parts: list[np.ndarray] = []
+    records_in = 0
+    batched = 0
+    fallback = 0
+    with obs.phase("map.read", task_span) as read_span:
+        for item in job.reader_factory(job.splits[split_index]):
+            if isinstance(item, ChunkBatch):
+                if item.num_instances == 0:
+                    continue
+                records_in += item.num_instances
+                batched += item.num_instances
+                key_parts.append(item.keys)
+                col_parts.append(bop.map_batch(item.values))
+                count_parts.append(
+                    np.full(item.num_instances, item.cells_per_instance, dtype=np.int64)
+                )
+            else:
+                key, chunk = item
+                records_in += 1
+                fallback += 1
+                row, src = bop.map_record(chunk)
+                key_parts.append(np.asarray([key], dtype=np.int64))
+                col_parts.append(tuple(np.asarray([c]) for c in row))
+                count_parts.append(np.asarray([src], dtype=np.int64))
+    counters.increment("map.input.records", records_in)
+    counters.increment("map.output.records", records_in)
+    counters.increment("plane.batched.instances", batched)
+    counters.increment("plane.fallback.instances", fallback)
+    if obs.enabled:
+        obs.metrics.counter("plane.batched.instances").inc(batched)
+        obs.metrics.counter("plane.fallback.instances").inc(fallback)
+
+    with obs.phase("map.spill", task_span):
+        files: list[ColumnarMapOutput] = []
+        if records_in:
+            keys = np.concatenate(key_parts)
+            cols = tuple(
+                np.concatenate([part[i] for part in col_parts])
+                for i in range(len(col_parts[0]))
+            )
+            counts = np.concatenate(count_parts)
+            parts = job.partitioner.partition_many(keys, n)
+            if parts.size and (int(parts.min()) < 0 or int(parts.max()) >= n):
+                raise ShuffleError(
+                    f"partitioner returned out-of-range partition for {n} "
+                    "reduce tasks"
+                )
+            for p in np.unique(parts):
+                mask = parts == p
+                pk = keys[mask]
+                pcols = tuple(c[mask] for c in cols)
+                pc = counts[mask]
+                order = np.lexsort(pk.T[::-1])
+                pk = pk[order]
+                pcols = tuple(c[order] for c in pcols)
+                pc = pc[order]
+                src = int(pc.sum())
+                if job.combiner_factory is not None:
+                    counters.increment("combine.input.records", len(pk))
+                    starts = group_starts(pk)
+                    pcols = bop.combine_columns(pcols, starts)
+                    pc = np.add.reduceat(pc, starts)
+                    pk = pk[starts]
+                    counters.increment("combine.output.records", len(pk))
+                if corrupt:
+                    # Injected torn spill: reversing the lexsorted run
+                    # breaks key order, so ColumnarMapOutput validation
+                    # rejects the commit and the attempt fails here.
+                    pk = pk[::-1]
+                    pcols = tuple(c[::-1] for c in pcols)
+                    pc = pc[::-1]
+                files.append(
+                    ColumnarMapOutput(
+                        map_id=MapTaskId(split_index),
+                        partition=int(p),
+                        keys=np.ascontiguousarray(pk),
+                        states=tuple(np.ascontiguousarray(c) for c in pcols),
+                        source_counts=np.ascontiguousarray(pc),
+                        source_records=src,
+                    )
+                )
+        if corrupt:
+            # Every run was too uniform for the reversal to break
+            # ordering; surface the injected corruption directly.
+            raise InjectedFaultError(
+                f"injected corrupt-spill fault in map {split_index} "
+                f"(attempt {attempt})"
+            )
+        if files:
+            store.spill(files, attempt=attempt)
+        else:
+            store.spill_empty(MapTaskId(split_index), attempt=attempt)
+    counters.increment("shuffle.segments", len(files))
+    if obs.enabled and read_span is not None:
+        obs.metrics.counter("map.emit.records").inc(records_in)
+        dur = read_span.duration
+        if dur > 0 and records_in:
+            obs.metrics.histogram(
+                "map.emit.records_per_sec", RATE_BUCKETS
+            ).observe(records_in / dur)
+
+
+def run_columnar_reduce(
+    job: Any,
+    files: list[Any],
+    counters: Counters,
+    obs: JobObservability,
+    task_span: Any,
+) -> list[KeyValue]:
+    """Columnar reduce-task body (concatenate → lexsort → reduceat).
+
+    ``files`` are this partition's fetched columnar spill files in map
+    order.  One stable lexsort over the concatenated key columns replaces
+    the heap merge (ties keep map order, matching ``heapq.merge``), and
+    same-key groups combine with one segmented reduction per state
+    column.  Finalization is scalar per group so outputs stay
+    byte-identical to the record plane.
+    """
+    bop = _batch_operator(job)
+    out: list[KeyValue] = []
+    groups = 0
+    records = 0
+    sizes: np.ndarray | None = None
+    with obs.phase("reduce.reduce", task_span):
+        if files:
+            keys = np.concatenate([f.keys for f in files])
+            cols = tuple(
+                np.concatenate(list(column_parts))
+                for column_parts in zip(*(f.states for f in files))
+            )
+            counts = np.concatenate([f.source_counts for f in files])
+            order = np.lexsort(keys.T[::-1])
+            keys = keys[order]
+            cols = tuple(c[order] for c in cols)
+            counts = counts[order]
+            starts = group_starts(keys)
+            merged = bop.combine_columns(cols, starts)
+            merged_counts = np.add.reduceat(counts, starts)
+            group_keys = keys[starts]
+            sizes = np.diff(np.append(starts, keys.shape[0]))
+            groups = len(starts)
+            records = keys.shape[0]
+            for i in range(groups):
+                key = tuple(int(x) for x in group_keys[i])
+                row = tuple(c[i] for c in merged)
+                out.append((key, bop.finalize_row(row, int(merged_counts[i]))))
+    counters.increment("reduce.input.groups", groups)
+    counters.increment("reduce.input.records", records)
+    counters.increment("reduce.output.records", len(out))
+    if obs.enabled and sizes is not None and sizes.size:
+        obs.metrics.histogram("reduce.group.size", COUNT_BUCKETS).observe_many(
+            [int(s) for s in sizes]
+        )
+    return out

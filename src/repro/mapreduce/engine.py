@@ -51,6 +51,7 @@ from repro.errors import (
     ShuffleError,
 )
 from repro.faults import BoundFaults, InjectionPlan, RecoveryModel, WHEN_AFTER_FETCH
+from repro.mapreduce.columnar import run_columnar_map, run_columnar_reduce
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.shuffle import MapOutputFile, ShuffleStore
@@ -380,6 +381,15 @@ class LocalEngine:
         with obs.task("map", split_index, attempt) as task_span:
             if faults is not None:
                 faults.fire("map", split_index, attempt)
+            corrupt = faults is not None and faults.should_corrupt(
+                "map", split_index, attempt
+            )
+            if job.data_plane == "columnar":
+                run_columnar_map(
+                    job, split_index, store, counters, obs, task_span,
+                    attempt=attempt, corrupt=corrupt,
+                )
+                return
             split = job.splits[split_index]
             mapper = job.mapper_factory()
             mapper.setup()
@@ -418,9 +428,6 @@ class LocalEngine:
             # chunk; the reader is responsible for emitting per-record source
             # counts via the value's `source_count` attribute/key.)
             with obs.phase("map.spill", task_span):
-                corrupt = faults is not None and faults.should_corrupt(
-                    "map", split_index, attempt
-                )
                 files: list[MapOutputFile] = []
                 for p, recs in buckets.items():
                     src = 0
@@ -509,13 +516,13 @@ class LocalEngine:
                     )
                     validator.validate(partition, tally)
 
-                segments = []
+                files = []
                 shuffled_records = 0
                 shuffled_bytes = 0
                 for m in sorted(fetch_from):
                     f = store.fetch(m, partition)
                     if f is not None and f.num_records:
-                        segments.append(f.records)
+                        files.append(f)
                         shuffled_records += f.num_records
                         shuffled_bytes += f.approx_serialized_bytes
             # ``shuffle.records`` is the record count this counter
@@ -533,6 +540,10 @@ class LocalEngine:
                 # no-persist modes to re-execute producing maps.
                 faults.fire("reduce", partition, attempt, WHEN_AFTER_FETCH)
 
+            if job.data_plane == "columnar":
+                return run_columnar_reduce(job, files, counters, obs, task_span)
+
+            segments = [f.records for f in files]
             reducer = job.reducer_factory()
             reducer.setup()
             out: list[KeyValue] = []

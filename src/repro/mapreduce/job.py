@@ -41,12 +41,22 @@ class JobConf:
     #: engines running SIDR plans set this False to fetch only from the
     #: dependency set.
     contact_all_maps: bool = True
+    #: ``"record"`` runs the per-record object path; ``"columnar"`` runs
+    #: the vectorized batch path (requires a columnar reader factory and
+    #: a ``context["batch_operator"]`` — see
+    #: :meth:`repro.sidr.planner.SIDRPlan.configure_job`).
+    data_plane: str = "record"
     #: Arbitrary per-job context (e.g. the SIDRPlan) for hooks/tests.
     context: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise JobConfigError("job name must be non-empty")
+        if self.data_plane not in ("record", "columnar"):
+            raise JobConfigError(
+                f"unknown data plane {self.data_plane!r}; "
+                "expected 'record' or 'columnar'"
+            )
         if not self.splits:
             raise JobConfigError("job has no input splits")
         if self.num_reduce_tasks <= 0:

@@ -17,14 +17,36 @@ are implemented here and selected by the engine.
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Any
 
+import numpy as np
+
 from repro.errors import ShuffleError, StaleFetchError
 from repro.mapreduce.types import KeyValue, MapTaskId
+
+
+def _spill_checks_enabled() -> bool:
+    """Whether spill files validate their sort invariant on construction.
+
+    The scan is O(n) per spill file — pure overhead on the hot path once
+    the sort code is trusted.  ``REPRO_CHECK_SPILLS`` (1/0, true/false)
+    overrides; otherwise the check follows ``__debug__`` (on normally,
+    off under ``python -O``).  The test suite pins it on so the invariant
+    stays enforced there.
+    """
+    env = os.environ.get("REPRO_CHECK_SPILLS")
+    if env is not None:
+        return env.strip().lower() not in ("", "0", "false", "no", "off")
+    return __debug__
+
+
+#: Resolved once at import: per-spill branchless read on the hot path.
+SPILL_CHECKS_ENABLED = _spill_checks_enabled()
 
 
 def estimate_serialized_bytes(records: tuple[KeyValue, ...]) -> int:
@@ -44,6 +66,13 @@ def estimate_serialized_bytes(records: tuple[KeyValue, ...]) -> int:
 def _nbytes(obj: Any) -> int:
     if isinstance(obj, (int, float, bool)) or obj is None:
         return 8
+    if isinstance(obj, np.ndarray):
+        # Sized before the container branches: an object-dtype array must
+        # recurse, but numeric arrays are O(1) — their buffer is the wire
+        # payload.
+        if obj.dtype == object:
+            return int(sum(_nbytes(x) for x in obj.reshape(-1)))
+        return int(obj.nbytes)
     if isinstance(obj, (str, bytes)):
         return len(obj)
     if isinstance(obj, (tuple, list, frozenset, set)):
@@ -77,6 +106,13 @@ class MapOutputFile:
             raise ShuffleError(f"negative partition {self.partition}")
         if self.source_records < 0:
             raise ShuffleError("negative source record count")
+        if SPILL_CHECKS_ENABLED:
+            self.check_sorted()
+
+    def check_sorted(self) -> None:
+        """O(n) validation that the record run is key-sorted.  Gated at
+        construction by ``SPILL_CHECKS_ENABLED``; callable directly when
+        a one-off audit of an untrusted run is wanted."""
         keys = [k for k, _ in self.records]
         if any(b < a for a, b in zip(keys, keys[1:])):
             raise ShuffleError(

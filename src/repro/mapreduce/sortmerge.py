@@ -12,6 +12,7 @@ import heapq
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
+from repro.errors import ShuffleError
 from repro.mapreduce.types import KeyValue
 
 
@@ -45,8 +46,6 @@ def group_sorted(records: Iterable[KeyValue]) -> Iterator[tuple[Any, list[Any]]]
             # A regression in key order means a segment lied about being
             # sorted; grouping would silently split the key across calls,
             # violating MapReduce guarantee 2.
-            from repro.errors import ShuffleError
-
             raise ShuffleError(
                 f"unsorted record stream: {k!r} after {current_key!r}"
             )

@@ -42,6 +42,12 @@ from repro.query.recordreader import (
     StructuralRecordReader,
     make_reader_factory,
 )
+from repro.query.columnar import (
+    ColumnarRecordReader,
+    StructuralBatchOperator,
+    batch_operator_for,
+    make_columnar_reader_factory,
+)
 from repro.query.byterange import (
     ByteOrientedRecordReader,
     ByteReadStats,
@@ -71,6 +77,10 @@ __all__ = [
     "CellRecordReader",
     "StructuralRecordReader",
     "make_reader_factory",
+    "ColumnarRecordReader",
+    "StructuralBatchOperator",
+    "batch_operator_for",
+    "make_columnar_reader_factory",
     "ByteOrientedRecordReader",
     "ByteReadStats",
     "byte_splits_for_variable",

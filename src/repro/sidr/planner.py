@@ -22,12 +22,13 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.arrays.slab import Slab
-from repro.errors import PartitionError
+from repro.errors import JobConfigError, PartitionError
 from repro.mapreduce.engine import DependencyBarrier
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.mapper import ChunkAggregateMapper
 from repro.mapreduce.partitioner import RangePartitioner
 from repro.mapreduce.reducer import AggregateReducer, CombinerAdapter, Reducer
+from repro.query.columnar import batch_operator_for, make_columnar_reader_factory
 from repro.query.language import QueryPlan
 from repro.query.recordreader import make_reader_factory
 from repro.query.splits import CoordinateSplit
@@ -93,27 +94,50 @@ class SIDRPlan:
         name: str | None = None,
         use_combiner: bool = True,
         validate_counts: bool = True,
+        data_plane: str = "record",
     ) -> tuple[JobConf, DependencyBarrier]:
-        """Build an engine-ready (JobConf, barrier) pair for this plan."""
+        """Build an engine-ready (JobConf, barrier) pair for this plan.
+
+        ``data_plane="columnar"`` requests the vectorized batch path;
+        operators without a batch adapter (holistic ones like median)
+        silently fall back to the record plane, so the request is always
+        safe.  The effective plane is ``job.data_plane``.
+        """
+        if data_plane not in ("record", "columnar"):
+            raise JobConfigError(
+                f"unknown data plane {data_plane!r}; "
+                "expected 'record' or 'columnar'"
+            )
         qp = self.query_plan
         op = qp.operator
+        batch_op = batch_operator_for(op) if data_plane == "columnar" else None
+        effective_plane = "columnar" if batch_op is not None else "record"
         combiner: Callable[[], Reducer] | None = None
         if use_combiner:
             combiner = lambda: CombinerAdapter(op)  # noqa: E731
+        reader_factory = (
+            make_columnar_reader_factory(source, qp)
+            if effective_plane == "columnar"
+            else make_reader_factory(source, qp)
+        )
         job = JobConf(
             name=name or f"sidr-{op.name}-{qp.variable}",
             splits=list(self.splits),
-            reader_factory=make_reader_factory(source, qp),
+            reader_factory=reader_factory,
             mapper_factory=lambda: ChunkAggregateMapper(op),
             reducer_factory=lambda: AggregateReducer(op),
             partitioner=self.partitioner,
             num_reduce_tasks=self.num_reduce_tasks,
             combiner_factory=combiner,
             contact_all_maps=False,
+            data_plane=effective_plane,
         )
         if validate_counts:
             job.context["reduce_start_validator"] = self.validator()
         job.context["sidr_plan"] = self
+        job.context["data_plane_requested"] = data_plane
+        if batch_op is not None:
+            job.context["batch_operator"] = batch_op
         return job, self.barrier
 
 
@@ -147,9 +171,11 @@ def build_sidr_job(
     splits: Sequence[CoordinateSplit],
     num_reduce_tasks: int,
     source: Any,
+    *,
+    data_plane: str = "record",
     **plan_kwargs: Any,
 ) -> tuple[JobConf, DependencyBarrier, SIDRPlan]:
     """One-call convenience: plan + engine job."""
     plan = build_plan(query_plan, splits, num_reduce_tasks, **plan_kwargs)
-    job, barrier = plan.configure_job(source)
+    job, barrier = plan.configure_job(source, data_plane=data_plane)
     return job, barrier, plan

@@ -89,6 +89,41 @@ class TestQuery:
         lines = [l for l in capsys.readouterr().out.splitlines() if "\t" in l]
         assert len(lines) == 4 * 2 * 8  # strided K'_T
 
+    def test_columnar_plane_identical_output(self, ncfile, capsys):
+        args = [
+            "query", ncfile,
+            "--variable", "temperature",
+            "--extract", "7,5,1",
+            "--operator", "mean",
+            "--reduces", "3",
+            "--splits", "6",
+            "--limit", "0",
+        ]
+        assert main(args) == 0
+        record_out = capsys.readouterr().out
+        assert main(args + ["--data-plane", "columnar"]) == 0
+        cap = capsys.readouterr()
+        assert cap.out == record_out
+        assert "columnar data plane" in cap.err
+
+    def test_columnar_fallback_notice_for_holistic(self, ncfile, capsys):
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--operator", "median",
+                "--reduces", "2",
+                "--splits", "4",
+                "--limit", "1",
+                "--data-plane", "columnar",
+            ]
+        )
+        assert rc == 0
+        cap = capsys.readouterr()
+        assert "columnar unavailable" in cap.err
+        assert "record data plane" in cap.err
+
     def test_unknown_variable(self, ncfile, capsys):
         rc = main(
             [

@@ -1,0 +1,269 @@
+"""Oracle equivalence suite for the columnar data plane (perf PR).
+
+The record plane is the oracle: for every supported operator, every
+reader geometry, and both engines, the columnar plane must produce
+**byte-identical** output — not approximately equal.  The cell-level
+reference reader is also compared where its accumulation order is
+exactly the chunked path's (see the sum note below).
+
+Set ``REPRO_ENGINE_MODE=serial`` or ``=threaded`` to restrict the
+engine matrix, as in :mod:`tests.test_fault_tolerance`.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    WHEN_AFTER_FETCH,
+    FaultKind,
+    FaultRule,
+    InjectionPlan,
+    RecoveryModel,
+)
+from repro.mapreduce.engine import LocalEngine, RetryPolicy
+from repro.query.language import StructuralQuery
+from repro.query.operators import (
+    CountOp,
+    MaxOp,
+    MeanOp,
+    MedianOp,
+    MinOp,
+    RangeExceedsOp,
+    RangeOp,
+    StdDevOp,
+    SumOp,
+)
+from repro.query.recordreader import CellToChunkMapper, make_reader_factory
+from repro.query.splits import slice_splits
+from repro.scidata.generators import temperature_dataset, windspeed_dataset
+from repro.sidr.planner import build_sidr_job
+
+_ALL_MODES = ("serial", "threaded")
+_env = os.environ.get("REPRO_ENGINE_MODE", "")
+MODES = (_env,) if _env in _ALL_MODES else _ALL_MODES
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0)
+
+OPERATORS = [
+    SumOp(),
+    CountOp(),
+    MeanOp(),
+    MinOp(),
+    MaxOp(),
+    StdDevOp(),
+    RangeOp(),
+    RangeExceedsOp(threshold=5.0),
+    MedianOp(),  # holistic: request falls back to the record plane
+]
+
+#: Operators whose chunked-path accumulation is order/dtype-insensitive,
+#: so the per-cell reference reader is byte-identical too.  SumOp is the
+#: exception: its map_partial reduces the chunk in the *source* dtype
+#: (e.g. float32) before widening, while the cell path feeds one
+#: float64 chunk per cell — mathematically equal, not bit-equal.
+CELL_EXACT = ("count", "min", "max", "median")
+
+
+def run(engine, mode, job, barrier, **kw):
+    if mode == "serial":
+        return engine.run_serial(job, barrier, **kw)
+    return engine.run_threaded(job, barrier, **kw)
+
+
+def _plan(field, extraction_shape, op, **query_kw):
+    q = StructuralQuery(
+        variable=next(iter(field.arrays)),
+        extraction_shape=extraction_shape,
+        operator=op,
+        **query_kw,
+    )
+    return q.compile(field.metadata)
+
+
+def _records(plan, data, op, *, data_plane, num_splits=4, reduces=3,
+             mode="serial", cell_level=False):
+    sp = slice_splits(plan, num_splits=num_splits)
+    job, barrier, _ = build_sidr_job(plan, sp, reduces, data,
+                                     data_plane=data_plane)
+    if cell_level:
+        assert data_plane == "record"
+        job.reader_factory = make_reader_factory(data, plan, cell_level=True)
+        job.mapper_factory = lambda: CellToChunkMapper(plan)
+    engine = LocalEngine(map_workers=4, reduce_workers=3)
+    return run(engine, mode, job, barrier), job
+
+
+@pytest.fixture(scope="module")
+def temp32():
+    """float32 source — the dtype where accumulation-order bugs show."""
+    field = temperature_dataset(days=29, lat=10, lon=6, seed=11)
+    return field, field.arrays["temperature"].astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def wind():
+    field = windspeed_dataset(time=12, lat=12, lon=6, elevation=10, seed=3)
+    return field, field.arrays["windspeed"]
+
+
+# --------------------------------------------------------------------- #
+# Every operator, byte-identical, both engines
+# --------------------------------------------------------------------- #
+class TestOperatorIdentity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_columnar_matches_record(self, temp32, op, mode):
+        field, data = temp32
+        plan = _plan(field, (7, 5, 2), op)
+        oracle, _ = _records(plan, data, op, data_plane="record", mode=mode)
+        res, job = _records(plan, data, op, data_plane="columnar", mode=mode)
+        assert res.all_records() == oracle.all_records()
+        if op.distributive:
+            assert job.data_plane == "columnar"
+            assert res.counters.get("plane.batched.instances") > 0
+        else:
+            # Holistic operators fall back; request stays recorded.
+            assert job.data_plane == "record"
+            assert job.context["data_plane_requested"] == "columnar"
+
+    @pytest.mark.parametrize("op", OPERATORS, ids=lambda o: o.name)
+    def test_cell_reference_reader(self, temp32, op):
+        """The per-cell reference path agrees with both chunked planes
+        (bit-exact where its accumulation order matches, see CELL_EXACT)."""
+        field, data = temp32
+        plan = _plan(field, (7, 5, 2), op)
+        oracle, _ = _records(plan, data, op, data_plane="record")
+        cell, _ = _records(plan, data, op, data_plane="record",
+                           cell_level=True)
+        a, b = oracle.all_records(), cell.all_records()
+        if op.name in CELL_EXACT:
+            assert a == b
+        else:
+            assert [k for k, _ in a] == [k for k, _ in b]
+            for (_, va), (_, vb) in zip(a, b):
+                assert va == pytest.approx(vb, rel=1e-6)
+
+
+# --------------------------------------------------------------------- #
+# Geometry edge cases
+# --------------------------------------------------------------------- #
+class TestGeometryIdentity:
+    @pytest.mark.parametrize("splits", [1, 4, 7])
+    def test_unaligned_splits(self, temp32, splits):
+        field, data = temp32
+        plan = _plan(field, (7, 5, 2), MeanOp())
+        oracle, _ = _records(plan, data, MeanOp(), data_plane="record",
+                             num_splits=splits)
+        res, _ = _records(plan, data, MeanOp(), data_plane="columnar",
+                          num_splits=splits)
+        assert res.all_records() == oracle.all_records()
+
+    @pytest.mark.parametrize("stride", [(3, 2, 2), (5, 4, 3)])
+    def test_strided_extraction(self, temp32, stride):
+        field, data = temp32
+        plan = _plan(field, (2, 2, 2), SumOp(), stride=stride)
+        oracle, _ = _records(plan, data, SumOp(), data_plane="record")
+        res, _ = _records(plan, data, SumOp(), data_plane="columnar")
+        assert res.all_records() == oracle.all_records()
+        # Stride gaps force the per-instance fallback for edge keys.
+        assert res.counters.get("plane.batched.instances") > 0
+
+    def test_truncate_false_ragged_edges(self, temp32):
+        field, data = temp32
+        plan = _plan(field, (7, 4, 4), StdDevOp(), keep_partial_instances=True)
+        oracle, _ = _records(plan, data, StdDevOp(), data_plane="record")
+        res, _ = _records(plan, data, StdDevOp(), data_plane="columnar")
+        assert res.all_records() == oracle.all_records()
+
+    def test_strided_keep_partial(self, temp32):
+        field, data = temp32
+        plan = _plan(field, (3, 3, 2), MaxOp(), stride=(4, 4, 3),
+                     keep_partial_instances=True)
+        oracle, _ = _records(plan, data, MaxOp(), data_plane="record")
+        res, _ = _records(plan, data, MaxOp(), data_plane="columnar")
+        assert res.all_records() == oracle.all_records()
+
+    def test_many_partials_per_key(self, temp32):
+        """Instances spanning all 7 splits give 7 partials per key —
+        the regime where pairwise vs sequential summation diverges, so
+        this pins the segmented combine to the scalar fold order."""
+        field, data = temp32
+        plan = _plan(field, (29, 5, 2), SumOp())
+        oracle, _ = _records(plan, data, SumOp(), data_plane="record",
+                             num_splits=7)
+        res, _ = _records(plan, data, SumOp(), data_plane="columnar",
+                          num_splits=7)
+        assert res.all_records() == oracle.all_records()
+
+    def test_4d_wind(self, wind):
+        field, data = wind
+        plan = _plan(field, (2, 6, 3, 5), MeanOp())
+        oracle, _ = _records(plan, data, MeanOp(), data_plane="record")
+        res, _ = _records(plan, data, MeanOp(), data_plane="columnar")
+        assert res.all_records() == oracle.all_records()
+
+    def test_reference_output_agrees(self, temp32):
+        """Both planes match the QueryPlan's direct numpy oracle."""
+        field, data = temp32
+        plan = _plan(field, (7, 5, 2), MeanOp())
+        ref = plan.reference_output(data)
+        res, _ = _records(plan, data, MeanOp(), data_plane="columnar")
+        for key, value in res.all_records():
+            assert value == pytest.approx(ref[key], rel=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# Fault tolerance on the columnar plane
+# --------------------------------------------------------------------- #
+class TestColumnarFaultTolerance:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_map_retry_supersedes_corrupt_columnar_spill(self, temp32, mode):
+        """A corrupted columnar spill must fail the attempt and the retry
+        must supersede it, leaving clean-record-plane output."""
+        field, data = temp32
+        plan = _plan(field, (7, 5, 2), MeanOp())
+        oracle, _ = _records(plan, data, MeanOp(), data_plane="record")
+        sp = slice_splits(plan, num_splits=4)
+        job, barrier, _ = build_sidr_job(plan, sp, 3, data,
+                                         data_plane="columnar")
+        faults = InjectionPlan(rules=(
+            FaultRule(task="map", kind=FaultKind.CORRUPT_SPILL,
+                      indices=frozenset({1}), times=1),
+        ))
+        engine = LocalEngine(map_workers=4, reduce_workers=3,
+                             retry=FAST_RETRY, faults=faults)
+        res = run(engine, mode, job, barrier)
+        assert res.all_records() == oracle.all_records()
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_reduce_transient_after_fetch(self, temp32, mode):
+        """Transient reduce failure after fetch under REEXECUTE_DEPS:
+        consumed columnar outputs are regenerated, output unchanged."""
+        field, data = temp32
+        plan = _plan(field, (7, 5, 2), SumOp())
+        oracle, _ = _records(plan, data, SumOp(), data_plane="record")
+        sp = slice_splits(plan, num_splits=4)
+        job, barrier, _ = build_sidr_job(plan, sp, 3, data,
+                                         data_plane="columnar")
+        faults = InjectionPlan(rules=(
+            FaultRule(task="reduce", kind=FaultKind.TRANSIENT,
+                      indices=frozenset({1}), times=1,
+                      when=WHEN_AFTER_FETCH),
+        ))
+        engine = LocalEngine(
+            map_workers=4, reduce_workers=3, retry=FAST_RETRY,
+            faults=faults, recovery=RecoveryModel.REEXECUTE_DEPS,
+        )
+        res = run(engine, mode, job, barrier)
+        assert res.all_records() == oracle.all_records()
+
+    def test_threaded_equals_serial(self, temp32):
+        field, data = temp32
+        plan = _plan(field, (7, 5, 2), StdDevOp())
+        a, _ = _records(plan, data, StdDevOp(), data_plane="columnar",
+                        mode="serial")
+        b, _ = _records(plan, data, StdDevOp(), data_plane="columnar",
+                        mode="threaded")
+        assert a.all_records() == b.all_records()

@@ -1,0 +1,387 @@
+"""Unit tests for the columnar data plane building blocks.
+
+The end-to-end oracle comparison lives in
+:mod:`tests.test_columnar_equivalence`; this module pins down the
+pieces: the batch record reader, the batch operator adapters, the
+columnar map-output file, and the engine/store plumbing around them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import JobConfigError, ShuffleError
+from repro.mapreduce.columnar import (
+    ChunkBatch,
+    ColumnarMapOutput,
+    group_starts,
+    lexsorted_rows,
+)
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.mapper import ThresholdFilterMapper
+from repro.mapreduce.shuffle import ShuffleStore, _nbytes, _spill_checks_enabled
+from repro.mapreduce.types import MapTaskId
+from repro.query.columnar import (
+    ColumnarRecordReader,
+    batch_operator_for,
+    make_columnar_reader_factory,
+)
+from repro.query.language import StructuralQuery
+from repro.query.operators import (
+    Chunk,
+    CountOp,
+    MaxOp,
+    MeanOp,
+    MedianOp,
+    MinOp,
+    Partial,
+    RangeExceedsOp,
+    RangeOp,
+    SortOp,
+    StdDevOp,
+    SumOp,
+    ThresholdFilterOp,
+)
+from repro.query.recordreader import make_reader_factory
+from repro.query.splits import slice_splits
+from repro.scidata.generators import temperature_dataset
+
+DISTRIBUTIVE = [
+    SumOp(), CountOp(), MeanOp(), MinOp(), MaxOp(), StdDevOp(),
+    RangeOp(), RangeExceedsOp(threshold=2.0),
+]
+# No batch adapter: holistic operators plus filter_gt (variable-
+# length partials do not fit fixed state columns).
+NO_ADAPTER = [MedianOp(), SortOp(), ThresholdFilterOp(threshold=0.0)]
+
+
+@pytest.fixture(scope="module")
+def field():
+    return temperature_dataset(days=29, lat=10, lon=6, seed=7)
+
+
+@pytest.fixture(scope="module")
+def data(field):
+    return field.arrays["temperature"].astype(np.float32)
+
+
+def _plan(field, shape, **kw):
+    q = StructuralQuery(
+        variable="temperature", extraction_shape=shape,
+        operator=kw.pop("operator", MeanOp()), **kw,
+    )
+    return q.compile(field.metadata)
+
+
+def _expand(reader):
+    """Flatten a columnar reader's stream to per-instance records."""
+    out = {}
+    fallbacks = batches = 0
+    for item in reader:
+        if isinstance(item, ChunkBatch):
+            batches += 1
+            for i in range(item.num_instances):
+                key = tuple(int(k) for k in item.keys[i])
+                out.setdefault(key, []).append(item.values[i])
+        else:
+            fallbacks += 1
+            key, chunk = item
+            out.setdefault(key, []).append(
+                np.asarray(chunk.data).reshape(-1)
+            )
+    return out, batches, fallbacks
+
+
+def _oracle(source, plan, split):
+    out = {}
+    for key, chunk in make_reader_factory(source, plan)(split):
+        out.setdefault(key, []).append(np.asarray(chunk.data).reshape(-1))
+    return out
+
+
+def _assert_same_stream(columnar, oracle):
+    assert set(columnar) == set(oracle)
+    for key in oracle:
+        got = np.sort(np.concatenate(columnar[key]))
+        want = np.sort(np.concatenate(oracle[key]))
+        np.testing.assert_array_equal(got, want)
+
+
+# --------------------------------------------------------------------- #
+# ColumnarRecordReader vs StructuralRecordReader
+# --------------------------------------------------------------------- #
+class TestColumnarReader:
+    @pytest.mark.parametrize("splits", [1, 4, 7])
+    def test_dense_same_records_no_fallback(self, field, data, splits):
+        plan = _plan(field, (7, 5, 2))
+        for split in slice_splits(plan, num_splits=splits):
+            cols, batches, fallbacks = _expand(
+                ColumnarRecordReader(data, plan, split)
+            )
+            assert fallbacks == 0
+            _assert_same_stream(cols, _oracle(data, plan, split))
+
+    def test_strided_falls_back_only_on_edges(self, field, data):
+        plan = _plan(field, (2, 2, 2), stride=(3, 4, 3))
+        total_fallbacks = 0
+        for split in slice_splits(plan, num_splits=4):
+            cols, batches, fallbacks = _expand(
+                ColumnarRecordReader(data, plan, split)
+            )
+            total_fallbacks += fallbacks
+            _assert_same_stream(cols, _oracle(data, plan, split))
+        # The stride gaps split instances across slab boundaries: some
+        # keys must take the per-instance path, but not all of them.
+        assert total_fallbacks > 0
+
+    def test_keep_partial_instances(self, field, data):
+        plan = _plan(field, (7, 4, 4), keep_partial_instances=True)
+        for split in slice_splits(plan, num_splits=3):
+            cols, _, _ = _expand(ColumnarRecordReader(data, plan, split))
+            _assert_same_stream(cols, _oracle(data, plan, split))
+
+    def test_subset(self, field, data):
+        from repro.arrays.slab import Slab
+
+        plan = _plan(field, (7, 5, 2),
+                     subset=Slab((2, 1, 1), (26, 9, 5)))
+        for split in slice_splits(plan, num_splits=3):
+            cols, _, _ = _expand(ColumnarRecordReader(data, plan, split))
+            _assert_same_stream(cols, _oracle(data, plan, split))
+
+    def test_batch_rows_match_instance_flatten(self, field, data):
+        """Row i of a batch is exactly instance i's C-order flatten."""
+        plan = _plan(field, (7, 5, 2))
+        (split,) = slice_splits(plan, num_splits=1)
+        for item in ColumnarRecordReader(data, plan, split):
+            assert isinstance(item, ChunkBatch)
+            for i in range(item.num_instances):
+                key = tuple(int(k) for k in item.keys[i])
+                region = plan.instance_region(key)
+                want = data[region.as_slices()].reshape(-1)
+                np.testing.assert_array_equal(item.values[i], want)
+
+    def test_factory_shape(self, field, data):
+        plan = _plan(field, (7, 5, 2))
+        factory = make_columnar_reader_factory(data, plan)
+        (split,) = slice_splits(plan, num_splits=1)
+        items = list(factory(split))
+        assert items and all(isinstance(b, ChunkBatch) for b in items)
+
+
+# --------------------------------------------------------------------- #
+# Batch operator adapters
+# --------------------------------------------------------------------- #
+class TestBatchOperators:
+    @pytest.mark.parametrize("op", DISTRIBUTIVE, ids=lambda o: o.name)
+    def test_adapter_exists(self, op):
+        assert batch_operator_for(op) is not None
+
+    @pytest.mark.parametrize("op", NO_ADAPTER, ids=lambda o: o.name)
+    def test_holistic_has_no_adapter(self, op):
+        assert batch_operator_for(op) is None
+
+    @pytest.mark.parametrize("op", DISTRIBUTIVE, ids=lambda o: o.name)
+    def test_map_batch_matches_map_partial(self, op):
+        rng = np.random.default_rng(5)
+        values = rng.normal(10.0, 4.0, (9, 14)).astype(np.float32)
+        bop = batch_operator_for(op)
+        cols = bop.map_batch(values)
+        assert all(c.shape == (9,) for c in cols)
+        for i in range(values.shape[0]):
+            want = op.map_partial(Chunk(values[i], values.shape[1]))
+            row = tuple(col[i] for col in cols)
+            state = want.state if isinstance(want.state, tuple) else (want.state,)
+            assert row == pytest.approx(state, rel=0, abs=0)
+
+    @pytest.mark.parametrize("op", DISTRIBUTIVE, ids=lambda o: o.name)
+    def test_combine_and_finalize_match_scalar_path(self, op):
+        rng = np.random.default_rng(6)
+        values = rng.normal(0.0, 2.0, (6, 8))
+        bop = batch_operator_for(op)
+        cols = bop.map_batch(values)
+        counts = np.full(6, values.shape[1], dtype=np.int64)
+        # Two groups: rows [0, 4) and [4, 6).
+        starts = np.array([0, 4], dtype=np.int64)
+        merged = bop.combine_columns(cols, starts)
+        for g, (lo, hi) in enumerate([(0, 4), (4, 6)]):
+            partials = []
+            for i in range(lo, hi):
+                state = tuple(col[i] for col in cols)
+                partials.append(Partial(
+                    state if len(state) > 1 else state[0],
+                    int(counts[i]),
+                ))
+            want = op.finalize(op.combine(partials))
+            row = tuple(col[g] for col in merged)
+            got = bop.finalize_row(row, int(counts[lo:hi].sum()))
+            assert got == want
+
+    def test_map_record_matches_scalar(self):
+        op = StdDevOp()
+        bop = batch_operator_for(op)
+        chunk = Chunk(np.arange(12.0, dtype=np.float32), 12)
+        row, count = bop.map_record(chunk)
+        want = op.map_partial(chunk)
+        assert count == want.source_count
+        assert row == pytest.approx(want.state, rel=0, abs=0)
+
+
+# --------------------------------------------------------------------- #
+# ChunkBatch / helpers
+# --------------------------------------------------------------------- #
+class TestChunkBatch:
+    def test_valid(self):
+        b = ChunkBatch(np.zeros((3, 2), dtype=np.int64), np.ones((3, 5)))
+        assert b.num_instances == 3
+        assert b.cells_per_instance == 5
+
+    def test_rejects_1d_keys(self):
+        with pytest.raises(ShuffleError, match="keys"):
+            ChunkBatch(np.zeros(3, dtype=np.int64), np.ones((3, 5)))
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ShuffleError, match="mismatch"):
+            ChunkBatch(np.zeros((4, 2), dtype=np.int64), np.ones((3, 5)))
+
+
+class TestHelpers:
+    def test_lexsorted_rows(self):
+        assert lexsorted_rows(np.empty((0, 2), dtype=np.int64))
+        assert lexsorted_rows(np.array([[0, 5]]))
+        assert lexsorted_rows(np.array([[0, 1], [0, 1], [0, 2], [1, 0]]))
+        assert not lexsorted_rows(np.array([[0, 2], [0, 1]]))
+        assert not lexsorted_rows(np.array([[1, 0], [0, 9]]))
+
+    def test_group_starts(self):
+        keys = np.array([[0, 0], [0, 0], [0, 1], [2, 0], [2, 0]])
+        np.testing.assert_array_equal(group_starts(keys), [0, 2, 3])
+        assert group_starts(np.empty((0, 3), dtype=np.int64)).size == 0
+
+
+# --------------------------------------------------------------------- #
+# ColumnarMapOutput
+# --------------------------------------------------------------------- #
+def _cmo(**kw):
+    defaults = dict(
+        map_id=MapTaskId(0),
+        partition=1,
+        keys=np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int64),
+        states=(np.array([1.0, 2.0, 3.0]),),
+        source_counts=np.array([4, 4, 4], dtype=np.int64),
+        source_records=12,
+    )
+    defaults.update(kw)
+    return ColumnarMapOutput(**defaults)
+
+
+class TestColumnarMapOutput:
+    def test_valid(self):
+        f = _cmo()
+        assert f.num_records == 3
+        assert f.source_records == 12
+
+    def test_unsorted_keys_rejected(self):
+        # conftest pins REPRO_CHECK_SPILLS=1, so construction validates.
+        with pytest.raises(ShuffleError, match="not sorted"):
+            _cmo(keys=np.array([[1, 0], [0, 0], [0, 1]], dtype=np.int64))
+
+    def test_state_column_length_mismatch(self):
+        with pytest.raises(ShuffleError, match="length"):
+            _cmo(states=(np.array([1.0, 2.0]),))
+
+    def test_counts_shape_mismatch(self):
+        with pytest.raises(ShuffleError):
+            _cmo(source_counts=np.array([4, 4], dtype=np.int64))
+
+    def test_approx_bytes_is_buffer_sum(self):
+        f = _cmo()
+        want = (f.keys.nbytes + f.states[0].nbytes
+                + f.source_counts.nbytes)
+        assert f.approx_serialized_bytes == want
+
+    def test_shuffle_store_duck_compat(self):
+        """spill / fetch / supersede / consume work unchanged on
+        columnar files — the store never looks inside ``records``."""
+        store = ShuffleStore(persist=False)
+        store.spill([_cmo()], attempt=0)
+        assert store.attempt_of(0) == 0
+        # Superseding retry replaces the attempt atomically.
+        store.spill([_cmo(source_records=13)], attempt=1)
+        assert store.attempt_of(0) == 1
+        fetched = store.fetch(0, 1)
+        assert isinstance(fetched, ColumnarMapOutput)
+        assert fetched.source_records == 13
+        # persist=False: the fetch consumed it.
+        assert store.missing_inputs(1, frozenset({0})) == frozenset({0})
+
+    def test_stale_attempt_rejected(self):
+        store = ShuffleStore()
+        store.spill([_cmo()], attempt=1)
+        with pytest.raises(ShuffleError, match="already spilled"):
+            store.spill([_cmo()], attempt=1)
+
+
+# --------------------------------------------------------------------- #
+# Plumbing: JobConf, planner fallback, sizing, spill-check gate
+# --------------------------------------------------------------------- #
+class TestPlumbing:
+    def test_jobconf_rejects_unknown_plane(self, field, data):
+        plan = _plan(field, (7, 5, 2))
+        sp = slice_splits(plan, num_splits=2)
+        with pytest.raises(JobConfigError, match="data plane"):
+            JobConf(
+                name="bad",
+                splits=list(sp),
+                reader_factory=make_reader_factory(data, plan),
+                mapper_factory=lambda: None,
+                reducer_factory=lambda: None,
+                partitioner=None,
+                num_reduce_tasks=2,
+                data_plane="chunky",
+            )
+
+    def test_planner_rejects_unknown_plane(self, field, data):
+        from repro.sidr.planner import build_sidr_job
+
+        plan = _plan(field, (7, 5, 2))
+        sp = slice_splits(plan, num_splits=2)
+        with pytest.raises(JobConfigError, match="data plane"):
+            build_sidr_job(plan, sp, 2, data, data_plane="chunky")
+
+    def test_planner_falls_back_for_holistic(self, field, data):
+        from repro.sidr.planner import build_sidr_job
+
+        plan = _plan(field, (7, 5, 2), operator=MedianOp())
+        sp = slice_splits(plan, num_splits=2)
+        job, _, _ = build_sidr_job(plan, sp, 2, data, data_plane="columnar")
+        assert job.data_plane == "record"
+        assert job.context["data_plane_requested"] == "columnar"
+        assert "batch_operator" not in job.context
+
+    def test_nbytes_ndarray_is_exact(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert _nbytes(arr) == arr.nbytes
+        obj = np.empty(2, dtype=object)
+        obj[0] = np.zeros(10, dtype=np.float32)
+        obj[1] = np.zeros(10, dtype=np.float32)
+        assert _nbytes(obj) == 80
+
+    def test_threshold_mapper_keeps_ndarray(self):
+        m = ThresholdFilterMapper(threshold=2.0)
+        chunk = Chunk(np.array([1.0, 3.0, 5.0]), 3)
+        ((key, payload),) = list(m.map((0, 0), chunk))
+        assert isinstance(payload["values"], np.ndarray)
+        np.testing.assert_array_equal(payload["values"], [3.0, 5.0])
+        assert payload["source_count"] == 3
+        assert _nbytes(payload["values"]) == payload["values"].nbytes
+
+    def test_spill_check_env_parsing(self, monkeypatch):
+        for raw, want in [
+            ("1", True), ("true", True), ("yes", True), ("on", True),
+            ("0", False), ("false", False), ("no", False),
+            ("off", False), ("", False),
+        ]:
+            monkeypatch.setenv("REPRO_CHECK_SPILLS", raw)
+            assert _spill_checks_enabled() is want
+        monkeypatch.delenv("REPRO_CHECK_SPILLS")
+        assert _spill_checks_enabled() is __debug__
