@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirroring the library's main entry points::
+Subcommands mirroring the library's main entry points::
 
     python -m repro.cli info    FILE                 # show NCLite metadata
     python -m repro.cli query   FILE --variable V --extract 7,5,1 \\
@@ -15,6 +15,8 @@ Six subcommands mirroring the library's main entry points::
     python -m repro.cli tables  --table 2|3|partition
     python -m repro.cli recovery FILE --variable V --extract 7,5,1 ...
                                 [--fail-reduce L] [--fault-seed N]
+    python -m repro.cli verify  [--cases N] [--seed S] [--schedules K]
+                                [--out DIR] [--repro FILE]
 
 ``query`` executes a structural query for real through the SIDR engine
 (dependency barriers + count validation) and prints the output records;
@@ -30,6 +32,12 @@ renders a saved trace as a human-readable per-phase breakdown.
 failure and runs the same job under all three §6 recovery designs,
 printing the measured recovery work next to the analytical prediction
 from :mod:`repro.sim.failure`.
+
+``verify`` runs the verification subsystem (:mod:`repro.verify`):
+seeded differential fuzzing of {serial, threaded} × {record, columnar}
+against a brute-force oracle, plus deterministic interleaving
+exploration with barrier-invariant checking; failures are shrunk to
+minimal JSON repros (replayable with ``--repro FILE``).
 """
 
 from __future__ import annotations
@@ -256,6 +264,56 @@ def cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Differential fuzzing + interleaving exploration (docs/TESTING.md)."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.verify import fuzz, load_repro, run_case
+
+    metrics = MetricsRegistry()
+
+    if args.repro:
+        case = load_repro(args.repro)
+        print(f"# replaying {args.repro}: {case.describe()}", file=sys.stderr)
+        result = run_case(case, metrics=metrics)
+        if result.ok:
+            print("repro case passes (fixed?)")
+            return 0
+        print(f"repro case still fails: {result.mismatch}")
+        for o in result.outcomes:
+            print(
+                f"  {o.config}: {o.status}"
+                + (f" digest {o.digest[:12]}" if o.digest else "")
+                + (f" errors {', '.join(o.error_types)}" if o.error_types else "")
+            )
+        return 1
+
+    report = fuzz(
+        args.cases,
+        seed=args.seed,
+        schedules=args.schedules,
+        out_dir=args.out,
+        metrics=metrics,
+        shrink=not args.no_shrink,
+    )
+    print(report.summary())
+    for f in report.failures:
+        print(f"case {f.index}: {f.case.describe()}")
+        if f.result.mismatch:
+            print(f"  mismatch: {f.result.mismatch}")
+        if f.exploration is not None and not f.exploration.ok:
+            print(f"  exploration: {f.exploration.summary()}")
+            for v in f.exploration.violations:
+                print(f"    {v}")
+        if f.repro_path is not None:
+            print(f"  repro written to {f.repro_path}")
+    for name in sorted(
+        ("verify.cases", "verify.mismatches", "verify.explorer.schedules",
+         "verify.explorer.violations", "verify.explorer.divergent")
+    ):
+        print(f"# {name} = {metrics.counter(name).value}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.bench import figures
     from repro.bench.report import format_series, format_table
@@ -429,6 +487,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduce task to fail once after its fetch")
     p_rec.add_argument("--fault-seed", type=int, default=0)
     p_rec.set_defaults(fn=cmd_recovery)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="differential fuzzing + interleaving exploration",
+    )
+    p_ver.add_argument("--cases", type=int, default=50,
+                       help="number of generated fuzz cases")
+    p_ver.add_argument("--seed", type=int, default=0,
+                       help="master seed for the case stream")
+    p_ver.add_argument("--schedules", type=int, default=8,
+                       help="perturbed interleavings explored per case "
+                       "(0 = differential only)")
+    p_ver.add_argument("--out", default=None, metavar="DIR",
+                       help="directory for shrunk failure repro JSON files")
+    p_ver.add_argument("--repro", default=None, metavar="FILE",
+                       help="replay the shrunk case from a repro file "
+                       "instead of fuzzing")
+    p_ver.add_argument("--no-shrink", action="store_true",
+                       help="skip shrinking failing cases")
+    p_ver.set_defaults(fn=cmd_verify)
 
     p_sim = sub.add_parser("simulate", help="regenerate a paper figure")
     p_sim.add_argument("--figure", required=True, choices=list("9") + ["10", "11", "12", "13"])

@@ -132,6 +132,48 @@ class ReduceStartValidator(Protocol):
 
 
 # --------------------------------------------------------------------- #
+# Scheduler hook seam (verification subsystem)
+# --------------------------------------------------------------------- #
+#: The five scheduling points the verification layer can observe and
+#: perturb.  ``claim-attempt``/``barrier-ready``/``reduce-start`` fire
+#: from the engine; ``spill-commit``/``fetch`` fire from the
+#: :class:`~repro.mapreduce.shuffle.ShuffleStore` *inside its lock*, so
+#: the event stream linearizes commits against fetches.
+HOOK_CLAIM = "claim-attempt"
+HOOK_SPILL_COMMIT = "spill-commit"
+HOOK_BARRIER_READY = "barrier-ready"
+HOOK_FETCH = "fetch"
+HOOK_REDUCE_START = "reduce-start"
+
+HOOK_POINTS = (
+    HOOK_CLAIM,
+    HOOK_SPILL_COMMIT,
+    HOOK_BARRIER_READY,
+    HOOK_FETCH,
+    HOOK_REDUCE_START,
+)
+
+
+class SchedulerHook(Protocol):
+    """Observation/perturbation seam at the engine's scheduling points.
+
+    Implementations may record the event, stall the calling thread (to
+    steer the interleaving), or both — see :mod:`repro.verify`.  A hook
+    must never call back into the engine or the shuffle store: the
+    ``spill-commit`` and ``fetch`` points run under the store lock.
+    """
+
+    def on_event(
+        self,
+        point: str,
+        kind: str,
+        index: int,
+        attempt: int,
+        info: dict[str, Any] | None = None,
+    ) -> None: ...
+
+
+# --------------------------------------------------------------------- #
 # Retry policy & attempt bookkeeping
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -233,6 +275,25 @@ class TraceEvent:
     index: int
 
 
+class LogicalClock:
+    """Deterministic monotonic counter usable as an ``EngineTrace`` clock.
+
+    Each call advances by ``step`` — replacing wall time with logical
+    time makes trace ``wall`` fields bit-stable run-to-run, which is
+    what the verification explorer's replay comparisons need.
+    """
+
+    def __init__(self, step: float = 1.0) -> None:
+        self._lock = threading.Lock()
+        self._now = 0.0
+        self._step = step
+
+    def __call__(self) -> float:
+        with self._lock:
+            self._now += self._step
+            return self._now
+
+
 class EngineTrace:
     """Append-only, thread-safe event log.
 
@@ -241,20 +302,25 @@ class EngineTrace:
     events via :meth:`JobObservability.task`, so every historical
     consumer (tests, figures, ``reduce_starts_before_last_map``) keeps
     working while rich traces come from ``JobResult.obs``.
+
+    ``clock`` defaults to wall time; passing a :class:`LogicalClock`
+    (or any zero-arg float callable) makes recorded timestamps
+    deterministic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
         self._lock = threading.Lock()
         self._events: list[TraceEvent] = []
         self._first_seq: dict[tuple[str, str, int], int] = {}
         self._seq = 0
-        self._t0 = time.perf_counter()
+        self._clock = clock or time.perf_counter
+        self._t0 = self._clock()
 
     def record(self, kind: str, event: str, index: int) -> TraceEvent:
         with self._lock:
             ev = TraceEvent(
                 seq=self._seq,
-                wall=time.perf_counter() - self._t0,
+                wall=self._clock() - self._t0,
                 kind=kind,
                 event=event,
                 index=index,
@@ -334,6 +400,7 @@ class LocalEngine:
         retry: RetryPolicy | None = None,
         faults: InjectionPlan | None = None,
         recovery: RecoveryModel = RecoveryModel.PERSISTED,
+        scheduler_hook: SchedulerHook | None = None,
     ) -> None:
         if map_workers <= 0 or reduce_workers <= 0:
             raise JobConfigError("worker counts must be positive")
@@ -352,6 +419,20 @@ class LocalEngine:
         #: whole job; the re-execute modes stream them (fetch consumes)
         #: and recover reduce failures by re-running maps.
         self.recovery = recovery
+        #: Verification seam (None in production — every call site is a
+        #: single None check).  See :data:`HOOK_POINTS`.
+        self.scheduler_hook = scheduler_hook
+
+    def _hook_event(
+        self,
+        point: str,
+        kind: str,
+        index: int,
+        attempt: int = 0,
+        **info: Any,
+    ) -> None:
+        if self.scheduler_hook is not None:
+            self.scheduler_hook.on_event(point, kind, index, attempt, info or None)
 
     def _make_obs(self, job: JobConf, obs: JobObservability | None) -> JobObservability:
         if obs is None:
@@ -493,6 +574,10 @@ class LocalEngine:
         faults: BoundFaults | None = None,
     ) -> list[KeyValue]:
         with obs.task("reduce", partition, attempt) as task_span:
+            self._hook_event(
+                HOOK_REDUCE_START, "reduce", partition, attempt,
+                completed=tuple(sorted(completed_at_start)),
+            )
             if faults is not None:
                 faults.fire("reduce", partition, attempt)
             total = job.num_map_tasks
@@ -589,6 +674,7 @@ class LocalEngine:
         tries = 0
         while True:
             attempt = state.claim_attempt(kind, index)
+            self._hook_event(HOOK_CLAIM, kind, index, attempt)
             tries += 1
             counters.increment("task.attempts")
             t0 = time.perf_counter()
@@ -716,9 +802,13 @@ class LocalEngine:
         obs.recovery(p, targets, seconds)
 
     def _new_store(self, obs: JobObservability) -> ShuffleStore:
+        hook = None
+        if self.scheduler_hook is not None:
+            hook = self.scheduler_hook.on_event
         return ShuffleStore(
             metrics=obs.metrics if obs.enabled else None,
             persist=self.recovery is RecoveryModel.PERSISTED,
+            hook=hook,
         )
 
     # ------------------------------------------------------------------ #
@@ -762,6 +852,10 @@ class LocalEngine:
             ]
             for p in fired:
                 pending.discard(p)
+                self._hook_event(
+                    HOOK_BARRIER_READY, "reduce", p,
+                    completed=tuple(sorted(completed)),
+                )
                 obs.barrier_wait(p)
                 if not last_map_done:
                     self._note_early_start(obs, counters, p, len(completed))
@@ -887,6 +981,10 @@ class LocalEngine:
                     ]
                     for p in fired:
                         pending.discard(p)
+                        self._hook_event(
+                            HOOK_BARRIER_READY, "reduce", p,
+                            completed=tuple(sorted(snapshot)),
+                        )
                         obs.barrier_wait(p)
                         if len(snapshot) < total_maps:
                             self._note_early_start(obs, counters, p, len(snapshot))

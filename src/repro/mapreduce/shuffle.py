@@ -165,8 +165,19 @@ class ShuffleStore:
     (:meth:`missing_inputs` reports which).
     """
 
-    def __init__(self, *, metrics: Any | None = None, persist: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        metrics: Any | None = None,
+        persist: bool = True,
+        hook: Any | None = None,
+    ) -> None:
         self._lock = threading.Lock()
+        #: Verification seam (engine's SchedulerHook.on_event, or None).
+        #: ``spill-commit`` and ``fetch`` events fire while the store
+        #: lock is held so the event stream linearizes commits against
+        #: fetches; hooks must therefore never call back into the store.
+        self._hook = hook
         self._files: dict[tuple[int, int], MapOutputFile] = {}
         self._indexes: dict[int, MapOutputIndex] = {}
         self._attempts: dict[int, int] = {}
@@ -195,6 +206,7 @@ class ShuffleStore:
             raise ShuffleError(f"negative attempt {attempt}")
         with self._lock:
             current = self._attempts.get(map_id.index)
+            superseding = current is not None
             if current is not None:
                 if attempt <= current:
                     raise ShuffleError(
@@ -227,6 +239,16 @@ class ShuffleStore:
                 },
             )
             self._attempts[map_id.index] = attempt
+            if self._hook is not None:
+                self._hook(
+                    "spill-commit", "map", map_id.index, attempt,
+                    {
+                        "partitions": tuple(
+                            sorted(f.partition for f in files)
+                        ),
+                        "superseded": superseding,
+                    },
+                )
 
     def spill(self, files: list[MapOutputFile], *, attempt: int = 0) -> None:
         """Commit one map task attempt's output atomically (Hadoop
@@ -282,6 +304,15 @@ class ShuffleStore:
                 # Streamed shuffle: the map side keeps nothing once the
                 # reduce has copied the file (§6 no-persist mode).
                 del self._files[(map_index, partition)]
+            if self._hook is not None:
+                self._hook(
+                    "fetch", "reduce", partition, 0,
+                    {
+                        "map": map_index,
+                        "map_attempt": self._attempts[map_index],
+                        "empty": f is None or f.num_records == 0,
+                    },
+                )
             return f
 
     def begin_reduce_attempt(self, partition: int) -> None:
@@ -321,6 +352,18 @@ class ShuffleStore:
                 ):
                     out.add(m)
             return frozenset(out)
+
+    def fetched_attempts(self, partition: int) -> dict[int, int]:
+        """Map attempts ``partition``'s current reduce attempt has
+        consumed so far — the verification layer's ground truth for the
+        freshness invariant."""
+        with self._lock:
+            return dict(self._fetched.get(partition, {}))
+
+    def committed_attempts(self) -> dict[int, int]:
+        """Currently committed attempt number per completed map task."""
+        with self._lock:
+            return dict(self._attempts)
 
     def index_of(self, map_index: int) -> MapOutputIndex:
         with self._lock:

@@ -1,0 +1,91 @@
+"""Verification subsystem: interleaving exploration, a brute-force
+query oracle, and cross-engine differential fuzzing.
+
+Three independent lines of evidence that the SIDR data path is right:
+
+* :mod:`repro.verify.explorer` — replay one job under systematically
+  perturbed thread schedules and check barrier/shuffle invariants plus
+  output identity on every interleaving.
+* :mod:`repro.verify.oracle` — evaluate any structural query directly
+  on the dense array, sharing no code with splits/shuffle/planes.
+* :mod:`repro.verify.fuzz` — seeded random cases through
+  {serial, threaded} × {record, columnar} vs the oracle, with greedy
+  shrinking of failures to minimal JSON repros.
+
+Entry point: ``python -m repro.cli verify``.
+"""
+
+from repro.verify.cases import OPERATOR_NAMES, FuzzCase, generate_case
+from repro.verify.explorer import (
+    ExplorationReport,
+    ScheduleRun,
+    explore,
+    failure_types,
+)
+from repro.verify.fuzz import (
+    ENGINE_CONFIGS,
+    CaseReport,
+    CaseResult,
+    ConfigOutcome,
+    FuzzReport,
+    fuzz,
+    load_repro,
+    run_case,
+    shrink_case,
+    write_repro,
+)
+from repro.verify.hooks import (
+    HOOK_BARRIER_READY,
+    HOOK_CLAIM,
+    HOOK_FETCH,
+    HOOK_POINTS,
+    HOOK_REDUCE_START,
+    HOOK_SPILL_COMMIT,
+    ChaosHook,
+    HookEvent,
+    RecordingHook,
+)
+from repro.verify.invariants import Violation, check_interleaving_invariants
+from repro.verify.oracle import (
+    CanonicalRecords,
+    canonicalize_records,
+    canonicalize_value,
+    oracle_records,
+    records_digest,
+)
+
+__all__ = [
+    "CanonicalRecords",
+    "CaseReport",
+    "CaseResult",
+    "ChaosHook",
+    "ConfigOutcome",
+    "ENGINE_CONFIGS",
+    "ExplorationReport",
+    "FuzzCase",
+    "FuzzReport",
+    "HOOK_BARRIER_READY",
+    "HOOK_CLAIM",
+    "HOOK_FETCH",
+    "HOOK_POINTS",
+    "HOOK_REDUCE_START",
+    "HOOK_SPILL_COMMIT",
+    "HookEvent",
+    "OPERATOR_NAMES",
+    "RecordingHook",
+    "ScheduleRun",
+    "Violation",
+    "canonicalize_records",
+    "canonicalize_value",
+    "check_interleaving_invariants",
+    "explore",
+    "failure_types",
+    "fuzz",
+    "generate_case",
+    "load_repro",
+    "oracle_records",
+    "records_digest",
+    "run_case",
+    "shrink_case",
+    "write_repro",
+]

@@ -1,0 +1,174 @@
+"""Deterministic interleaving explorer.
+
+Replays one job under ``schedules`` systematically permuted thread
+interleavings (a :class:`~repro.verify.hooks.ChaosHook` per schedule;
+schedule 0 is the unperturbed baseline) and checks, for every explored
+interleaving:
+
+* the barrier/shuffle invariants of :mod:`repro.verify.invariants`
+  hold on the recorded event log, and
+* the run's outcome is byte-identical (canonical digest) to a serial
+  reference run — including *failure* outcomes: a job that fails
+  serially must fail under every interleaving too.
+
+Fault plans compose naturally: pass an ``engine_factory`` that builds
+engines with faults/retry/recovery, and the explorer verifies that
+recovery re-execution, supersede, and stale-fetch invalidation behave
+identically under every schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import JobFailedError, ReproError
+from repro.mapreduce.engine import BarrierPolicy, LocalEngine
+from repro.mapreduce.job import JobConf
+from repro.verify.hooks import ChaosHook, HookEvent, RecordingHook
+from repro.verify.invariants import Violation, check_interleaving_invariants
+from repro.verify.oracle import canonicalize_records, records_digest
+
+#: make_job() must return a fresh (job, barrier) pair per call — jobs
+#: carry mutable context and must not be shared across runs.
+MakeJob = Callable[[], tuple[JobConf, BarrierPolicy]]
+EngineFactory = Callable[[RecordingHook | None], LocalEngine]
+
+
+def failure_types(exc: BaseException) -> tuple[str, ...]:
+    """Sorted error type names a run failed with (JobFailedError is
+    flattened to its collected task errors)."""
+    if isinstance(exc, JobFailedError) and exc.errors:
+        return tuple(sorted({type(e).__name__ for e in exc.errors}))
+    return (type(exc).__name__,)
+
+
+@dataclass(frozen=True)
+class ScheduleRun:
+    """Outcome of one explored interleaving."""
+
+    schedule: int
+    status: str                          # "ok" | "failed"
+    error_types: tuple[str, ...]
+    digest: str | None                   # canonical output digest when ok
+    num_events: int
+    violations: tuple[Violation, ...]
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Everything one exploration produced."""
+
+    job_name: str
+    seed: int
+    baseline_status: str
+    baseline_digest: str | None
+    runs: tuple[ScheduleRun, ...]
+    #: Schedules whose (status, digest) differ from the serial baseline.
+    divergent: tuple[int, ...]
+
+    @property
+    def violations(self) -> tuple[Violation, ...]:
+        return tuple(v for r in self.runs for v in r.violations)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergent and not self.violations
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else "FAIL"
+        return (
+            f"{state} {self.job_name}: {len(self.runs)} schedules, "
+            f"{len(self.violations)} invariant violations, "
+            f"{len(self.divergent)} divergent outputs "
+            f"(baseline {self.baseline_status})"
+        )
+
+
+def _default_engine_factory(hook: RecordingHook | None) -> LocalEngine:
+    return LocalEngine(observability=False, scheduler_hook=hook)
+
+
+def explore(
+    make_job: MakeJob,
+    *,
+    schedules: int = 8,
+    seed: int = 0,
+    engine_factory: EngineFactory | None = None,
+    max_delay: float = 0.0015,
+    metrics: Any | None = None,
+) -> ExplorationReport:
+    """Run the job serially once (reference), then under ``schedules``
+    perturbed threaded interleavings, checking invariants and output
+    identity on every run."""
+    factory = engine_factory or _default_engine_factory
+
+    job, barrier = make_job()
+    baseline_status, baseline_digest, _ = _run(
+        factory(None), job, barrier, serial=True
+    )
+
+    runs: list[ScheduleRun] = []
+    divergent: list[int] = []
+    for k in range(schedules):
+        job, barrier = make_job()
+        hook = ChaosHook(
+            seed=seed, schedule=k, max_delay=0.0 if k == 0 else max_delay
+        )
+        status, digest, attempts = _run(factory(hook), job, barrier, serial=False)
+        events: tuple[HookEvent, ...] = hook.events
+        violations = tuple(
+            check_interleaving_invariants(
+                events,
+                barrier=barrier,
+                total_maps=job.num_map_tasks,
+                contact_all_maps=job.contact_all_maps,
+                attempts=attempts,
+            )
+        )
+        run = ScheduleRun(
+            schedule=k,
+            status=status[0],
+            error_types=status[1],
+            digest=digest,
+            num_events=len(events),
+            violations=violations,
+        )
+        runs.append(run)
+        if (run.status, run.digest) != (baseline_status[0], baseline_digest):
+            divergent.append(k)
+        if metrics is not None:
+            metrics.counter("verify.explorer.schedules").inc()
+            if violations:
+                metrics.counter("verify.explorer.violations").inc(len(violations))
+
+    if metrics is not None and divergent:
+        metrics.counter("verify.explorer.divergent").inc(len(divergent))
+    return ExplorationReport(
+        job_name=job.name,
+        seed=seed,
+        baseline_status=baseline_status[0],
+        baseline_digest=baseline_digest,
+        runs=tuple(runs),
+        divergent=tuple(divergent),
+    )
+
+
+def _run(
+    engine: LocalEngine,
+    job: JobConf,
+    barrier: BarrierPolicy,
+    *,
+    serial: bool,
+) -> tuple[tuple[str, tuple[str, ...]], str | None, tuple]:
+    """One engine run → ((status, error types), digest, attempts)."""
+    try:
+        if serial:
+            res = engine.run_serial(job, barrier)
+        else:
+            res = engine.run_threaded(job, barrier)
+    except ReproError as exc:
+        return ("failed", failure_types(exc)), None, ()
+    digest = records_digest(canonicalize_records(res.all_records()))
+    return ("ok", ()), digest, res.attempts

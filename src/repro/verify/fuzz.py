@@ -1,0 +1,359 @@
+"""Cross-engine differential fuzzing with automatic shrinking.
+
+Every :class:`~repro.verify.cases.FuzzCase` is executed through four
+engine configurations — {serial, threaded} × {record, columnar} — and
+compared, byte-identically in canonical form, against the brute-force
+:mod:`~repro.verify.oracle`.  Expected-failure cases (crash faults)
+must instead fail in *every* configuration.
+
+A mismatching case is **shrunk**: candidate simplifications (drop
+faults, unstride, collapse reduces/splits, halve geometry) are applied
+greedily while the mismatch persists, and the minimal failing case —
+plus the original and the observed disagreement — is written to a JSON
+repro file that :func:`load_repro` (and ``repro.cli verify --repro``)
+can replay exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.faults import RecoveryModel
+from repro.mapreduce.engine import LocalEngine, RetryPolicy
+from repro.query.splits import slice_splits
+from repro.sidr.planner import build_sidr_job
+from repro.verify.cases import FuzzCase, generate_case
+from repro.verify.explorer import (
+    ExplorationReport,
+    explore,
+    failure_types,
+)
+from repro.verify.oracle import canonicalize_records, oracle_records, records_digest
+
+#: Engine configurations every case is pushed through.
+ENGINE_CONFIGS: tuple[tuple[str, str], ...] = (
+    ("serial", "record"),
+    ("threaded", "record"),
+    ("serial", "columnar"),
+    ("threaded", "columnar"),
+)
+
+
+def _make_engine(case: FuzzCase, hook: Any | None = None) -> LocalEngine:
+    return LocalEngine(
+        observability=False,
+        retry=RetryPolicy(max_attempts=case.max_attempts, backoff_base=0.0),
+        faults=case.injection_plan(),
+        recovery=RecoveryModel.parse(case.recovery),
+        scheduler_hook=hook,
+    )
+
+
+def _make_job(case: FuzzCase, data_plane: str):
+    plan, data = case.build()
+    splits = slice_splits(plan, num_splits=case.num_splits)
+    job, barrier, _ = build_sidr_job(
+        plan, splits, case.reduces, data, data_plane=data_plane
+    )
+    return job, barrier
+
+
+@dataclass(frozen=True)
+class ConfigOutcome:
+    """One (mode, data plane) run of a case."""
+
+    mode: str
+    data_plane: str
+    status: str                      # "ok" | "failed"
+    error_types: tuple[str, ...]
+    digest: str | None
+
+    @property
+    def config(self) -> str:
+        return f"{self.mode}/{self.data_plane}"
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """A case's differential verdict across all configurations."""
+
+    case: FuzzCase
+    oracle_digest: str | None        # None for expected-failure cases
+    outcomes: tuple[ConfigOutcome, ...]
+    mismatch: str | None             # human-readable disagreement, if any
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatch is None
+
+
+def run_case(case: FuzzCase, *, metrics: Any | None = None) -> CaseResult:
+    """Execute one case through every engine configuration and compare
+    against the oracle (or, for crash cases, require uniform failure)."""
+    if metrics is not None:
+        metrics.counter("verify.cases").inc()
+
+    expected = None
+    if not case.expects_failure:
+        plan, data = case.build()
+        expected = records_digest(oracle_records(plan, data))
+
+    outcomes: list[ConfigOutcome] = []
+    for mode, plane in ENGINE_CONFIGS:
+        job, barrier = _make_job(case, plane)
+        engine = _make_engine(case)
+        try:
+            if mode == "serial":
+                res = engine.run_serial(job, barrier)
+            else:
+                res = engine.run_threaded(job, barrier)
+        except ReproError as exc:
+            outcomes.append(
+                ConfigOutcome(mode, plane, "failed", failure_types(exc), None)
+            )
+            continue
+        digest = records_digest(canonicalize_records(res.all_records()))
+        outcomes.append(ConfigOutcome(mode, plane, "ok", (), digest))
+
+    mismatch = _diff(case, expected, outcomes)
+    if mismatch is not None and metrics is not None:
+        metrics.counter("verify.mismatches").inc()
+    return CaseResult(case, expected, tuple(outcomes), mismatch)
+
+
+def _diff(
+    case: FuzzCase,
+    oracle_digest: str | None,
+    outcomes: list[ConfigOutcome],
+) -> str | None:
+    if case.expects_failure:
+        survivors = [o.config for o in outcomes if o.status != "failed"]
+        if survivors:
+            return (
+                f"crash case succeeded under {', '.join(survivors)} "
+                f"(every configuration must fail)"
+            )
+        return None
+    bad = [
+        f"{o.config}: {o.status}"
+        + (f" ({', '.join(o.error_types)})" if o.error_types else "")
+        + (f" digest {o.digest[:12]}" if o.digest else "")
+        for o in outcomes
+        if o.status != "ok" or o.digest != oracle_digest
+    ]
+    if bad:
+        return (
+            f"oracle digest {oracle_digest[:12]} disagreed with: "
+            + "; ".join(bad)
+        )
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Shrinking
+# --------------------------------------------------------------------- #
+def _shrink_candidates(case: FuzzCase):
+    """Simplification attempts, most aggressive first."""
+    if case.fault_rules:
+        yield replace(case, fault_rules=())
+        for i in range(len(case.fault_rules)):
+            rest = case.fault_rules[:i] + case.fault_rules[i + 1:]
+            yield replace(case, fault_rules=rest)
+    if case.recovery != "persisted":
+        yield replace(case, recovery="persisted")
+    if case.stride is not None:
+        yield replace(case, stride=None)
+    if case.reduces > 1:
+        yield replace(case, reduces=1)
+    if case.num_splits > 1:
+        yield replace(case, num_splits=1)
+    for d, (s, e) in enumerate(zip(case.shape, case.extraction)):
+        half = max(e, (s + 1) // 2)
+        if half < s:
+            shape = case.shape[:d] + (half,) + case.shape[d + 1:]
+            yield replace(case, shape=shape)
+    for d, e in enumerate(case.extraction):
+        if e > 1:
+            ext = case.extraction[:d] + ((e + 1) // 2,) + case.extraction[d + 1:]
+            yield replace(case, extraction=ext)
+
+
+def _still_fails(case: FuzzCase) -> CaseResult | None:
+    """Re-run a shrink candidate; None if it is invalid or passes."""
+    try:
+        plan = case.compile()
+        if case.reduces > plan.num_intermediate_keys:
+            case = replace(case, reduces=plan.num_intermediate_keys)
+        result = run_case(case)
+    except ReproError:
+        return None
+    return result if not result.ok else None
+
+
+def shrink_case(
+    case: FuzzCase, result: CaseResult, *, max_runs: int = 150
+) -> tuple[FuzzCase, CaseResult]:
+    """Greedily minimize a failing case while it keeps failing."""
+    best, best_result = case, result
+    runs = 0
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for candidate in _shrink_candidates(best):
+            if runs >= max_runs:
+                break
+            runs += 1
+            shrunk = _still_fails(candidate)
+            if shrunk is not None:
+                best, best_result = shrunk.case, shrunk
+                progress = True
+                break
+    return best, best_result
+
+
+# --------------------------------------------------------------------- #
+# Repro files
+# --------------------------------------------------------------------- #
+def write_repro(
+    out_dir: str | Path,
+    original: FuzzCase,
+    shrunk: FuzzCase,
+    result: CaseResult,
+    *,
+    index: int = 0,
+) -> Path:
+    """Persist a minimal failing case (plus context) as JSON."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"repro-{index:04d}-seed{original.seed}.json"
+    doc = {
+        "format": "repro.verify/1",
+        "mismatch": result.mismatch,
+        "oracle_digest": result.oracle_digest,
+        "outcomes": [
+            {
+                "config": o.config,
+                "status": o.status,
+                "error_types": list(o.error_types),
+                "digest": o.digest,
+            }
+            for o in result.outcomes
+        ],
+        "shrunk": shrunk.to_json(),
+        "original": original.to_json(),
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: str | Path) -> FuzzCase:
+    """The shrunk case out of a repro file (for replay)."""
+    doc = json.loads(Path(path).read_text())
+    return FuzzCase.from_json(doc["shrunk"])
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CaseReport:
+    """One fuzz case's full verdict (differential + exploration)."""
+
+    index: int
+    case: FuzzCase
+    result: CaseResult
+    exploration: ExplorationReport | None
+    repro_path: Path | None
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok and (
+            self.exploration is None or self.exploration.ok
+        )
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Aggregate outcome of one fuzz run."""
+
+    num_cases: int
+    seed: int
+    schedules: int
+    failures: tuple[CaseReport, ...]
+    violations: int
+    divergent: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.violations and not self.divergent
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else "FAIL"
+        return (
+            f"{state}: {self.num_cases} cases (seed {self.seed}, "
+            f"{self.schedules} schedules/case), "
+            f"{len(self.failures)} differential failures, "
+            f"{self.violations} invariant violations, "
+            f"{self.divergent} divergent interleavings"
+        )
+
+
+def fuzz(
+    num_cases: int,
+    *,
+    seed: int = 0,
+    schedules: int = 0,
+    out_dir: str | Path | None = None,
+    metrics: Any | None = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Run ``num_cases`` generated cases through the differential
+    comparison, plus (when ``schedules > 0``) the interleaving explorer,
+    shrinking and persisting every failure."""
+    failures: list[CaseReport] = []
+    violations = 0
+    divergent = 0
+    for i in range(num_cases):
+        case = generate_case(i, seed)
+        result = run_case(case, metrics=metrics)
+
+        exploration: ExplorationReport | None = None
+        if schedules > 0:
+            exploration = explore(
+                lambda c=case: _make_job(c, "record"),
+                schedules=schedules,
+                seed=seed,
+                engine_factory=lambda hook, c=case: _make_engine(c, hook),
+                metrics=metrics,
+            )
+            violations += len(exploration.violations)
+            divergent += len(exploration.divergent)
+
+        report = CaseReport(i, case, result, exploration, None)
+        if report.ok:
+            continue
+
+        repro_path: Path | None = None
+        if not result.ok:
+            shrunk, shrunk_result = (
+                shrink_case(case, result) if shrink else (case, result)
+            )
+            if out_dir is not None:
+                repro_path = write_repro(
+                    out_dir, case, shrunk, shrunk_result, index=i
+                )
+        failures.append(
+            CaseReport(i, case, result, exploration, repro_path)
+        )
+    return FuzzReport(
+        num_cases=num_cases,
+        seed=seed,
+        schedules=schedules,
+        failures=tuple(failures),
+        violations=violations,
+        divergent=divergent,
+    )

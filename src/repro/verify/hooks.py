@@ -1,0 +1,170 @@
+"""Scheduler hooks: observe and perturb the engine's interleavings.
+
+The engine (and its :class:`~repro.mapreduce.shuffle.ShuffleStore`)
+exposes five scheduling points — :data:`~repro.mapreduce.engine.HOOK_POINTS`
+— through the ``scheduler_hook`` seam.  Two hook implementations live
+here:
+
+* :class:`RecordingHook` — appends every event to a globally ordered
+  log.  ``spill-commit`` and ``fetch`` events are emitted while the
+  shuffle store's lock is held, so their sequence numbers linearize
+  commits against fetches — which is what makes the freshness
+  invariants in :mod:`repro.verify.invariants` checkable from the log
+  alone.
+* :class:`ChaosHook` — a recording hook that additionally stalls the
+  calling thread by a delay derived *purely* from (seed, schedule,
+  event identity).  Because the delay is a function of the event and
+  not of arrival order, schedule ``k`` applies the same perturbation
+  pattern no matter how the OS happens to interleave threads — the
+  "systematically permuted schedule" the interleaving explorer replays.
+  Schedule 0 conventionally runs with ``max_delay=0`` as the
+  unperturbed baseline.
+
+Hooks must never call back into the engine or the store (the store
+points run under its lock).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.mapreduce.engine import (  # noqa: F401  (re-exported)
+    HOOK_BARRIER_READY,
+    HOOK_CLAIM,
+    HOOK_FETCH,
+    HOOK_POINTS,
+    HOOK_REDUCE_START,
+    HOOK_SPILL_COMMIT,
+)
+
+
+@dataclass(frozen=True)
+class HookEvent:
+    """One observed scheduling event, globally sequenced."""
+
+    seq: int
+    point: str         # one of HOOK_POINTS
+    kind: str          # "map" | "reduce"
+    index: int
+    attempt: int
+    info: Mapping[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        extra = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(self.info.items()))
+            if self.info
+            else ""
+        )
+        return f"#{self.seq} {self.point} {self.kind}[{self.index}]@{self.attempt}{extra}"
+
+
+class RecordingHook:
+    """Thread-safe, globally ordered event log for one engine run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[HookEvent] = []
+
+    def on_event(
+        self,
+        point: str,
+        kind: str,
+        index: int,
+        attempt: int,
+        info: dict[str, Any] | None = None,
+    ) -> None:
+        with self._lock:
+            self._events.append(
+                HookEvent(
+                    seq=len(self._events),
+                    point=point,
+                    kind=kind,
+                    index=index,
+                    attempt=attempt,
+                    info=dict(info) if info else {},
+                )
+            )
+
+    @property
+    def events(self) -> tuple[HookEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def points_seen(self) -> frozenset[str]:
+        return frozenset(e.point for e in self.events)
+
+
+def _event_delay(
+    seed: int,
+    schedule: int,
+    point: str,
+    kind: str,
+    index: int,
+    attempt: int,
+    info: dict[str, Any] | None,
+    *,
+    max_delay: float,
+    density: float,
+) -> float:
+    """Deterministic per-event-identity stall.
+
+    A string seed hashes identically across processes (tuple hashes do
+    not under ``PYTHONHASHSEED`` randomization), so a given (seed,
+    schedule) perturbs a given event the same way in every run.
+    """
+    extra = sorted(info.items()) if info else ()
+    key = f"{seed}:{schedule}:{point}:{kind}:{index}:{attempt}:{extra!r}"
+    r = random.Random(key).random()
+    if r >= density:
+        return 0.0
+    return (r / density) * max_delay
+
+
+class ChaosHook(RecordingHook):
+    """Recording hook that deterministically perturbs the schedule.
+
+    ``density`` is the fraction of event identities that stall at all;
+    stalls are uniform in ``(0, max_delay]``.  Delays this small are
+    enough to reorder pool threads across claim/spill/fetch boundaries
+    without making exploration slow.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        schedule: int = 0,
+        max_delay: float = 0.0015,
+        density: float = 0.6,
+    ) -> None:
+        super().__init__()
+        if max_delay < 0:
+            raise ValueError(f"negative max_delay {max_delay}")
+        if not (0.0 < density <= 1.0):
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        self.seed = seed
+        self.schedule = schedule
+        self.max_delay = max_delay
+        self.density = density
+
+    def on_event(
+        self,
+        point: str,
+        kind: str,
+        index: int,
+        attempt: int,
+        info: dict[str, Any] | None = None,
+    ) -> None:
+        super().on_event(point, kind, index, attempt, info)
+        if self.max_delay <= 0:
+            return
+        delay = _event_delay(
+            self.seed, self.schedule, point, kind, index, attempt, info,
+            max_delay=self.max_delay, density=self.density,
+        )
+        if delay > 0:
+            time.sleep(delay)

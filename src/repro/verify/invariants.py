@@ -1,0 +1,196 @@
+"""Barrier/shuffle invariants checked against a recorded event log.
+
+Independent of the engine's own runtime guards: the engine *raises*
+when it catches a violation mid-run, while these checks re-derive the
+invariants from the globally ordered :class:`~repro.verify.hooks.HookEvent`
+stream after the run.  A bug that silently disabled an engine guard
+would still be caught here.
+
+Checked invariants (paper §4-§6):
+
+* **no-early-reduce** — every ``reduce-start`` snapshot of completed
+  maps covers the partition's fetch set I_l; a ``barrier-ready`` event
+  precedes the first ``reduce-start`` of each partition.
+* **fetch-discipline** — every fetch targets a map inside the
+  partition's fetch set (dependency routing never widens).
+* **no-stale-serve** — every fetch served exactly the attempt that was
+  committed at fetch time (``spill-commit`` and ``fetch`` events are
+  linearized by the store lock, so this is decidable from sequence
+  numbers).
+* **supersede-observed** — if a map attempt consumed by a reduce was
+  superseded before that reduce attempt finished fetching, the attempt
+  must NOT have committed: the engine's freshness check has to have
+  failed it (:class:`~repro.errors.StaleFetchError`) so a retry re-reads
+  fresh input.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.mapreduce.engine import BarrierPolicy, TaskAttempt
+from repro.verify.hooks import (
+    HOOK_BARRIER_READY,
+    HOOK_CLAIM,
+    HOOK_FETCH,
+    HOOK_REDUCE_START,
+    HOOK_SPILL_COMMIT,
+    HookEvent,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found in an event log."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant}] {self.detail}"
+
+
+def _fetch_set(
+    barrier: BarrierPolicy, partition: int, total_maps: int, contact_all: bool
+) -> frozenset[int]:
+    if contact_all:
+        return frozenset(range(total_maps))
+    return barrier.fetch_set(partition, total_maps)
+
+
+def check_interleaving_invariants(
+    events: Sequence[HookEvent],
+    *,
+    barrier: BarrierPolicy,
+    total_maps: int,
+    contact_all_maps: bool = False,
+    attempts: Iterable[TaskAttempt] = (),
+) -> list[Violation]:
+    """Validate one run's event log; returns all violations found.
+
+    ``attempts`` is the run's :attr:`JobResult.attempts` log when the
+    run succeeded — it identifies which reduce attempt committed, which
+    the supersede-observed invariant needs.  For failed runs pass the
+    default: the commit-dependent check is vacuous then.
+    """
+    violations: list[Violation] = []
+
+    # Per-map commit history [(seq, attempt)], in seq order.
+    spills: dict[int, list[tuple[int, int]]] = {}
+    for e in events:
+        if e.point == HOOK_SPILL_COMMIT:
+            spills.setdefault(e.index, []).append((e.seq, e.attempt))
+
+    # ---------------- no-early-reduce ---------------- #
+    first_ready: dict[int, int] = {}
+    for e in events:
+        if e.point == HOOK_BARRIER_READY and e.index not in first_ready:
+            first_ready[e.index] = e.seq
+    for e in events:
+        if e.point != HOOK_REDUCE_START:
+            continue
+        p = e.index
+        completed = frozenset(e.info.get("completed", ()))
+        fs = _fetch_set(barrier, p, total_maps, contact_all_maps)
+        missing = fs - completed
+        if missing:
+            violations.append(
+                Violation(
+                    "no-early-reduce",
+                    f"reduce {p} attempt {e.attempt} started with maps "
+                    f"{sorted(missing)} of its dependency set incomplete",
+                )
+            )
+        if not barrier.ready(p, completed, total_maps):
+            violations.append(
+                Violation(
+                    "no-early-reduce",
+                    f"reduce {p} attempt {e.attempt} started while its "
+                    f"barrier predicate was unsatisfied",
+                )
+            )
+        ready_seq = first_ready.get(p)
+        if ready_seq is None or ready_seq > e.seq:
+            violations.append(
+                Violation(
+                    "no-early-reduce",
+                    f"reduce {p} started (seq {e.seq}) without a prior "
+                    f"barrier-ready event",
+                )
+            )
+
+    # ---------------- fetch-discipline & no-stale-serve ---------------- #
+    for e in events:
+        if e.point != HOOK_FETCH:
+            continue
+        p = e.index
+        m = int(e.info["map"])
+        served = int(e.info["map_attempt"])
+        fs = _fetch_set(barrier, p, total_maps, contact_all_maps)
+        if m not in fs:
+            violations.append(
+                Violation(
+                    "fetch-discipline",
+                    f"reduce {p} fetched from map {m} outside its "
+                    f"dependency set {sorted(fs)}",
+                )
+            )
+        history = [a for seq, a in spills.get(m, []) if seq < e.seq]
+        if not history:
+            violations.append(
+                Violation(
+                    "no-stale-serve",
+                    f"reduce {p} fetched map {m} before any spill-commit",
+                )
+            )
+        elif served != max(history):
+            violations.append(
+                Violation(
+                    "no-stale-serve",
+                    f"reduce {p} was served map {m} attempt {served} while "
+                    f"attempt {max(history)} was already committed",
+                )
+            )
+
+    # ---------------- supersede-observed ---------------- #
+    # Correlate each fetch with the reduce attempt that issued it: the
+    # latest preceding claim-attempt of the same partition (attempts of
+    # one partition are sequential, and the claim strictly precedes the
+    # attempt's fetches in program order).
+    current_attempt: dict[int, int] = {}
+    fetches_by_attempt: dict[tuple[int, int], list[HookEvent]] = {}
+    for e in events:
+        if e.point == HOOK_CLAIM and e.kind == "reduce":
+            current_attempt[e.index] = e.attempt
+        elif e.point == HOOK_FETCH:
+            a = current_attempt.get(e.index, 0)
+            fetches_by_attempt.setdefault((e.index, a), []).append(e)
+
+    committed = {
+        (t.index, t.attempt)
+        for t in attempts
+        if t.kind == "reduce" and t.outcome == "ok"
+    }
+    for (p, a), evs in fetches_by_attempt.items():
+        if (p, a) not in committed:
+            continue
+        last_fetch_seq = max(e.seq for e in evs)
+        for e in evs:
+            m = int(e.info["map"])
+            served = int(e.info["map_attempt"])
+            superseded = [
+                (seq, att)
+                for seq, att in spills.get(m, [])
+                if att > served and seq < last_fetch_seq
+            ]
+            if superseded:
+                violations.append(
+                    Violation(
+                        "supersede-observed",
+                        f"reduce {p} attempt {a} committed although map "
+                        f"{m} attempt {served} was superseded (attempt "
+                        f"{superseded[0][1]}) before its fetch phase ended",
+                    )
+                )
+    return violations

@@ -303,3 +303,35 @@ class TestFaultFlags:
         for name in ("persisted", "reexecute-all", "reexecute-deps"):
             assert name in out
         assert "NO" not in out  # every design recovered byte-identically
+
+
+class TestVerify:
+    def test_verify_small_sweep(self, capsys):
+        rc = main(["verify", "--cases", "5", "--seed", "0", "--schedules", "2"])
+        assert rc == 0
+        cap = capsys.readouterr()
+        assert "OK: 5 cases" in cap.out
+        assert "verify.cases = 5" in cap.err
+        assert "verify.mismatches = 0" in cap.err
+
+    def test_verify_differential_only(self, capsys):
+        rc = main(["verify", "--cases", "3", "--schedules", "0"])
+        assert rc == 0
+        assert "0 differential failures" in capsys.readouterr().out
+
+    def test_verify_repro_replay(self, tmp_path, capsys):
+        from repro.verify import FuzzCase, run_case, write_repro
+
+        # a crash rule that cannot bind: succeeds everywhere, which is
+        # a mismatch for an expects-failure case — a stable synthetic bug
+        case = FuzzCase(
+            seed=5, shape=(4, 2), extraction=(2, 2), stride=None,
+            operator="sum", threshold=None, num_splits=2, reduces=1,
+            fault_rules=({"task": "reduce", "fault": "crash",
+                          "indices": [10]},),
+        )
+        result = run_case(case)
+        path = write_repro(tmp_path, case, case, result)
+        rc = main(["verify", "--repro", str(path)])
+        assert rc == 1
+        assert "still fails" in capsys.readouterr().out

@@ -257,6 +257,112 @@ class TestValidatorHook:
             LocalEngine().run_serial(job, DependencyBarrier(deps))
 
 
+class TestBarrierFetchSet:
+    """Direct DependencyBarrier.fetch_set / ready coverage."""
+
+    DEPS = {0: frozenset({0, 1}), 1: frozenset({2, 3}), 2: frozenset()}
+
+    def test_fetch_set_is_the_dependency_set(self):
+        b = DependencyBarrier(self.DEPS)
+        assert b.fetch_set(0, total_maps=4) == frozenset({0, 1})
+        assert b.fetch_set(1, total_maps=4) == frozenset({2, 3})
+        # total_maps does not widen a dependency fetch set
+        assert b.fetch_set(0, total_maps=100) == frozenset({0, 1})
+
+    def test_fetch_set_empty_dependency_entry(self):
+        b = DependencyBarrier(self.DEPS)
+        assert b.fetch_set(2, total_maps=4) == frozenset()
+        assert b.ready(2, frozenset(), total_maps=4)
+
+    def test_fetch_set_missing_partition_raises(self):
+        b = DependencyBarrier(self.DEPS)
+        with pytest.raises(JobConfigError):
+            b.fetch_set(7, total_maps=4)
+        with pytest.raises(JobConfigError):
+            b.ready(7, frozenset(), total_maps=4)
+
+    def test_empty_dependency_map_rejected(self):
+        with pytest.raises(JobConfigError):
+            DependencyBarrier({})
+
+    def test_global_barrier_fetch_set_is_every_map(self):
+        b = GlobalBarrier()
+        assert b.fetch_set(0, total_maps=5) == frozenset(range(5))
+        assert not b.ready(0, frozenset({0, 1}), total_maps=5)
+        assert b.ready(0, frozenset(range(5)), total_maps=5)
+
+    def test_ready_tracks_completion_subset(self):
+        b = DependencyBarrier(self.DEPS)
+        assert not b.ready(0, frozenset({0}), total_maps=4)
+        assert b.ready(0, frozenset({0, 1}), total_maps=4)
+        # extra completed maps don't hurt
+        assert b.ready(0, frozenset({0, 1, 2, 3}), total_maps=4)
+
+
+class TestShortTallyNonRetryable:
+    """A short count-annotation tally is a barrier violation — a
+    *non-retryable* error: re-running the reduce cannot conjure the
+    missing records, so the engine must fail fast even with retries
+    configured."""
+
+    def counting_validator(self):
+        from repro.sidr.annotations import CountAnnotationValidator
+
+        calls = []
+
+        class Tracking(CountAnnotationValidator):
+            def validate(self, partition_index, tallied_source_records):
+                calls.append(partition_index)
+                super().validate(partition_index, tallied_source_records)
+
+        # every block really tallies 2 source records; demand 100
+        return Tracking(expected=[100, 100, 100, 100]), calls
+
+    def test_serial_short_tally_not_retried(self):
+        from repro.mapreduce.engine import RetryPolicy
+
+        validator, calls = self.counting_validator()
+        job, deps = ranged_job()
+        job.context["reduce_start_validator"] = validator
+        eng = LocalEngine(
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0)
+        )
+        with pytest.raises(BarrierViolationError):
+            eng.run_serial(job, DependencyBarrier(deps))
+        # one validation per failing reduce attempt; with 3 retries a
+        # retryable error would have validated the same partition thrice
+        assert calls == [calls[0]]
+
+    def test_threaded_short_tally_not_retried(self):
+        from repro.errors import JobFailedError
+        from repro.mapreduce.engine import RetryPolicy
+
+        validator, calls = self.counting_validator()
+        job, deps = ranged_job()
+        job.context["reduce_start_validator"] = validator
+        eng = LocalEngine(
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0)
+        )
+        with pytest.raises(JobFailedError) as ei:
+            eng.run_threaded(job, DependencyBarrier(deps))
+        assert any(
+            isinstance(e, BarrierViolationError) for e in ei.value.errors
+        )
+        # each partition validated at most once: no retry of the
+        # non-retryable violation
+        assert len(calls) == len(set(calls))
+
+    def test_exact_tally_overshoot_also_aborts(self):
+        from repro.sidr.annotations import CountAnnotationValidator
+
+        job, deps = ranged_job()
+        job.context["reduce_start_validator"] = CountAnnotationValidator(
+            expected=[1, 1, 1, 1], exact=True
+        )
+        with pytest.raises(BarrierViolationError, match="misrouted"):
+            LocalEngine().run_serial(job, DependencyBarrier(deps))
+
+
 class TestByteSplits:
     def test_generation_matches_blocks(self):
         dfs = SimulatedDFS(num_hosts=4, block_size=128, seed=0)

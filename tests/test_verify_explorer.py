@@ -1,0 +1,322 @@
+"""Interleaving explorer: hook seam, invariant checks, determinism."""
+
+import pytest
+
+from repro.errors import JobConfigError
+from repro.faults import FaultKind, FaultRule, InjectionPlan, RecoveryModel
+from repro.faults.plan import WHEN_AFTER_FETCH
+from repro.mapreduce.engine import (
+    DependencyBarrier,
+    EngineTrace,
+    LocalEngine,
+    LogicalClock,
+    RetryPolicy,
+)
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.mapper import IdentityMapper
+from repro.mapreduce.partitioner import RangePartitioner
+from repro.mapreduce.reducer import FunctionReducer
+from repro.mapreduce.splits import ByteRangeSplit
+from repro.obs import JobObservability
+from repro.verify import (
+    HOOK_BARRIER_READY,
+    HOOK_CLAIM,
+    HOOK_FETCH,
+    HOOK_POINTS,
+    HOOK_REDUCE_START,
+    HOOK_SPILL_COMMIT,
+    ChaosHook,
+    HookEvent,
+    RecordingHook,
+    check_interleaving_invariants,
+    explore,
+)
+from repro.verify.hooks import _event_delay
+
+
+def crafted_job():
+    """3 maps / 2 reduces with disjoint dependencies: split i emits key
+    (i,); reduce 0 depends on maps {0, 1}, reduce 1 on {2}."""
+
+    def reader(split):
+        yield ((split.index,), split.index * 10)
+        yield ((split.index,), 1)
+
+    job = JobConf(
+        name="crafted",
+        splits=[
+            ByteRangeSplit(index=i, path="/f", start=i * 10, length=10)
+            for i in range(3)
+        ],
+        reader_factory=reader,
+        mapper_factory=IdentityMapper,
+        reducer_factory=lambda: FunctionReducer(lambda k, vals: [(k, sum(vals))]),
+        partitioner=RangePartitioner((3,), [2, 3]),
+        num_reduce_tasks=2,
+        contact_all_maps=False,
+    )
+    barrier = DependencyBarrier({0: frozenset({0, 1}), 1: frozenset({2})})
+    return job, barrier
+
+
+EXPECTED = {(0,): 1, (1,): 11, (2,): 21}
+
+
+class TestHookSeam:
+    def test_all_five_points_fire_threaded(self):
+        job, barrier = crafted_job()
+        hook = RecordingHook()
+        res = LocalEngine(observability=False, scheduler_hook=hook).run_threaded(
+            job, barrier
+        )
+        assert dict(res.all_records()) == EXPECTED
+        assert hook.points_seen() == frozenset(HOOK_POINTS)
+
+    def test_all_five_points_fire_serial(self):
+        job, barrier = crafted_job()
+        hook = RecordingHook()
+        LocalEngine(observability=False, scheduler_hook=hook).run_serial(
+            job, barrier
+        )
+        assert hook.points_seen() == frozenset(HOOK_POINTS)
+
+    def test_events_carry_task_identity(self):
+        job, barrier = crafted_job()
+        hook = RecordingHook()
+        LocalEngine(observability=False, scheduler_hook=hook).run_serial(
+            job, barrier
+        )
+        spills = [e for e in hook.events if e.point == HOOK_SPILL_COMMIT]
+        assert sorted(e.index for e in spills) == [0, 1, 2]
+        fetches = [e for e in hook.events if e.point == HOOK_FETCH]
+        # reduce 0 fetches maps {0,1}; reduce 1 fetches {2}
+        assert sorted((e.index, e.info["map"]) for e in fetches) == [
+            (0, 0), (0, 1), (1, 2),
+        ]
+
+    def test_no_hook_means_no_events(self):
+        job, barrier = crafted_job()
+        res = LocalEngine(observability=False).run_threaded(job, barrier)
+        assert dict(res.all_records()) == EXPECTED
+
+    def test_chaos_delay_is_deterministic_and_order_independent(self):
+        kw = dict(max_delay=0.002, density=0.6)
+        a = _event_delay(3, 1, HOOK_FETCH, "reduce", 0, 0, {"map": 1}, **kw)
+        b = _event_delay(3, 1, HOOK_FETCH, "reduce", 0, 0, {"map": 1}, **kw)
+        assert a == b
+        assert 0.0 <= a <= 0.002
+        # different schedule → (almost surely) different perturbation
+        delays_s1 = [
+            _event_delay(3, 1, HOOK_FETCH, "reduce", i, 0, None, **kw)
+            for i in range(16)
+        ]
+        delays_s2 = [
+            _event_delay(3, 2, HOOK_FETCH, "reduce", i, 0, None, **kw)
+            for i in range(16)
+        ]
+        assert delays_s1 != delays_s2
+
+
+class TestExplorer:
+    def test_crafted_job_explores_clean(self):
+        report = explore(crafted_job, schedules=4, seed=0)
+        assert report.ok, report.summary()
+        assert len(report.runs) == 4
+        assert report.baseline_status == "ok"
+        assert all(r.digest == report.baseline_digest for r in report.runs)
+        assert all(r.num_events > 0 for r in report.runs)
+
+    def test_explore_under_fault_plan_with_supersede(self):
+        # Reduce 0 dies after consuming its fetch; REEXECUTE_DEPS
+        # re-runs maps {0,1}, whose re-spills supersede the originals.
+        faults = InjectionPlan(
+            rules=(
+                FaultRule(
+                    task="reduce",
+                    kind=FaultKind.TRANSIENT,
+                    indices=frozenset({0}),
+                    times=1,
+                    when=WHEN_AFTER_FETCH,
+                ),
+            ),
+            seed=0,
+        )
+
+        def factory(hook):
+            return LocalEngine(
+                observability=False,
+                retry=RetryPolicy(max_attempts=4, backoff_base=0.0),
+                faults=faults,
+                recovery=RecoveryModel.REEXECUTE_DEPS,
+                scheduler_hook=hook,
+            )
+
+        report = explore(
+            crafted_job, schedules=4, seed=1, engine_factory=factory
+        )
+        assert report.ok, report.summary()
+        # the fault actually fired: some schedule recorded a supersede
+        assert report.baseline_status == "ok"
+
+    def test_explorer_counts_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        report = explore(crafted_job, schedules=3, seed=0, metrics=m)
+        assert report.ok
+        assert m.counter("verify.explorer.schedules").value == 3
+        assert m.counter("verify.explorer.violations").value == 0
+        assert m.counter("verify.explorer.divergent").value == 0
+
+
+def ev(seq, point, kind, index, attempt=0, **info):
+    return HookEvent(
+        seq=seq, point=point, kind=kind, index=index, attempt=attempt,
+        info=info,
+    )
+
+
+class TestInvariantChecks:
+    """Synthetic event logs: each invariant must catch its breach."""
+
+    BARRIER = DependencyBarrier({0: frozenset({0, 1}), 1: frozenset({2})})
+
+    def test_clean_log_passes(self):
+        events = [
+            ev(0, HOOK_SPILL_COMMIT, "map", 0, 0, partitions=(0,)),
+            ev(1, HOOK_SPILL_COMMIT, "map", 1, 0, partitions=(0,)),
+            ev(2, HOOK_BARRIER_READY, "reduce", 0, 0, completed=(0, 1)),
+            ev(3, HOOK_CLAIM, "reduce", 0, 0),
+            ev(4, HOOK_REDUCE_START, "reduce", 0, 0, completed=(0, 1)),
+            ev(5, HOOK_FETCH, "reduce", 0, 0, map=0, map_attempt=0, empty=False),
+            ev(6, HOOK_FETCH, "reduce", 0, 0, map=1, map_attempt=0, empty=False),
+        ]
+        assert (
+            check_interleaving_invariants(
+                events, barrier=self.BARRIER, total_maps=3
+            )
+            == []
+        )
+
+    def test_early_reduce_detected(self):
+        events = [
+            ev(0, HOOK_SPILL_COMMIT, "map", 0, 0, partitions=(0,)),
+            ev(1, HOOK_BARRIER_READY, "reduce", 0, 0, completed=(0,)),
+            ev(2, HOOK_REDUCE_START, "reduce", 0, 0, completed=(0,)),
+        ]
+        found = check_interleaving_invariants(
+            events, barrier=self.BARRIER, total_maps=3
+        )
+        assert any(v.invariant == "no-early-reduce" for v in found)
+
+    def test_reduce_start_without_barrier_ready_detected(self):
+        events = [
+            ev(0, HOOK_SPILL_COMMIT, "map", 0, 0, partitions=(0,)),
+            ev(1, HOOK_SPILL_COMMIT, "map", 1, 0, partitions=(0,)),
+            ev(2, HOOK_REDUCE_START, "reduce", 0, 0, completed=(0, 1)),
+        ]
+        found = check_interleaving_invariants(
+            events, barrier=self.BARRIER, total_maps=3
+        )
+        assert [v.invariant for v in found] == ["no-early-reduce"]
+
+    def test_fetch_outside_dependency_set_detected(self):
+        events = [
+            ev(0, HOOK_SPILL_COMMIT, "map", 2, 0, partitions=(1,)),
+            ev(1, HOOK_FETCH, "reduce", 0, 0, map=2, map_attempt=0, empty=False),
+        ]
+        found = check_interleaving_invariants(
+            events, barrier=self.BARRIER, total_maps=3
+        )
+        assert any(v.invariant == "fetch-discipline" for v in found)
+
+    def test_stale_serve_detected(self):
+        events = [
+            ev(0, HOOK_SPILL_COMMIT, "map", 0, 0, partitions=(0,)),
+            ev(1, HOOK_SPILL_COMMIT, "map", 0, 1, partitions=(0,),
+               superseded=True),
+            ev(2, HOOK_FETCH, "reduce", 0, 0, map=0, map_attempt=0, empty=False),
+        ]
+        found = check_interleaving_invariants(
+            events, barrier=self.BARRIER, total_maps=3
+        )
+        assert any(v.invariant == "no-stale-serve" for v in found)
+
+    def test_fetch_before_any_commit_detected(self):
+        events = [
+            ev(0, HOOK_FETCH, "reduce", 0, 0, map=0, map_attempt=0, empty=True),
+        ]
+        found = check_interleaving_invariants(
+            events, barrier=self.BARRIER, total_maps=3
+        )
+        assert any(v.invariant == "no-stale-serve" for v in found)
+
+    def test_supersede_observed_detected(self):
+        from repro.mapreduce.engine import TaskAttempt
+
+        events = [
+            ev(0, HOOK_SPILL_COMMIT, "map", 0, 0, partitions=(0,)),
+            ev(1, HOOK_SPILL_COMMIT, "map", 1, 0, partitions=(0,)),
+            ev(2, HOOK_CLAIM, "reduce", 0, 1),
+            ev(3, HOOK_FETCH, "reduce", 0, 0, map=0, map_attempt=0, empty=False),
+            # map 0 is re-spilled (attempt 1) before the fetch phase ends
+            ev(4, HOOK_SPILL_COMMIT, "map", 0, 1, partitions=(0,),
+               superseded=True),
+            ev(5, HOOK_FETCH, "reduce", 0, 0, map=1, map_attempt=0, empty=False),
+        ]
+        attempts = (
+            TaskAttempt(kind="reduce", index=0, attempt=1, outcome="ok"),
+        )
+        found = check_interleaving_invariants(
+            events, barrier=self.BARRIER, total_maps=3, attempts=attempts
+        )
+        assert any(v.invariant == "supersede-observed" for v in found)
+        # …but if the attempt never committed, the freshness guard did
+        # its job and there is no violation.
+        found = check_interleaving_invariants(
+            events, barrier=self.BARRIER, total_maps=3, attempts=()
+        )
+        assert not any(v.invariant == "supersede-observed" for v in found)
+
+    def test_unknown_partition_raises_config_error(self):
+        events = [
+            ev(0, HOOK_FETCH, "reduce", 9, 0, map=0, map_attempt=0, empty=False),
+        ]
+        with pytest.raises(JobConfigError):
+            check_interleaving_invariants(
+                events, barrier=self.BARRIER, total_maps=3
+            )
+
+
+class TestTraceDeterminism:
+    """Satellite (c): EngineTrace with an injected LogicalClock is
+    bit-stable across repeated serial replays."""
+
+    def run_once(self):
+        job, barrier = crafted_job()
+        trace = EngineTrace(clock=LogicalClock())
+        obs = JobObservability(job.name, enabled=False, legacy_trace=trace)
+        res = LocalEngine(observability=False).run_serial(job, barrier, obs=obs)
+        return dict(res.all_records()), [
+            (e.seq, e.wall, e.kind, e.event, e.index)
+            for e in res.trace.events
+        ]
+
+    def test_repeated_runs_identical(self):
+        out1, trace1 = self.run_once()
+        out2, trace2 = self.run_once()
+        assert out1 == EXPECTED
+        assert out1 == out2
+        assert trace1, "trace recorded no events"
+        assert trace1 == trace2
+
+    def test_logical_clock_monotonic_and_threadsafe(self):
+        clk = LogicalClock(step=0.5)
+        vals = [clk() for _ in range(5)]
+        assert vals == [0.5, 1.0, 1.5, 2.0, 2.5]
+
+    def test_chaos_hook_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ChaosHook(max_delay=-1.0)
+        with pytest.raises(ValueError):
+            ChaosHook(density=0.0)
