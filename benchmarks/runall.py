@@ -214,9 +214,11 @@ def main() -> int:
         "obs_overhead",
         "tracing overhead (weekly-mean engine workload, min of "
         f"{overhead['runs']}):\n"
-        f"  observability off: {overhead['off_ms']:.1f} ms\n"
-        f"  observability on:  {overhead['on_ms']:.1f} ms\n"
-        f"  overhead:          {overhead['overhead']:+.1%}",
+        f"  observability off:     {overhead['off_ms']:.1f} ms\n"
+        f"  observability on:      {overhead['on_ms']:.1f} ms\n"
+        f"  on + live event bus:   {overhead['live_ms']:.1f} ms\n"
+        f"  overhead:              {overhead['overhead']:+.1%}\n"
+        f"  overhead w/ live bus:  {overhead['live_overhead']:+.1%}",
         data=overhead,
     )
 
@@ -306,11 +308,45 @@ def _measure_tracing_overhead(runs: int = 3) -> dict:
 
     t_off = best(LocalEngine(observability=False))
     t_on = best(LocalEngine(observability=True))
+
+    # Third config: spans/metrics on AND the live plane attached — bus
+    # with a draining subscription, progress tracker, straggler
+    # detector — the full ``--live`` wiring minus terminal rendering.
+    from repro.obs import (
+        EventBus,
+        JobObservability,
+        MetricsRegistry,
+        ProgressTracker,
+        StragglerDetector,
+    )
+
+    engine_live = LocalEngine(observability=True)
+
+    def best_live() -> float:
+        def once() -> float:
+            metrics = MetricsRegistry()
+            bus = EventBus(metrics=metrics)
+            obs = JobObservability(job.name, metrics=metrics, bus=bus)
+            ProgressTracker(bus)
+            StragglerDetector(bus, metrics=metrics)
+            sub = bus.subscribe()
+            s = time.perf_counter()
+            engine_live.run_serial(job, barrier, obs=obs)
+            elapsed = time.perf_counter() - s
+            sub.drain()
+            return elapsed
+
+        once()  # warmup
+        return min(once() for _ in range(runs))
+
+    t_live = best_live()
     return {
         "runs": runs,
         "off_ms": round(t_off * 1e3, 2),
         "on_ms": round(t_on * 1e3, 2),
+        "live_ms": round(t_live * 1e3, 2),
         "overhead": round(t_on / t_off - 1.0, 4),
+        "live_overhead": round(t_live / t_off - 1.0, 4),
     }
 
 

@@ -23,6 +23,10 @@ from repro.sidr.planner import build_sidr_job
 
 RUNS = 3
 MAX_OVERHEAD = 0.10
+# The live plane (event bus + progress tracker + straggler detector +
+# one draining subscription) rides on top of spans/metrics; allow a bit
+# of scheduler-noise headroom over the plain tracing bound.
+MAX_LIVE_OVERHEAD = 0.15
 
 
 @pytest.fixture(scope="module")
@@ -75,6 +79,68 @@ def test_tracing_overhead_under_10_percent(job_and_barrier, record_report):
     assert overhead < MAX_OVERHEAD, (
         f"tracing overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
         f"({t_on * 1e3:.1f} ms vs {t_off * 1e3:.1f} ms)"
+    )
+
+
+def test_live_bus_overhead_bounded(job_and_barrier, record_report):
+    """Publishing every task/spill/fetch event into the live bus (with
+    the full ``--live`` consumer stack attached) must not blow the
+    hot-path budget."""
+    from repro.obs import (
+        EventBus,
+        JobObservability,
+        MetricsRegistry,
+        ProgressTracker,
+        StragglerDetector,
+    )
+
+    job, barrier = job_and_barrier
+    off = LocalEngine(observability=False)
+    live = LocalEngine(observability=True)
+
+    def run_live():
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        obs = JobObservability(job.name, metrics=metrics, bus=bus)
+        ProgressTracker(bus)
+        StragglerDetector(bus, metrics=metrics)
+        sub = bus.subscribe()
+        live.run_serial(job, barrier, obs=obs)
+        assert bus.dropped == 0
+        return sub.drain()
+
+    live.run_serial(job, barrier)  # warmup
+    off.run_serial(job, barrier)
+    t_off = _min_time(off, job, barrier)
+    t_live = float("inf")
+    events = []
+    for _ in range(RUNS):
+        t = time.perf_counter()
+        events = run_live()
+        t_live = min(t_live, time.perf_counter() - t)
+    overhead = t_live / t_off - 1.0
+    record_report(
+        "obs_live_overhead",
+        "tracing + live bus overhead (weekly-mean workload, min of "
+        f"{RUNS}):\n"
+        f"  observability off:    {t_off * 1e3:.1f} ms\n"
+        f"  on + live bus:        {t_live * 1e3:.1f} ms\n"
+        f"  events per run:       {len(events)}\n"
+        f"  overhead:             {overhead:+.1%} "
+        f"(bound {MAX_LIVE_OVERHEAD:.0%})\n"
+        + json.dumps(
+            {
+                "off_ms": round(t_off * 1e3, 2),
+                "live_ms": round(t_live * 1e3, 2),
+                "events": len(events),
+                "overhead": round(overhead, 4),
+            }
+        ),
+    )
+    assert len(events) > 0
+    assert overhead < MAX_LIVE_OVERHEAD, (
+        f"live-bus overhead {overhead:.1%} exceeds {MAX_LIVE_OVERHEAD:.0%} "
+        f"({t_live * 1e3:.1f} ms vs {t_off * 1e3:.1f} ms)"
     )
 
 

@@ -6,6 +6,7 @@ Subcommands mirroring the library's main entry points::
     python -m repro.cli query   FILE --variable V --extract 7,5,1 \\
                                 --operator mean [--reduces 4] [--stride ...]
                                 [--data-plane record|columnar]
+                                [--live] [--events out.jsonl] [--status out.json]
                                 [--trace out.json] [--metrics out.json]
                                 [--inject-faults PLAN.json] [--fault-seed N]
                                 [--max-attempts K] [--recovery MODE]
@@ -25,6 +26,12 @@ Subcommands mirroring the library's main entry points::
 trace_event file (``.jsonl`` for the line-stream format) loadable in
 Perfetto; ``--metrics`` writes the metric snapshots as JSON; ``report``
 renders a saved trace as a human-readable per-phase breakdown.
+
+``--live`` renders a refreshing status block (phase bars, cost-model
+ETA, flagged stragglers) while the query runs; ``--events`` streams the
+live event feed to a JSONL file as it happens; ``--status`` writes the
+final ``snapshot()`` JSON status document.  See the "Live events"
+section of ``docs/OBSERVABILITY.md``.
 
 ``--inject-faults`` loads a fault-injection plan (schema in
 ``docs/FAULT_TOLERANCE.md``) and runs the query under it with
@@ -99,6 +106,7 @@ def _compile_query(args: argparse.Namespace):
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
     from repro.faults import InjectionPlan, RecoveryModel
@@ -128,7 +136,61 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"operator {plan.operator.name!r})",
             file=sys.stderr,
         )
-    res = engine.run_threaded(job, barrier)
+
+    # Live observability plane: any of --live/--events/--status attaches
+    # an event bus to the run (docs/OBSERVABILITY.md, "Live events").
+    obs = progress = detector = writer = renderer = None
+    if args.live or args.events or args.status:
+        from repro.obs import (
+            CostModelEta,
+            EventBus,
+            JobObservability,
+            JsonlEventWriter,
+            LiveRenderer,
+            MetricsRegistry,
+            ProgressTracker,
+            StragglerDetector,
+        )
+
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        obs = JobObservability(job.name, metrics=metrics, bus=bus)
+        estimator = CostModelEta(
+            sidr,
+            map_workers=engine.map_workers,
+            reduce_workers=engine.reduce_workers,
+        )
+        progress = ProgressTracker(bus, estimator=estimator)
+        detector = StragglerDetector(
+            bus,
+            metrics=obs.metrics,
+            tracer=obs.tracer,
+            parent_span=obs.job_span,
+        ).start_ticker()
+        if args.events:
+            writer = JsonlEventWriter(bus, args.events)
+        if args.live:
+            renderer = LiveRenderer(progress, detector).start()
+
+    try:
+        res = engine.run_threaded(job, barrier, obs=obs)
+    finally:
+        if detector is not None:
+            detector.stop_ticker()
+        if renderer is not None:
+            renderer.stop()
+        if writer is not None:
+            writer.close()
+            print(
+                f"# {writer.written} events streamed to {writer.path} "
+                f"({writer.dropped} dropped)",
+                file=sys.stderr,
+            )
+        if args.status and progress is not None:
+            Path(args.status).write_text(
+                json.dumps(progress.snapshot(), indent=2) + "\n"
+            )
+            print(f"# status snapshot written to {args.status}", file=sys.stderr)
     print(
         f"# {len(splits)} map tasks, {args.reduces} reduce tasks, "
         f"{res.counters.get('barrier.early.starts')} early starts, "
@@ -452,6 +514,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--limit", type=int, default=20,
                          help="max output rows (0 = all)")
+    p_query.add_argument("--live", action="store_true",
+                         help="render a refreshing live status (phase "
+                         "bars, ETA, stragglers) on stderr while the "
+                         "query runs")
+    p_query.add_argument("--events", default=None, metavar="FILE.jsonl",
+                         help="stream live events to a JSONL file as "
+                         "they happen (crash-durable)")
+    p_query.add_argument("--status", default=None, metavar="FILE",
+                         help="write the final snapshot() JSON status "
+                         "document")
     p_query.add_argument("--trace", default=None, metavar="FILE",
                          help="write a Perfetto-loadable trace "
                          "(.jsonl = line stream)")

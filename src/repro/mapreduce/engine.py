@@ -809,6 +809,7 @@ class LocalEngine:
             metrics=obs.metrics if obs.enabled else None,
             persist=self.recovery is RecoveryModel.PERSISTED,
             hook=hook,
+            bus=obs.bus,
         )
 
     # ------------------------------------------------------------------ #
@@ -832,6 +833,7 @@ class LocalEngine:
         """
         barrier = barrier or GlobalBarrier()
         obs = self._make_obs(job, obs)
+        obs.job_started(job.num_map_tasks, job.num_reduce_tasks)
         store = self._new_store(obs)
         state = _RunState(self, job)
         counters = Counters()
@@ -928,6 +930,7 @@ class LocalEngine:
         """
         barrier = barrier or GlobalBarrier()
         obs = self._make_obs(job, obs)
+        obs.job_started(job.num_map_tasks, job.num_reduce_tasks)
         store = self._new_store(obs)
         state = _RunState(self, job)
         counters = Counters()

@@ -171,6 +171,7 @@ class ShuffleStore:
         metrics: Any | None = None,
         persist: bool = True,
         hook: Any | None = None,
+        bus: Any | None = None,
     ) -> None:
         self._lock = threading.Lock()
         #: Verification seam (engine's SchedulerHook.on_event, or None).
@@ -178,6 +179,11 @@ class ShuffleStore:
         #: lock is held so the event stream linearizes commits against
         #: fetches; hooks must therefore never call back into the store.
         self._hook = hook
+        #: Live event bus (:class:`~repro.obs.live.bus.EventBus`, or
+        #: None).  ``spill.commit``/``fetch`` publish under the store
+        #: lock for the same linearization reason as the hook — so bus
+        #: listeners, like hooks, must never call back into the store.
+        self._bus = bus
         self._files: dict[tuple[int, int], MapOutputFile] = {}
         self._indexes: dict[int, MapOutputIndex] = {}
         self._attempts: dict[int, int] = {}
@@ -249,6 +255,16 @@ class ShuffleStore:
                         "superseded": superseding,
                     },
                 )
+            if self._bus is not None:
+                self._bus.publish(
+                    "spill.commit",
+                    kind="map",
+                    index=map_id.index,
+                    attempt=attempt,
+                    partitions=sorted(f.partition for f in files),
+                    records=sum(f.num_records for f in files),
+                    superseded=superseding,
+                )
 
     def spill(self, files: list[MapOutputFile], *, attempt: int = 0) -> None:
         """Commit one map task attempt's output atomically (Hadoop
@@ -312,6 +328,15 @@ class ShuffleStore:
                         "map_attempt": self._attempts[map_index],
                         "empty": f is None or f.num_records == 0,
                     },
+                )
+            if self._bus is not None:
+                self._bus.publish(
+                    "fetch",
+                    kind="reduce",
+                    index=partition,
+                    map=map_index,
+                    map_attempt=self._attempts[map_index],
+                    empty=f is None or f.num_records == 0,
                 )
             return f
 

@@ -8,6 +8,16 @@ See ``docs/OBSERVABILITY.md`` for the span and metric name reference.
 """
 
 from repro.obs.jobobs import JobObservability
+from repro.obs.live import (
+    CostModelEta,
+    Event,
+    EventBus,
+    JsonlEventWriter,
+    LiveRenderer,
+    ProgressTracker,
+    StragglerDetector,
+    Subscription,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     Counter,
@@ -16,6 +26,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     RATE_BUCKETS,
     TIME_BUCKETS,
+    histogram_quantile,
 )
 from repro.obs.spans import (
     CAT_BARRIER,
@@ -44,18 +55,27 @@ __all__ = [
     "CAT_PHASE",
     "CAT_TASK",
     "COUNT_BUCKETS",
+    "CostModelEta",
     "Counter",
+    "Event",
+    "EventBus",
     "Gauge",
     "Histogram",
     "JobObservability",
+    "JsonlEventWriter",
+    "LiveRenderer",
     "MetricsRegistry",
+    "ProgressTracker",
     "RATE_BUCKETS",
     "Span",
     "SpanTracer",
+    "StragglerDetector",
+    "Subscription",
     "TIME_BUCKETS",
     "chrome_trace_doc",
     "format_report",
     "format_run_report",
+    "histogram_quantile",
     "load_trace",
     "normalized_runs",
     "write_chrome_trace",

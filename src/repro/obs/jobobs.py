@@ -18,16 +18,35 @@ still feeding the legacy trace, which is what the engine's
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from collections.abc import Iterator
 from typing import Any
 
+from repro.obs.live.bus import (
+    EV_BARRIER_FIRE,
+    EV_JOB_FINISH,
+    EV_JOB_START,
+    EV_RECOVERY,
+    EV_TASK_FINISH,
+    EV_TASK_RETRY,
+    EV_TASK_START,
+    EventBus,
+)
 from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
 from repro.obs.spans import CAT_BARRIER, CAT_JOB, CAT_TASK, Span, SpanTracer
 
 
 class JobObservability:
-    """Tracer + metrics + legacy-trace bridge for one job run."""
+    """Tracer + metrics + legacy-trace bridge for one job run.
+
+    When a live :class:`~repro.obs.live.bus.EventBus` is attached
+    (``bus=``), the same lifecycle the spans record is also *published*
+    as it happens — task start/finish/retry, barrier fire, recovery,
+    job start/finish — independently of ``enabled``: the bus is its own
+    opt-in (attaching one states intent to consume the stream), while
+    ``enabled`` keeps gating the span/metric recording cost.
+    """
 
     def __init__(
         self,
@@ -38,13 +57,19 @@ class JobObservability:
         metrics: MetricsRegistry | None = None,
         legacy_trace: Any | None = None,
         start_at: float | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.job_name = job_name
         self.enabled = enabled
         self.tracer = tracer or SpanTracer()
         self.metrics = metrics or MetricsRegistry()
         self.trace = legacy_trace
+        self.bus = bus
         self.job_span: Span | None = None
+        # Resolved once: the inflight gauge sits on every task entry/exit.
+        self._inflight_gauge = (
+            self.metrics.gauge("obs.tasks.inflight") if enabled else None
+        )
         if enabled:
             self.job_span = self.tracer.start_span(
                 "job",
@@ -52,6 +77,20 @@ class JobObservability:
                 track="job",
                 at=start_at,
                 args={"name": job_name},
+            )
+
+    # ------------------------------------------------------------------ #
+    # Live stream
+    # ------------------------------------------------------------------ #
+    def job_started(self, num_maps: int, num_reduces: int) -> None:
+        """Announce the job shape on the live stream (no-op without a
+        bus).  The engine calls this once per run, before any task."""
+        if self.bus is not None:
+            self.bus.publish(
+                EV_JOB_START,
+                name=self.job_name,
+                maps=num_maps,
+                reduces=num_reduces,
             )
 
     # ------------------------------------------------------------------ #
@@ -82,13 +121,45 @@ class JobObservability:
                 track=f"{kind} {index}",
                 args=args,
             )
+        # Gauge up before the start event publishes: a listener reading
+        # the gauge at task.start sees the attempt already counted.
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.add(1)
+        t0 = time.perf_counter()
+        if self.bus is not None:
+            self.bus.publish(
+                EV_TASK_START, kind=kind, index=index, attempt=attempt
+            )
         try:
             yield span
         except BaseException as exc:
+            if self._inflight_gauge is not None:
+                self._inflight_gauge.add(-1)
+            if self.bus is not None:
+                self.bus.publish(
+                    EV_TASK_FINISH,
+                    kind=kind,
+                    index=index,
+                    attempt=attempt,
+                    status="failed",
+                    error=type(exc).__name__,
+                    seconds=round(time.perf_counter() - t0, 6),
+                )
             if span is not None:
                 self.tracer.end_span(span, args={"error": type(exc).__name__})
             raise
         else:
+            if self._inflight_gauge is not None:
+                self._inflight_gauge.add(-1)
+            if self.bus is not None:
+                self.bus.publish(
+                    EV_TASK_FINISH,
+                    kind=kind,
+                    index=index,
+                    attempt=attempt,
+                    status="ok",
+                    seconds=round(time.perf_counter() - t0, 6),
+                )
             if span is not None:
                 self.tracer.end_span(span)
             if self.trace is not None:
@@ -113,6 +184,11 @@ class JobObservability:
         launches) to now; it lands on the reduce's display track so the
         wait abuts the reduce span in a trace viewer.
         """
+        # The barrier.fire event publishes before the reduce is
+        # submitted (the engine calls this at the firing point), so on
+        # the live stream it happens-before the reduce's task.start.
+        if self.bus is not None:
+            self.bus.publish(EV_BARRIER_FIRE, kind="reduce", index=partition)
         if not self.enabled:
             return None
         now = self.tracer.now()
@@ -144,6 +220,15 @@ class JobObservability:
     ) -> None:
         """Record one retry decision: a ``task.retry`` instant on the
         task's track plus the backoff delay in ``task.retry.backoff``."""
+        if self.bus is not None:
+            self.bus.publish(
+                EV_TASK_RETRY,
+                kind=kind,
+                index=index,
+                attempt=attempt,
+                backoff=delay,
+                error=error,
+            )
         if not self.enabled:
             return
         self.metrics.counter("task.retries").inc()
@@ -165,6 +250,14 @@ class JobObservability:
     ) -> None:
         """Record a dependency-aware recovery: reduce ``partition``
         forced re-execution of ``maps`` taking ``seconds`` of work."""
+        if self.bus is not None:
+            self.bus.publish(
+                EV_RECOVERY,
+                kind="reduce",
+                index=partition,
+                maps=sorted(maps),
+                seconds=seconds,
+            )
         if not self.enabled:
             return
         self.metrics.counter("recovery.maps_reexecuted").inc(len(maps))
@@ -186,3 +279,5 @@ class JobObservability:
         if self.job_span is not None and self.job_span.end is None:
             self.tracer.end_span(self.job_span, args=args or None)
             self.metrics.gauge("job.makespan.seconds").set(self.job_span.duration)
+        if self.bus is not None:
+            self.bus.publish(EV_JOB_FINISH, name=self.job_name, **args)

@@ -1,0 +1,347 @@
+"""Live progress tracking and cost-model ETA.
+
+:class:`ProgressTracker` subscribes (as a synchronous listener) to an
+:class:`~repro.obs.live.bus.EventBus` and maintains the in-flight view
+of a job: per-phase completion fractions (maps done / reduces fired /
+reduces done), the live reduce-completion curve, in-flight task counts,
+and an ETA.  Its :meth:`ProgressTracker.snapshot` returns the JSON
+status document (schema in ``docs/OBSERVABILITY.md``) that the future
+resident service's per-job status endpoint will serve.
+
+:class:`CostModelEta` is the first bridge between the simulator's
+:class:`~repro.sim.costmodel.CostModel` and measured traces: it prices
+every map and reduce task of a real job from its
+:class:`~repro.sidr.planner.SIDRPlan` (via
+:func:`~repro.bench.workloads.sim_spec_from_plan`), and the tracker
+continuously *calibrates* those predictions against measured task
+durations — the model supplies the relative shape of the remaining
+work, the measurements supply the machine's actual speed.  The
+calibration scale it converges to is exactly the quantity the ROADMAP's
+cost-model-calibration item wants to fit offline.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any
+
+from repro.obs.live.bus import (
+    EV_BARRIER_FIRE,
+    EV_JOB_FINISH,
+    EV_JOB_START,
+    EV_TASK_FINISH,
+    EV_TASK_RETRY,
+    EV_TASK_START,
+    EV_TASK_STRAGGLER,
+    Event,
+    EventBus,
+)
+
+
+class CostModelEta:
+    """Per-task predicted seconds for a real job, from the sim cost model.
+
+    Predictions use the cost model's deterministic path (jitter off,
+    full locality — the real engine reads from memory, so only the
+    *relative* cost across tasks matters; the tracker's calibration
+    scale absorbs the absolute units).
+    """
+
+    def __init__(
+        self,
+        sidr_plan: Any,
+        *,
+        map_workers: int = 4,
+        reduce_workers: int = 3,
+        cost_model: Any | None = None,
+    ) -> None:
+        from repro.bench.workloads import sim_spec_from_plan
+        from repro.sim.costmodel import CostModel
+
+        spec = sim_spec_from_plan(sidr_plan)
+        cm = cost_model or CostModel(jitter_sigma=0.0)
+        rng = random.Random(0)
+        self.map_workers = max(1, map_workers)
+        self.reduce_workers = max(1, reduce_workers)
+        self.map_seconds: tuple[float, ...] = tuple(
+            cm.map_duration(
+                read_bytes=sp.read_bytes,
+                cells=sp.cells,
+                output_bytes=sp.output_bytes,
+                local_fraction=1.0,
+                rng=rng,
+            )
+            for sp in spec.splits
+        )
+        dist = spec.distribution
+        reduce_secs: list[float] = []
+        for l in range(spec.num_reduces):
+            input_bytes = sum(
+                int(sp.output_bytes * dist.share(sp.index, l))
+                for sp in spec.splits
+            )
+            reduce_secs.append(
+                cm.fetch_time(input_bytes)
+                + cm.reduce_processing_time(
+                    input_bytes=input_bytes,
+                    output_bytes=spec.reduce_output_bytes[l],
+                    dense_output=spec.dense_output,
+                    rng=rng,
+                )
+            )
+        self.reduce_seconds: tuple[float, ...] = tuple(reduce_secs)
+
+    def predicted_seconds(self, kind: str, index: int) -> float:
+        table = self.map_seconds if kind == "map" else self.reduce_seconds
+        if 0 <= index < len(table):
+            return table[index]
+        return 0.0
+
+    def predicted_makespan(self) -> float:
+        """Pool-width-normalized total: map work over the map pool plus
+        the reduce tail over the reduce pool (an upper bound — with
+        dependency barriers the phases overlap)."""
+        return (
+            sum(self.map_seconds) / self.map_workers
+            + sum(self.reduce_seconds) / self.reduce_workers
+        )
+
+
+class ProgressTracker:
+    """Turns the live event stream into progress fractions and an ETA."""
+
+    def __init__(
+        self,
+        bus: EventBus,
+        *,
+        estimator: CostModelEta | None = None,
+    ) -> None:
+        self._bus = bus
+        self._lock = threading.Lock()
+        self.estimator = estimator
+        self.job_name = "job"
+        self.num_maps: int | None = None
+        self.num_reduces: int | None = None
+        self._maps_done: set[int] = set()
+        self._reduces_fired: set[int] = set()
+        self._reduces_done: set[int] = set()
+        self._inflight: dict[tuple[str, int], float] = {}
+        self._curve: list[tuple[float, float]] = []
+        self._retries = 0
+        self._failures = 0
+        self._stragglers: dict[tuple[str, int], dict[str, Any]] = {}
+        self._started_at: float | None = None
+        self._finished_at: float | None = None
+        # Calibration accumulators: measured vs predicted seconds over
+        # *completed* tasks (the same task set on both sides, so the
+        # ratio is a unit conversion, not an extrapolation).
+        self._measured_done = 0.0
+        self._predicted_done = 0.0
+        bus.attach(self.on_event)
+
+    # ------------------------------------------------------------------ #
+    # Event intake (runs on publishing threads; keep cheap)
+    # ------------------------------------------------------------------ #
+    def on_event(self, ev: Event) -> None:
+        with self._lock:
+            if ev.type == EV_JOB_START:
+                self.job_name = ev.data.get("name", self.job_name)
+                self.num_maps = int(ev.data.get("maps", 0))
+                self.num_reduces = int(ev.data.get("reduces", 0))
+                self._started_at = ev.t
+            elif ev.type == EV_TASK_START:
+                self._inflight[(ev.kind, ev.index)] = ev.t
+            elif ev.type == EV_TASK_FINISH:
+                self._inflight.pop((ev.kind, ev.index), None)
+                if ev.data.get("status") == "ok":
+                    if ev.kind == "map":
+                        self._maps_done.add(ev.index)
+                    elif ev.kind == "reduce":
+                        self._reduces_done.add(ev.index)
+                        self._note_curve_point(ev.t)
+                    self._stragglers.pop((ev.kind, ev.index), None)
+                    if self.estimator is not None:
+                        self._measured_done += float(ev.data.get("seconds", 0.0))
+                        self._predicted_done += self.estimator.predicted_seconds(
+                            ev.kind, ev.index
+                        )
+                else:
+                    self._failures += 1
+            elif ev.type == EV_BARRIER_FIRE:
+                self._reduces_fired.add(ev.index)
+            elif ev.type == EV_TASK_RETRY:
+                self._retries += 1
+            elif ev.type == EV_TASK_STRAGGLER:
+                self._stragglers[(ev.kind, ev.index)] = {
+                    "kind": ev.kind,
+                    "index": ev.index,
+                    "elapsed": ev.data.get("elapsed"),
+                    "threshold": ev.data.get("threshold"),
+                    "median": ev.data.get("median"),
+                }
+            elif ev.type == EV_JOB_FINISH:
+                self._finished_at = ev.t
+
+    def _note_curve_point(self, t: float) -> None:
+        total = self.num_reduces or 0
+        frac = len(self._reduces_done) / total if total else 0.0
+        self._curve.append((t, frac))
+
+    # ------------------------------------------------------------------ #
+    # Derived state
+    # ------------------------------------------------------------------ #
+    def _fractions(self) -> tuple[float, float, float]:
+        m = len(self._maps_done) / self.num_maps if self.num_maps else 0.0
+        rf = (
+            len(self._reduces_fired) / self.num_reduces
+            if self.num_reduces
+            else 0.0
+        )
+        rd = (
+            len(self._reduces_done) / self.num_reduces
+            if self.num_reduces
+            else 0.0
+        )
+        return m, rf, rd
+
+    def _overall_fraction(self) -> float:
+        """Work-weighted overall completion.
+
+        With an estimator, weights are predicted phase totals; without,
+        maps and reduces weigh equally.
+        """
+        m, _rf, rd = self._fractions()
+        if self.estimator is not None:
+            wm = sum(self.estimator.map_seconds)
+            wr = sum(self.estimator.reduce_seconds)
+            if wm + wr > 0:
+                return (m * wm + rd * wr) / (wm + wr)
+        return (m + rd) / 2.0
+
+    def _eta_locked(self, now: float) -> float | None:
+        """Remaining seconds; None while nothing is known yet."""
+        if self._finished_at is not None:
+            return 0.0
+        est = self.estimator
+        if est is not None and self._predicted_done > 0:
+            scale = self._measured_done / self._predicted_done
+            rem_map = sum(
+                est.map_seconds[i]
+                for i in range(len(est.map_seconds))
+                if i not in self._maps_done
+            ) / est.map_workers
+            rem_reduce = sum(
+                est.reduce_seconds[l]
+                for l in range(len(est.reduce_seconds))
+                if l not in self._reduces_done
+            ) / est.reduce_workers
+            # Dependency barriers overlap the phases: the longer phase
+            # dominates the remaining wall clock.
+            return max(rem_map, rem_reduce) * scale
+        # Rate extrapolation fallback: elapsed / fraction so far.
+        frac = self._overall_fraction()
+        if self._started_at is None or frac <= 0.0:
+            return None
+        elapsed = now - self._started_at
+        return max(0.0, elapsed * (1.0 - frac) / frac)
+
+    def eta_seconds(self, now: float | None = None) -> float | None:
+        if now is None:
+            now = self._bus.now()
+        with self._lock:
+            return self._eta_locked(now)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._finished_at is not None
+
+    def reduce_completion_curve(self) -> list[tuple[float, float]]:
+        """(t, fraction-of-reduces-done) points, in completion order."""
+        with self._lock:
+            return list(self._curve)
+
+    def calibration_scale(self) -> float | None:
+        """Measured/predicted seconds over completed tasks (the unit
+        conversion a cost-model calibration run would fit); None until
+        at least one task completed under an estimator."""
+        with self._lock:
+            if self.estimator is None or self._predicted_done <= 0:
+                return None
+            return self._measured_done / self._predicted_done
+
+    # ------------------------------------------------------------------ #
+    # The status document
+    # ------------------------------------------------------------------ #
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """JSON status document — the payload a per-job status endpoint
+        serves.  Schema documented in ``docs/OBSERVABILITY.md``."""
+        if now is None:
+            now = self._bus.now()
+        with self._lock:
+            m, rf, rd = self._fractions()
+            if self._finished_at is not None:
+                state = "failed" if self._failures and not self._all_done() else "done"
+                elapsed = self._finished_at - (self._started_at or 0.0)
+            elif self._started_at is not None:
+                state = "running"
+                elapsed = now - self._started_at
+            else:
+                state = "pending"
+                elapsed = 0.0
+            eta = self._eta_locked(now)
+            inflight_maps = sum(1 for k, _ in self._inflight if k == "map")
+            inflight_reduces = sum(
+                1 for k, _ in self._inflight if k == "reduce"
+            )
+            return {
+                "job": self.job_name,
+                "state": state,
+                "elapsed": round(elapsed, 6),
+                "eta": round(eta, 6) if eta is not None else None,
+                "progress": round(self._overall_fraction(), 6),
+                "maps": {
+                    "total": self.num_maps or 0,
+                    "done": len(self._maps_done),
+                    "inflight": inflight_maps,
+                    "fraction": round(m, 6),
+                },
+                "reduces": {
+                    "total": self.num_reduces or 0,
+                    "fired": len(self._reduces_fired),
+                    "done": len(self._reduces_done),
+                    "inflight": inflight_reduces,
+                    "fraction_fired": round(rf, 6),
+                    "fraction": round(rd, 6),
+                },
+                "tasks_inflight": len(self._inflight),
+                "attempts": {
+                    "retries": self._retries,
+                    "failures": self._failures,
+                },
+                "stragglers": sorted(
+                    self._stragglers.values(),
+                    key=lambda s: (s["kind"], s["index"]),
+                ),
+                "reduce_curve": [
+                    [round(t, 6), round(f, 6)] for t, f in self._curve
+                ],
+                "events": {
+                    "published": self._bus.published,
+                    "dropped": self._bus.dropped,
+                },
+            }
+
+    def _all_done(self) -> bool:
+        return (
+            self.num_maps is not None
+            and len(self._maps_done) == self.num_maps
+            and self.num_reduces is not None
+            and len(self._reduces_done) == self.num_reduces
+        )

@@ -1,0 +1,180 @@
+"""Crash-durable event streaming and replay.
+
+:class:`JsonlEventWriter` drains a bus subscription on a daemon thread
+and appends one JSON line per event, flushing after every write — if
+the process dies mid-job, every event published up to the crash is on
+disk (unlike the post-hoc trace export, which only exists after a clean
+finish).
+
+:func:`read_events` loads such a file back into :class:`Event` objects,
+and :func:`phase_totals` / :func:`trace_phase_totals` reduce a live
+stream and a legacy :class:`~repro.mapreduce.engine.EngineTrace` to the
+same per-phase totals — the acceptance check that a ``--events`` JSONL
+replays to exactly what the post-hoc trace recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.obs.live.bus import (
+    DEFAULT_QUEUE_SIZE,
+    EV_BARRIER_FIRE,
+    EV_FETCH,
+    EV_RECOVERY,
+    EV_SPILL_COMMIT,
+    EV_TASK_FINISH,
+    EV_TASK_RETRY,
+    EV_TASK_START,
+    EV_TASK_STRAGGLER,
+    Event,
+    EventBus,
+)
+
+
+class JsonlEventWriter:
+    """Streams every bus event to a JSONL file as it happens."""
+
+    def __init__(
+        self,
+        bus: EventBus,
+        path: str | Path,
+        *,
+        maxsize: int = DEFAULT_QUEUE_SIZE,
+    ) -> None:
+        self.path = Path(path)
+        self._sub = bus.subscribe(maxsize=maxsize)
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._written = 0
+        self._wlock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="obs-events-writer", daemon=True
+        )
+        self._thread.start()
+
+    def _drain_loop(self) -> None:
+        while True:
+            ev = self._sub.get(timeout=0.2)
+            if ev is None:
+                if self._sub._closed and not len(self._sub):
+                    return
+                continue
+            self._write(ev)
+
+    def _write(self, ev: Event) -> None:
+        line = json.dumps(ev.to_json(), separators=(",", ":"))
+        with self._wlock:
+            if self._file.closed:
+                return
+            self._file.write(line + "\n")
+            # Flush per event: crash durability is the point of the
+            # stream (post-hoc export already covers the happy path).
+            self._file.flush()
+            self._written += 1
+
+    @property
+    def written(self) -> int:
+        with self._wlock:
+            return self._written
+
+    @property
+    def dropped(self) -> int:
+        return self._sub.dropped
+
+    def close(self) -> None:
+        """Stop the subscription, drain what is queued, close the file."""
+        self._sub.close()
+        self._thread.join(timeout=5.0)
+        for ev in self._sub.drain():
+            self._write(ev)
+        with self._wlock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "JsonlEventWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[Event]:
+    """Load a ``--events`` JSONL file back into :class:`Event` objects."""
+    events: list[Event] = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            events.append(
+                Event(
+                    seq=doc["seq"],
+                    t=doc["t"],
+                    type=doc["type"],
+                    kind=doc.get("kind", ""),
+                    index=doc.get("index", -1),
+                    attempt=doc.get("attempt", 0),
+                    data=doc.get("data", {}),
+                )
+            )
+    return events
+
+
+def phase_totals(events: "list[Event]") -> dict[str, Any]:
+    """Per-phase totals of a live event stream.
+
+    ``started`` counts task-start events (one per attempt, matching the
+    legacy trace's per-attempt ``start`` records); ``finished`` counts
+    clean completions only (a failing attempt never records its finish,
+    in the stream and the legacy trace alike).
+    """
+    totals: dict[str, Any] = {
+        "map": {"started": 0, "finished": 0},
+        "reduce": {"started": 0, "finished": 0},
+        "barriers_fired": 0,
+        "spills": 0,
+        "fetches": 0,
+        "retries": 0,
+        "recoveries": 0,
+        "stragglers": 0,
+    }
+    for ev in events:
+        if ev.type == EV_TASK_START and ev.kind in totals:
+            totals[ev.kind]["started"] += 1
+        elif ev.type == EV_TASK_FINISH and ev.kind in totals:
+            if ev.data.get("status") == "ok":
+                totals[ev.kind]["finished"] += 1
+        elif ev.type == EV_BARRIER_FIRE:
+            totals["barriers_fired"] += 1
+        elif ev.type == EV_SPILL_COMMIT:
+            totals["spills"] += 1
+        elif ev.type == EV_FETCH:
+            totals["fetches"] += 1
+        elif ev.type == EV_TASK_RETRY:
+            totals["retries"] += 1
+        elif ev.type == EV_RECOVERY:
+            totals["recoveries"] += 1
+        elif ev.type == EV_TASK_STRAGGLER:
+            totals["stragglers"] += 1
+    return totals
+
+
+def trace_phase_totals(trace: Any) -> dict[str, Any]:
+    """The same ``started``/``finished`` shape computed from a legacy
+    :class:`~repro.mapreduce.engine.EngineTrace` — the post-hoc side of
+    the replay comparison."""
+    totals: dict[str, Any] = {
+        "map": {"started": 0, "finished": 0},
+        "reduce": {"started": 0, "finished": 0},
+    }
+    for ev in trace.events:
+        if ev.kind in totals:
+            if ev.event == "start":
+                totals[ev.kind]["started"] += 1
+            elif ev.event == "finish":
+                totals[ev.kind]["finished"] += 1
+    return totals

@@ -76,6 +76,13 @@ class Gauge:
         with self._lock:
             self._value = float(value)
 
+    def add(self, delta: float) -> float:
+        """Adjust by ``delta`` (may be negative) and return the new
+        value — what up/down gauges like ``obs.tasks.inflight`` use."""
+        with self._lock:
+            self._value += float(delta)
+            return self._value
+
     @property
     def value(self) -> float:
         with self._lock:
@@ -137,22 +144,27 @@ class Histogram:
             return self._sum / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper bound of the bucket holding
-        the q-th observation (conservative; exact only at bucket edges)."""
-        if not 0.0 <= q <= 1.0:
-            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        """Bucket-interpolated quantile estimate.
+
+        The q-th observation is located in its bucket, then its value is
+        linearly interpolated across the bucket's span — the first
+        bucket's lower edge is the observed minimum, the overflow
+        bucket's upper edge is the observed maximum, and the result is
+        clamped to ``[min, max]``.  Exact at bucket edges, a uniform
+        within-bucket estimate elsewhere (the standard Prometheus
+        ``histogram_quantile`` interpolation).
+        """
         with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            seen = 0
-            for i, c in enumerate(self._counts):
-                seen += c
-                if seen >= rank and c:
-                    return (
-                        self.buckets[i] if i < len(self.buckets) else self._max
-                    )
-            return self._max
+            return histogram_quantile(
+                {
+                    "buckets": self.buckets,
+                    "counts": self._counts,
+                    "count": self._count,
+                    "min": self._min if self._count else None,
+                    "max": self._max if self._count else None,
+                },
+                q,
+            )
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
@@ -164,6 +176,37 @@ class Histogram:
                 "min": self._min if self._count else None,
                 "max": self._max if self._count else None,
             }
+
+
+def histogram_quantile(snapshot: dict[str, Any], q: float) -> float:
+    """Bucket-interpolated quantile over a histogram *snapshot* dict
+    (``buckets``/``counts``/``count``/``min``/``max`` — the shape
+    :meth:`Histogram.snapshot` and exported metric JSON use).
+
+    Shared by :meth:`Histogram.quantile` and the report renderer, which
+    only has snapshots to work from.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile {q} outside [0, 1]")
+    count = snapshot["count"]
+    if count == 0:
+        return 0.0
+    buckets = snapshot["buckets"]
+    counts = snapshot["counts"]
+    vmin = snapshot["min"]
+    vmax = snapshot["max"]
+    rank = q * count
+    seen = 0
+    for i, c in enumerate(counts):
+        if not c:
+            continue
+        if seen + c >= rank:
+            lo = vmin if i == 0 else buckets[i - 1]
+            hi = vmax if i >= len(buckets) else buckets[i]
+            estimate = lo + (hi - lo) * (rank - seen) / c
+            return min(max(estimate, vmin), vmax)
+        seen += c
+    return vmax
 
 
 class MetricsRegistry:

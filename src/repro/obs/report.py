@@ -13,6 +13,8 @@ from __future__ import annotations
 import statistics
 from typing import Any
 
+from repro.obs.metrics import histogram_quantile
+
 
 def _fmt_s(seconds: float) -> str:
     if seconds >= 100:
@@ -146,9 +148,32 @@ def format_run_report(run: dict[str, Any], *, top: int = 5) -> str:
         )
 
     # ----------------------------------------------------------------- #
-    # Key metric callouts
+    # Latency percentiles (interpolated from histogram buckets)
     # ----------------------------------------------------------------- #
     metrics = run.get("metrics") or {}
+    latency_rows = []
+    for name, snap in sorted((metrics.get("histograms") or {}).items()):
+        if not name.endswith(".seconds") or not snap.get("count"):
+            continue
+        latency_rows.append(
+            [
+                name,
+                str(snap["count"]),
+                _fmt_s(histogram_quantile(snap, 0.5)),
+                _fmt_s(histogram_quantile(snap, 0.95)),
+                _fmt_s(snap["max"]),
+            ]
+        )
+    if latency_rows:
+        lines.append("")
+        lines.append("latency percentiles (bucket-interpolated):")
+        lines.extend(
+            _table(["histogram", "count", "p50", "p95", "max"], latency_rows)
+        )
+
+    # ----------------------------------------------------------------- #
+    # Key metric callouts
+    # ----------------------------------------------------------------- #
     hist = (metrics.get("histograms") or {}).get("reduce.group.size")
     if hist and hist.get("count"):
         lines.append(

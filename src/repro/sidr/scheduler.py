@@ -33,6 +33,10 @@ class SidrSchedulePolicy:
     #: Optional shared metrics registry; scheduling decisions land under
     #: the ``sched.*`` counters (see docs/OBSERVABILITY.md).
     metrics: MetricsRegistry | None = None
+    #: Optional live event bus (:class:`~repro.obs.live.bus.EventBus`);
+    #: scheduling decisions publish ``sched.reduce.scheduled`` /
+    #: ``sched.map.scheduled`` events onto the shared live stream.
+    bus: object | None = None
 
     _eligible_maps: set[int] = field(default_factory=set, repr=False)
     _scheduled_reduces: set[int] = field(default_factory=set, repr=False)
@@ -74,6 +78,13 @@ class SidrSchedulePolicy:
         if self.metrics is not None:
             self.metrics.counter("sched.reduce.scheduled").inc()
             self.metrics.counter("sched.maps.unlocked").inc(len(newly))
+        if self.bus is not None:
+            self.bus.publish(
+                "sched.reduce.scheduled",
+                kind="reduce",
+                index=block,
+                unlocked_maps=sorted(newly),
+            )
         return frozenset(newly)
 
     # ------------------------------------------------------------------ #
@@ -97,6 +108,10 @@ class SidrSchedulePolicy:
         self._scheduled_maps.add(split_index)
         if self.metrics is not None:
             self.metrics.counter("sched.map.scheduled").inc()
+        if self.bus is not None:
+            self.bus.publish(
+                "sched.map.scheduled", kind="map", index=split_index
+            )
 
     # ------------------------------------------------------------------ #
     @property

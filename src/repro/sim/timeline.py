@@ -207,3 +207,87 @@ class TaskTimeline:
         tr.end_span(obs.job_span, at=self.makespan)
         obs.metrics.gauge("job.makespan.seconds").set(self.makespan)
         return obs
+
+    def replay_events(self, bus, job_name: str | None = None) -> int:
+        """Replay this timeline onto a live event bus in simulated-time
+        order, using the engine's exact live vocabulary (``job.start``,
+        ``task.start``/``task.finish``, ``barrier.fire``,
+        ``job.finish``).
+
+        The same consumers that watch a real run — progress tracker,
+        straggler detector, JSONL writer — can therefore watch a
+        simulated one; event ``t`` fields carry *simulated* seconds.
+        Returns the number of events published.
+        """
+        from repro.obs.live.bus import (
+            EV_BARRIER_FIRE,
+            EV_JOB_FINISH,
+            EV_JOB_START,
+            EV_TASK_FINISH,
+            EV_TASK_START,
+        )
+
+        name = job_name or f"sim-{self.mode}"
+        # (simulated time, tie-break rank, publish thunk): barrier fires
+        # sort ahead of the task starts they precede at equal times.
+        sequence: list[tuple[float, int, str, dict]] = []
+        sequence.append(
+            (
+                0.0,
+                0,
+                EV_JOB_START,
+                {"name": name, "maps": self.num_maps, "reduces": self.num_reduces},
+            )
+        )
+        for m in range(self.num_maps):
+            sequence.append(
+                (self.map_start[m], 2, EV_TASK_START, {"kind": "map", "index": m})
+            )
+            sequence.append(
+                (
+                    self.map_finish[m],
+                    3,
+                    EV_TASK_FINISH,
+                    {
+                        "kind": "map",
+                        "index": m,
+                        "status": "ok",
+                        "seconds": self.map_finish[m] - self.map_start[m],
+                    },
+                )
+            )
+        for l in range(self.num_reduces):
+            ready = (
+                self.reduce_barrier_ready[l]
+                if l < len(self.reduce_barrier_ready)
+                else self.reduce_processing_start[l]
+            )
+            ready = min(
+                max(ready, self.reduce_scheduled[l]), self.reduce_finish[l]
+            )
+            sequence.append(
+                (ready, 1, EV_BARRIER_FIRE, {"kind": "reduce", "index": l})
+            )
+            sequence.append(
+                (ready, 2, EV_TASK_START, {"kind": "reduce", "index": l})
+            )
+            sequence.append(
+                (
+                    self.reduce_finish[l],
+                    3,
+                    EV_TASK_FINISH,
+                    {
+                        "kind": "reduce",
+                        "index": l,
+                        "status": "ok",
+                        "seconds": self.reduce_finish[l] - ready,
+                    },
+                )
+            )
+        sequence.append((self.makespan, 4, EV_JOB_FINISH, {"name": name}))
+        sequence.sort(key=lambda item: (item[0], item[1]))
+        for t, _rank, ev_type, payload in sequence:
+            kind = payload.pop("kind", "")
+            index = payload.pop("index", -1)
+            bus.publish(ev_type, kind=kind, index=index, at=t, **payload)
+        return len(sequence)

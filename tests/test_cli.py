@@ -246,6 +246,96 @@ class TestTables:
             main(["tables", "--table", "99"])
 
 
+class TestLiveFlags:
+    def test_events_and_status_files(self, ncfile, tmp_path, capsys):
+        ev_path = tmp_path / "events.jsonl"
+        st_path = tmp_path / "status.json"
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--operator", "mean",
+                "--reduces", "3",
+                "--splits", "6",
+                "--limit", "2",
+                "--events", str(ev_path),
+                "--status", str(st_path),
+            ]
+        )
+        assert rc == 0
+        assert "events streamed" in capsys.readouterr().err
+
+        from repro.obs.live import phase_totals, read_events
+
+        events = read_events(ev_path)
+        assert events[0].type == "job.start"
+        assert events[-1].type == "job.finish"
+        totals = phase_totals(events)
+        assert totals["map"] == {"started": 6, "finished": 6}
+        assert totals["reduce"] == {"started": 3, "finished": 3}
+        assert totals["barriers_fired"] == 3
+
+        status = json.loads(st_path.read_text())
+        assert status["state"] == "done"
+        assert status["progress"] == 1.0
+        assert status["maps"]["done"] == 6
+        assert status["events"]["dropped"] == 0
+
+    def test_live_renders_on_non_tty(self, ncfile, capsys):
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--reduces", "3",
+                "--splits", "6",
+                "--limit", "1",
+                "--live",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        # The final frame always paints, even when the run outpaces the
+        # (slowed-down) non-tty refresh interval.
+        assert "maps" in err and "reduces" in err
+
+    def test_slow_fault_straggler_reaches_stream(
+        self, ncfile, tmp_path, capsys
+    ):
+        plan = {
+            "seed": 0,
+            "rules": [
+                {"task": "map", "fault": "slow",
+                 "indices": [3], "delay": 0.3}
+            ],
+        }
+        pf = tmp_path / "slow.json"
+        pf.write_text(json.dumps(plan))
+        ev_path = tmp_path / "events.jsonl"
+        rc = main(
+            [
+                "query", ncfile,
+                "--variable", "temperature",
+                "--extract", "7,5,1",
+                "--reduces", "3",
+                "--splits", "6",
+                "--limit", "1",
+                "--inject-faults", str(pf),
+                "--events", str(ev_path),
+            ]
+        )
+        assert rc == 0
+
+        from repro.obs.live import phase_totals, read_events
+
+        events = read_events(ev_path)
+        totals = phase_totals(events)
+        assert totals["stragglers"] >= 1
+        flagged = [e for e in events if e.type == "task.straggler"]
+        assert ("map", 3) in {(e.kind, e.index) for e in flagged}
+
+
 class TestFaultFlags:
     def test_query_with_injected_faults(self, ncfile, tmp_path, capsys):
         plan = {

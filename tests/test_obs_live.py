@@ -1,0 +1,496 @@
+"""Live observability plane: event bus, progress/ETA, stragglers.
+
+Covers the streaming contracts the post-hoc trace cannot express:
+
+* bus basics — total order, bounded non-blocking queues, drop counting;
+* happens-before on a real threaded run — no reduce starts before its
+  barrier fires, no partition is fetched before a spill committed it;
+* progress snapshots, the cost-model ETA bridge, and the inflight gauge;
+* straggler flagging driven by the ``slow`` fault injector;
+* JSONL durability: a replayed event file aggregates to the same
+  per-phase totals as the engine's own post-hoc trace;
+* the simulator joining the same plane via ``replay_events``.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.faults import FaultKind, FaultRule, InjectionPlan
+from repro.mapreduce.engine import GlobalBarrier, LocalEngine
+from repro.obs import JobObservability, MetricsRegistry
+from repro.obs.live import (
+    CostModelEta,
+    EventBus,
+    JsonlEventWriter,
+    ProgressTracker,
+    StragglerDetector,
+    phase_totals,
+    read_events,
+)
+from repro.obs.live.stream import trace_phase_totals
+from repro.query.splits import slice_splits
+from repro.sidr.planner import build_sidr_job
+from repro.sim.timeline import TaskTimeline
+
+from tests.test_mapreduce_engine import counting_job
+
+
+def run_with_bus(job, barrier, engine=None, *, bus=None, metrics=None):
+    """Threaded run with the live plane attached; returns (result, events)."""
+    metrics = metrics or MetricsRegistry()
+    bus = bus or EventBus(metrics=metrics)
+    obs = JobObservability(job.name, metrics=metrics, bus=bus)
+    sub = bus.subscribe()
+    engine = engine or LocalEngine()
+    res = engine.run_threaded(job, barrier, obs=obs)
+    return res, sub.drain()
+
+
+# --------------------------------------------------------------------- #
+# Bus basics
+# --------------------------------------------------------------------- #
+class TestEventBus:
+    def test_seq_is_a_total_order(self):
+        bus = EventBus()
+        a = bus.subscribe()
+        b = bus.subscribe()
+        for i in range(10):
+            bus.publish("tick", index=i)
+        sa, sb = [e.seq for e in a.drain()], [e.seq for e in b.drain()]
+        assert sa == sb == list(range(10))
+        assert bus.published == 10
+
+    def test_timestamps_monotonic(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        for _ in range(5):
+            bus.publish("tick")
+        ts = [e.t for e in sub.drain()]
+        assert ts == sorted(ts)
+
+    def test_to_json_omits_empty_fields(self):
+        bus = EventBus()
+        ev = bus.publish("job.start", name="j")
+        doc = ev.to_json()
+        assert doc["type"] == "job.start"
+        assert "kind" not in doc and "index" not in doc
+        assert doc["data"] == {"name": "j"}
+        task = bus.publish("task.start", kind="map", index=3)
+        assert task.to_json()["kind"] == "map"
+        assert "data" not in task.to_json()
+
+    def test_overflow_drops_newest_and_never_blocks(self):
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        sub = bus.subscribe(maxsize=4)
+        start = time.perf_counter()
+        for i in range(100):
+            bus.publish("tick", index=i)
+        # 100 publishes into a 4-slot queue must be near-instant: the
+        # publisher never waits on the stalled consumer.
+        assert time.perf_counter() - start < 1.0
+        assert bus.published == 100
+        assert sub.dropped == 96
+        assert bus.dropped == 96
+        assert metrics.counter("obs.events.dropped").value == 96
+        kept = sub.drain()
+        # Drop-newest: the oldest events survive (backfilling the start
+        # of the stream is impossible; the tail can be re-derived from
+        # the final snapshot).
+        assert [e.index for e in kept] == [0, 1, 2, 3]
+
+    def test_closed_subscription_stops_receiving(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.publish("a")
+        sub.close()
+        bus.publish("b")
+        assert [e.type for e in sub.drain()] == ["a"]
+
+    def test_listener_may_publish(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+
+        def echo(ev):
+            if ev.type == "ping":
+                bus.publish("pong")
+
+        bus.attach(echo)
+        bus.publish("ping")
+        assert [e.type for e in sub.drain()] == ["ping", "pong"]
+
+    def test_listener_exceptions_counted_not_raised(self):
+        bus = EventBus()
+        bus.attach(lambda ev: 1 / 0)
+        bus.publish("tick")
+        assert bus.listener_errors == 1
+
+    def test_concurrent_publishers_lossless_order(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+
+        def worker(k):
+            for _ in range(200):
+                bus.publish("tick", index=k)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = sub.drain()
+        assert len(events) == 800
+        assert [e.seq for e in events] == list(range(800))
+
+
+# --------------------------------------------------------------------- #
+# Happens-before on a real threaded run
+# --------------------------------------------------------------------- #
+class TestEventOrdering:
+    @pytest.fixture(scope="class")
+    def sidr_events(self, weekly_mean_plan, temp_data):
+        splits = slice_splits(weekly_mean_plan, num_splits=8)
+        job, barrier, _ = build_sidr_job(
+            weekly_mean_plan, splits, 4, temp_data
+        )
+        _, events = run_with_bus(job, barrier)
+        return events
+
+    def test_no_reduce_start_before_barrier_fire(self, sidr_events):
+        fired = set()
+        for ev in sidr_events:
+            if ev.type == "barrier.fire":
+                fired.add(ev.index)
+            elif ev.type == "task.start" and ev.kind == "reduce":
+                assert ev.index in fired, (
+                    f"reduce {ev.index} started at seq {ev.seq} before "
+                    "its barrier fired"
+                )
+
+    def test_spill_commit_precedes_fetch_of_partition(self, sidr_events):
+        # (map, partition) committed so far, in bus order.
+        committed = set()
+        fetches = 0
+        for ev in sidr_events:
+            if ev.type == "spill.commit":
+                for part in ev.data["partitions"]:
+                    committed.add((ev.index, part))
+            elif ev.type == "fetch":
+                fetches += 1
+                assert (ev.data["map"], ev.index) in committed, (
+                    f"reduce {ev.index} fetched map {ev.data['map']} "
+                    "before its spill committed"
+                )
+        assert fetches > 0
+
+    def test_job_start_first_and_finish_last(self, sidr_events):
+        assert sidr_events[0].type == "job.start"
+        assert sidr_events[-1].type == "job.finish"
+
+    def test_every_start_has_exactly_one_finish(self, sidr_events):
+        starts = [
+            (e.kind, e.index, e.attempt)
+            for e in sidr_events
+            if e.type == "task.start"
+        ]
+        finishes = [
+            (e.kind, e.index, e.attempt)
+            for e in sidr_events
+            if e.type == "task.finish"
+        ]
+        assert sorted(starts) == sorted(finishes)
+        assert len(starts) == 8 + 4
+
+
+# --------------------------------------------------------------------- #
+# Inflight gauge
+# --------------------------------------------------------------------- #
+class TestInflightGauge:
+    @pytest.mark.parametrize("runner", ["run_serial", "run_threaded"])
+    def test_gauge_returns_to_zero(self, runner):
+        job, barrier = counting_job(), GlobalBarrier()
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        obs = JobObservability(job.name, metrics=metrics, bus=bus)
+        peak = []
+        bus.attach(
+            lambda ev: peak.append(
+                metrics.gauge("obs.tasks.inflight").value
+            )
+        )
+        getattr(LocalEngine(), runner)(job, barrier, obs=obs)
+        assert metrics.gauge("obs.tasks.inflight").value == 0.0
+        # The gauge was actually raised while tasks were in flight.
+        assert max(peak) >= 1.0
+
+
+# --------------------------------------------------------------------- #
+# Progress, snapshot, ETA
+# --------------------------------------------------------------------- #
+class TestProgress:
+    def test_snapshot_through_a_real_run(self, weekly_mean_plan, temp_data):
+        splits = slice_splits(weekly_mean_plan, num_splits=8)
+        job, barrier, sidr = build_sidr_job(
+            weekly_mean_plan, splits, 4, temp_data
+        )
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        progress = ProgressTracker(
+            bus, estimator=CostModelEta(sidr)
+        )
+        assert progress.snapshot()["state"] == "pending"
+        obs = JobObservability(job.name, metrics=metrics, bus=bus)
+        LocalEngine().run_threaded(job, barrier, obs=obs)
+        snap = progress.snapshot()
+        assert snap["state"] == "done"
+        assert snap["progress"] == 1.0
+        assert snap["maps"] == {
+            "total": 8, "done": 8, "inflight": 0, "fraction": 1.0,
+        }
+        assert snap["reduces"]["done"] == 4
+        assert snap["reduces"]["fired"] == 4
+        assert snap["tasks_inflight"] == 0
+        assert snap["eta"] == 0.0
+        assert snap["events"]["dropped"] == 0
+        assert snap["events"]["published"] == bus.published
+        # The curve reaches all 4 reduces, monotonically, as fractions.
+        curve = snap["reduce_curve"]
+        assert [f for _, f in curve] == [0.25, 0.5, 0.75, 1.0]
+        assert [t for t, _ in curve] == sorted(t for t, _ in curve)
+        json.dumps(snap)  # the whole document must be JSON-serializable
+
+    def test_eta_declines_as_work_completes(self):
+        bus = EventBus(clock=lambda: 0.0)
+        progress = ProgressTracker(bus)
+        bus.publish("job.start", at=0.0, name="j", maps=4, reduces=2)
+        for i in range(4):
+            bus.publish("task.start", kind="map", index=i, at=float(i))
+            bus.publish(
+                "task.finish", kind="map", index=i, at=float(i) + 1.0,
+                status="ok", seconds=1.0,
+            )
+        # Rate extrapolation (no estimator): maps and reduces weigh
+        # equally, so all-maps-done is half the job — 4s elapsed at
+        # fraction 0.5 extrapolates to 4s remaining.
+        eta = progress.eta_seconds(now=4.0)
+        assert eta == pytest.approx(4.0)
+        # Finishing one of the two reduces cuts the estimate.
+        bus.publish("barrier.fire", kind="reduce", index=0, at=4.0)
+        bus.publish("task.start", kind="reduce", index=0, at=4.0)
+        bus.publish(
+            "task.finish", kind="reduce", index=0, at=5.0,
+            status="ok", seconds=1.0,
+        )
+        later = progress.eta_seconds(now=5.0)
+        assert later is not None and later < 4.0
+        snap = progress.snapshot(now=4.0)
+        assert snap["maps"]["fraction"] == 1.0
+        assert snap["state"] == "running"
+
+    def test_cost_model_eta_prices_the_plan(
+        self, weekly_mean_plan, temp_data
+    ):
+        splits = slice_splits(weekly_mean_plan, num_splits=8)
+        _, _, sidr = build_sidr_job(weekly_mean_plan, splits, 4, temp_data)
+        eta = CostModelEta(sidr)
+        assert eta.predicted_seconds("map", 0) > 0.0
+        assert eta.predicted_seconds("reduce", 0) > 0.0
+        assert eta.predicted_makespan() > 0.0
+
+    def test_failed_job_state(self):
+        bus = EventBus(clock=lambda: 0.0)
+        progress = ProgressTracker(bus)
+        bus.publish("job.start", at=0.0, name="j", maps=1, reduces=0)
+        bus.publish("task.start", kind="map", index=0, at=0.0)
+        bus.publish(
+            "task.finish", kind="map", index=0, at=1.0,
+            status="failed", error="InjectedFaultError",
+        )
+        bus.publish("job.finish", at=1.0, name="j")
+        snap = progress.snapshot(now=1.0)
+        assert snap["state"] == "failed"
+        assert snap["attempts"]["failures"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Straggler detection (driven by the slow fault injector)
+# --------------------------------------------------------------------- #
+class TestStragglerDetector:
+    def test_slow_fault_is_flagged_live(self, weekly_mean_plan, temp_data):
+        splits = slice_splits(weekly_mean_plan, num_splits=8)
+        job, barrier, _ = build_sidr_job(
+            weekly_mean_plan, splits, 4, temp_data
+        )
+        slow = InjectionPlan(
+            rules=(
+                FaultRule(
+                    task="map",
+                    kind=FaultKind.SLOW,
+                    indices=frozenset({5}),
+                    delay=0.4,
+                ),
+            ),
+            seed=0,
+        )
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        detector = StragglerDetector(bus, metrics=metrics)
+        sub = bus.subscribe()
+        obs = JobObservability(job.name, metrics=metrics, bus=bus)
+        detector.start_ticker(interval=0.02)
+        try:
+            LocalEngine(faults=slow).run_threaded(job, barrier, obs=obs)
+        finally:
+            detector.stop_ticker()
+        assert ("map", 5, 0) in detector.flagged
+        flagged = [e for e in sub.drain() if e.type == "task.straggler"]
+        assert [(e.kind, e.index) for e in flagged] == [("map", 5)]
+        ev = flagged[0]
+        assert ev.data["elapsed"] > ev.data["threshold"]
+        assert ev.data["median"] < ev.data["threshold"]
+        assert metrics.counter("sched.stragglers.flagged").value == 1
+
+    def test_no_flags_on_uniform_run(self, weekly_mean_plan, temp_data):
+        splits = slice_splits(weekly_mean_plan, num_splits=8)
+        job, barrier, _ = build_sidr_job(
+            weekly_mean_plan, splits, 4, temp_data
+        )
+        bus = EventBus()
+        detector = StragglerDetector(bus, metrics=None)
+        obs = JobObservability(job.name, bus=bus)
+        LocalEngine().run_threaded(job, barrier, obs=obs)
+        detector.check()
+        assert detector.flagged == set()
+
+    def test_threshold_floor_and_samples(self):
+        bus = EventBus(clock=lambda: 0.0)
+        detector = StragglerDetector(bus, min_samples=3)
+        for i in range(2):
+            bus.publish("task.start", kind="map", index=i, at=0.0)
+            bus.publish(
+                "task.finish", kind="map", index=i, at=0.001,
+                status="ok", seconds=0.001,
+            )
+        assert detector.threshold("map") is None  # not enough samples
+        bus.publish("task.start", kind="map", index=2, at=0.0)
+        bus.publish(
+            "task.finish", kind="map", index=2, at=0.001,
+            status="ok", seconds=0.001,
+        )
+        # Tightly clustered millisecond tasks: the floor dominates.
+        assert detector.threshold("map") == detector.min_seconds
+
+    def test_flagged_once_per_attempt(self):
+        bus = EventBus(clock=lambda: 0.0)
+        detector = StragglerDetector(bus, min_samples=1, min_seconds=0.0)
+        bus.publish("task.start", kind="map", index=0, at=0.0)
+        bus.publish(
+            "task.finish", kind="map", index=0, at=1.0,
+            status="ok", seconds=1.0,
+        )
+        bus.publish("task.start", kind="map", index=9, at=1.0)
+        first = detector.check(now=100.0)
+        again = detector.check(now=200.0)
+        assert [(e.kind, e.index) for e in first] == [("map", 9)]
+        assert again == []
+
+    def test_rejects_non_amplifying_k(self):
+        with pytest.raises(ValueError):
+            StragglerDetector(EventBus(), k=1.0)
+
+
+# --------------------------------------------------------------------- #
+# JSONL durability + replay equivalence
+# --------------------------------------------------------------------- #
+class TestJsonlStream:
+    def test_replay_matches_posthoc_trace(
+        self, tmp_path, weekly_mean_plan, temp_data
+    ):
+        splits = slice_splits(weekly_mean_plan, num_splits=8)
+        job, barrier, _ = build_sidr_job(
+            weekly_mean_plan, splits, 4, temp_data
+        )
+        path = tmp_path / "events.jsonl"
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        obs = JobObservability(job.name, metrics=metrics, bus=bus)
+        with JsonlEventWriter(bus, path) as writer:
+            res = LocalEngine().run_threaded(job, barrier, obs=obs)
+        assert writer.written == bus.published
+        assert writer.dropped == 0
+
+        replayed = read_events(path)
+        assert [e.seq for e in replayed] == list(range(bus.published))
+        live = phase_totals(replayed)
+        posthoc = trace_phase_totals(res.trace)
+        assert live["map"] == posthoc["map"]
+        assert live["reduce"] == posthoc["reduce"]
+        assert live["map"] == {"started": 8, "finished": 8}
+        assert live["barriers_fired"] == 4
+        assert live["spills"] >= 8
+        assert live["fetches"] > 0
+
+    def test_stream_is_durable_line_by_line(self, tmp_path):
+        # Every line written so far must already be valid JSON — the
+        # writer flushes per event, so a killed process loses at most
+        # the event in flight.
+        bus = EventBus()
+        path = tmp_path / "ev.jsonl"
+        with JsonlEventWriter(bus, path):
+            for i in range(50):
+                bus.publish("tick", index=i)
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                lines = [
+                    ln
+                    for ln in path.read_text().splitlines()
+                    if ln.strip()
+                ]
+                if len(lines) >= 25:
+                    break
+                time.sleep(0.01)
+        assert len(lines) >= 25
+        for ln in lines:
+            json.loads(ln)
+
+
+# --------------------------------------------------------------------- #
+# The simulator joins the same plane
+# --------------------------------------------------------------------- #
+class TestSimulatorReplay:
+    def test_replay_events_feeds_progress_tracker(self):
+        tl = TaskTimeline(
+            mode="sidr",
+            num_maps=3,
+            num_reduces=2,
+            map_start=[0.0, 0.0, 1.0],
+            map_finish=[2.0, 3.0, 4.0],
+            reduce_scheduled=[0.0, 0.0],
+            reduce_barrier_ready=[2.0, 4.0],
+            reduce_processing_start=[2.0, 4.0],
+            reduce_finish=[5.0, 6.0],
+        )
+        bus = EventBus(clock=lambda: 0.0)
+        progress = ProgressTracker(bus)
+        sub = bus.subscribe()
+        n = tl.replay_events(bus)
+        events = sub.drain()
+        assert len(events) == n
+        # Virtual time, in order, with the engine's exact vocabulary.
+        assert [e.t for e in events] == sorted(e.t for e in events)
+        fired = set()
+        for ev in events:
+            if ev.type == "barrier.fire":
+                fired.add(ev.index)
+            elif ev.type == "task.start" and ev.kind == "reduce":
+                assert ev.index in fired
+        snap = progress.snapshot(now=6.0)
+        assert snap["state"] == "done"
+        assert snap["maps"]["done"] == 3
+        assert snap["reduces"]["done"] == 2
+        assert snap["elapsed"] == pytest.approx(6.0)

@@ -33,6 +33,13 @@ class TestGauge:
         g.set(1.5)
         assert g.value == 1.5
 
+    def test_add_moves_up_and_down(self):
+        g = MetricsRegistry().gauge("inflight")
+        assert g.add(1) == 1.0
+        assert g.add(2) == 3.0
+        assert g.add(-3) == 0.0
+        assert g.value == 0.0
+
 
 class TestHistogram:
     def test_buckets_must_increase(self):
@@ -52,15 +59,38 @@ class TestHistogram:
         assert snap["max"] == 500.0
         assert h.mean() == pytest.approx(555.5 / 4)
 
-    def test_quantile(self):
+    def test_quantile_interpolates_within_bucket(self):
         h = Histogram("h", (1.0, 2.0, 4.0))
         h.observe_many([0.5] * 9 + [3.0])
-        assert h.quantile(0.5) == 1.0    # median in the first bucket
-        assert h.quantile(1.0) == 4.0    # conservative: bucket upper bound
-        h.observe(99.0)                  # overflow bucket reports the max
+        # Median lands in the first bucket: 9 observations spanning
+        # [min=0.5, bound=1.0], rank 5 of 9 interpolates to 0.5 + 0.5*5/9.
+        assert h.quantile(0.5) == pytest.approx(0.5 + 0.5 * 5 / 9)
+        # The top quantile clamps to the observed maximum, not the
+        # (looser) bucket upper bound.
+        assert h.quantile(1.0) == 3.0
+        h.observe(99.0)  # overflow bucket spans [last bound, max]
         assert h.quantile(1.0) == 99.0
+        assert h.quantile(0.0) == 0.5  # bottom clamps to the minimum
         with pytest.raises(ObservabilityError):
             h.quantile(1.5)
+
+    def test_quantile_exact_at_bucket_edges(self):
+        h = Histogram("h", (1.0, 2.0))
+        h.observe_many([1.0] * 4 + [2.0] * 4)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_histogram_quantile_on_snapshot(self):
+        from repro.obs import histogram_quantile
+
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        h.observe_many([0.5] * 9 + [3.0])
+        snap = h.snapshot()
+        # The module-level helper (used by the report renderer on
+        # exported snapshots) agrees with the live object.
+        assert histogram_quantile(snap, 0.5) == h.quantile(0.5)
+        assert histogram_quantile(snap, 0.95) == h.quantile(0.95)
+        assert histogram_quantile({"count": 0}, 0.5) == 0.0
 
     def test_empty_snapshot(self):
         h = Histogram("h", (1.0,))

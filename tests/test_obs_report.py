@@ -47,6 +47,15 @@ class TestRunReport:
         assert "counters:" in text
         assert "shuffle.fetch.connections=8" in text
 
+    def test_latency_percentile_table(self, dep_run):
+        text = format_run_report(dep_run)
+        assert "latency percentiles (bucket-interpolated):" in text
+        # Every populated *.seconds histogram gets a row with p50/p95/max.
+        for col in ("p50", "p95", "max"):
+            assert col in text
+        assert "barrier.wait.seconds" in text
+        assert "shuffle.fetch.seconds" in text
+
     def test_top_limits_early_start_lines(self):
         job, deps = ranged_job(num_splits=16, num_reduces=8)
         res = LocalEngine().run_serial(job, DependencyBarrier(deps))
