@@ -39,7 +39,7 @@ from pathlib import Path
 
 BASELINE_DIR = Path(__file__).parent / "baselines"
 RESULT_FILES = ("BENCH_throughput.json", "BENCH_recovery.json",
-                "BENCH_obs.json")
+                "BENCH_speculation.json", "BENCH_obs.json")
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,14 @@ CHECKS: tuple[Check, ...] = (
     Check("BENCH_recovery.json", "models[2].output_ok", "exact"),
     # models[0] (persisted) recovers in ~0s — too degenerate to band.
     Check("BENCH_recovery.json", "models[2].measured_seconds", "relative",
+          0.60),
+    # Speculation: the hedge must rescue the hang (exact semantics) and
+    # the rescued makespan must stay inside the acceptance envelope —
+    # within_2x is the gate; the raw seconds get the usual wide band.
+    Check("BENCH_speculation.json", "output_ok", "exact"),
+    Check("BENCH_speculation.json", "within_2x", "exact"),
+    Check("BENCH_speculation.json", "speculations", "exact"),
+    Check("BENCH_speculation.json", "hang_speculation_seconds", "relative",
           0.60),
     # Observability: overhead ratios are near zero, so band them
     # absolutely — baseline 0.04 vs fresh 0.09 is fine; 0.25 is not.
@@ -201,6 +209,7 @@ def trajectory_row(results: dict) -> dict:
     obs = results["BENCH_obs.json"]
     thr = results["BENCH_throughput.json"]
     rec = results["BENCH_recovery.json"]
+    spec = results.get("BENCH_speculation.json", {})
     overhead = obs["sections"].get("obs_overhead", {})
     return {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -215,6 +224,7 @@ def trajectory_row(results: dict) -> dict:
         "recovery_maps_reexecuted": [
             m["maps_reexecuted"] for m in rec["models"]
         ],
+        "speculation_hang_ratio": spec.get("ratio"),
         "runall_total_seconds": obs.get("total_seconds"),
     }
 

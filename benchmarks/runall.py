@@ -266,6 +266,30 @@ def main() -> int:
         json.dumps(recovery, indent=1, sort_keys=True) + "\n"
     )
 
+    # Speculative execution: one map hang, hedged backup (§6 extension)
+    speculation = _measure_speculation()
+    save(
+        "speculation",
+        "one injected map hang under speculative execution "
+        f"(hang_timeout={speculation['hang_timeout']}s, min of "
+        f"{speculation['runs']}):\n"
+        f"  fault-free makespan:   {speculation['fault_free_seconds']:.3f} s\n"
+        f"  with hang + backup:    "
+        f"{speculation['hang_speculation_seconds']:.3f} s\n"
+        f"  ratio:                 {speculation['ratio']:.2f}x  "
+        f"(within 2x: {'yes' if speculation['within_2x'] else 'NO'})\n"
+        f"  measured delay:        "
+        f"{speculation['measured_delay_seconds']:.3f} s\n"
+        f"  predicted delay bound: "
+        f"{speculation['predicted_delay_seconds']:.3f} s\n"
+        f"  speculative launches:  {speculation['speculations']}  "
+        f"(byte-identical: {'yes' if speculation['output_ok'] else 'NO'})",
+        data=speculation,
+    )
+    (out / "BENCH_speculation.json").write_text(
+        json.dumps(speculation, indent=1, sort_keys=True) + "\n"
+    )
+
     bench["total_seconds"] = round(time.time() - t0, 3)
     (out / "BENCH_obs.json").write_text(
         json.dumps(bench, indent=1, sort_keys=True) + "\n"
@@ -479,6 +503,99 @@ def _measure_recovery(fail_reduce: int = 1) -> dict:
         "num_maps": len(splits),
         "num_reduces": 8,
         "models": models,
+    }
+
+
+def _measure_speculation(
+    hang_map: int = 1, hang_timeout: float = 0.15, runs: int = 3
+) -> dict:
+    """Inject one forever-hanging map and let speculative execution
+    rescue it with a hedged backup attempt; the makespan must stay well
+    under 2x the fault-free run, and the mitigation delay is compared
+    against the analytical ``predict_speculation`` upper bound
+    (``BENCH_speculation.json``)."""
+    import numpy as np
+
+    from repro.bench.workloads import sim_spec_from_plan
+    from repro.faults import FaultKind, FaultRule, InjectionPlan
+    from repro.mapreduce.engine import LocalEngine, RetryPolicy
+    from repro.query.language import StructuralQuery
+    from repro.query.operators import MeanOp
+    from repro.query.splits import slice_splits
+    from repro.scidata.generators import temperature_dataset
+    from repro.sidr.planner import build_sidr_job
+    from repro.sim.failure import predict_speculation
+    from repro.spec import SpeculationPolicy
+
+    field = temperature_dataset(days=364, lat=40, lon=40, seed=3)
+    data = field.arrays["temperature"].astype(np.float64)
+    plan = StructuralQuery(
+        variable="temperature", extraction_shape=(7, 5, 2), operator=MeanOp()
+    ).compile(field.metadata)
+    splits = slice_splits(plan, num_splits=16)
+
+    def run(engine):
+        job, barrier, sidr = build_sidr_job(plan, splits, 8, data)
+        s = time.perf_counter()
+        res = engine.run_threaded(job, barrier)
+        return time.perf_counter() - s, res, sidr
+
+    _, base_res, sidr = run(LocalEngine())  # warmup
+    expected = base_res.all_records()
+    base_seconds = min(run(LocalEngine())[0] for _ in range(runs))
+
+    def hang_engine() -> LocalEngine:
+        # Fresh engine per run: the bound fault plan's `times=1` state
+        # must reset so every run injects exactly one hang.
+        fault = InjectionPlan(
+            rules=(
+                FaultRule(
+                    task="map",
+                    kind=FaultKind.HANG,
+                    indices=frozenset({hang_map}),
+                    times=1,
+                ),
+            )
+        )
+        return LocalEngine(
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=fault,
+            speculation=SpeculationPolicy(
+                hang_timeout=hang_timeout,
+                heartbeat_interval=0.02,
+                # Hang-flag path only: keeps `speculations` deterministic
+                # (exactly one backup) for the regression baseline.
+                speculate_stragglers=False,
+            ),
+        )
+
+    hang_seconds = float("inf")
+    speculations = cancelled = 0
+    output_ok = True
+    for _ in range(runs):
+        t, res, _ = run(hang_engine())
+        hang_seconds = min(hang_seconds, t)
+        speculations = res.counters.get("task.speculations")
+        cancelled = res.counters.get("task.cancelled")
+        output_ok = output_ok and res.all_records() == expected
+    pred = predict_speculation(
+        sim_spec_from_plan(sidr), hang_map, hang_timeout=hang_timeout
+    )
+    return {
+        "runs": runs,
+        "hang_map": hang_map,
+        "hang_timeout": hang_timeout,
+        "fault_free_seconds": round(base_seconds, 4),
+        "hang_speculation_seconds": round(hang_seconds, 4),
+        "ratio": round(hang_seconds / base_seconds, 3),
+        "within_2x": bool(hang_seconds < 2.0 * base_seconds),
+        "measured_delay_seconds": round(
+            max(0.0, hang_seconds - base_seconds), 4
+        ),
+        "predicted_delay_seconds": round(pred.delay_seconds, 4),
+        "speculations": speculations,
+        "cancelled": cancelled,
+        "output_ok": output_ok,
     }
 
 

@@ -119,10 +119,16 @@ def cmd_query(args: argparse.Namespace) -> int:
             Path(args.inject_faults).read_text(),
             seed_override=args.fault_seed,
         )
+    speculation = None
+    if args.speculate:
+        from repro.spec import SpeculationPolicy
+
+        speculation = SpeculationPolicy(hang_timeout=args.hang_timeout)
     engine = LocalEngine(
         retry=RetryPolicy(max_attempts=args.max_attempts),
         faults=fault_plan,
         recovery=RecoveryModel.parse(args.recovery),
+        speculation=speculation,
     )
     plan, splits = _compile_query(args)
     print(f"# {plan.describe()}", file=sys.stderr)
@@ -130,6 +136,11 @@ def cmd_query(args: argparse.Namespace) -> int:
         plan, splits, args.reduces, source=args.file,
         data_plane=args.data_plane,
     )
+    if args.deadline is not None:
+        if args.deadline <= 0:
+            raise SystemExit(f"--deadline must be positive, got {args.deadline}")
+        job.deadline = args.deadline
+        job.on_deadline = args.on_deadline
     if args.data_plane != job.data_plane:
         print(
             f"# data plane: {job.data_plane} (columnar unavailable for "
@@ -205,6 +216,19 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"({res.counters.get('faults.injected')} injected), "
             f"{res.counters.get('task.retries')} retries, "
             f"{res.counters.get('recovery.maps_reexecuted')} maps re-executed",
+            file=sys.stderr,
+        )
+    if speculation is not None:
+        print(
+            f"# {res.counters.get('task.speculations')} speculative "
+            f"launches, {res.counters.get('task.cancelled')} attempts "
+            f"cancelled",
+            file=sys.stderr,
+        )
+    if res.partial:
+        print(
+            f"# DEADLINE EXPIRED — partial result: "
+            f"{len(res.outputs)}/{args.reduces} partitions completed",
             file=sys.stderr,
         )
     if args.trace or args.metrics:
@@ -322,6 +346,92 @@ def cmd_recovery(args: argparse.Namespace) -> int:
     )
     if any(r[-1] == "NO" for r in rows):
         print("error: recovered output differs from baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_speculation(args: argparse.Namespace) -> int:
+    """Inject one map hang and measure the speculative-execution
+    mitigation — makespan delay vs the analytical prediction from
+    :func:`repro.sim.failure.predict_speculation`."""
+    import time
+
+    from repro.bench.report import format_table
+    from repro.bench.workloads import sim_spec_from_plan
+    from repro.faults import FaultKind, FaultRule, InjectionPlan
+    from repro.mapreduce.engine import LocalEngine, RetryPolicy
+    from repro.sidr.planner import build_sidr_job
+    from repro.sim.failure import predict_speculation
+    from repro.spec import SpeculationPolicy
+
+    plan, splits = _compile_query(args)
+    print(f"# {plan.describe()}", file=sys.stderr)
+    hang_map = args.hang_map
+    if not (0 <= hang_map < len(splits)):
+        raise SystemExit(
+            f"--hang-map {hang_map} out of range 0..{len(splits) - 1}"
+        )
+
+    sidr = None
+
+    def run(engine):
+        nonlocal sidr
+        job, barrier, sidr = build_sidr_job(
+            plan, splits, args.reduces, source=args.file
+        )
+        t0 = time.perf_counter()
+        res = engine.run_threaded(job, barrier)
+        return res, time.perf_counter() - t0
+
+    baseline, base_secs = run(LocalEngine())
+    expected = baseline.all_records()
+    spec = sim_spec_from_plan(sidr)
+
+    fault = InjectionPlan(
+        rules=(
+            FaultRule(
+                task="map",
+                kind=FaultKind.HANG,
+                indices=frozenset({hang_map}),
+                times=1,
+            ),
+        ),
+        seed=args.fault_seed,
+    )
+    engine = LocalEngine(
+        retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+        faults=fault,
+        speculation=SpeculationPolicy(hang_timeout=args.hang_timeout),
+    )
+    res, hang_secs = run(engine)
+    ok = res.all_records() == expected
+    pred = predict_speculation(spec, hang_map, hang_timeout=args.hang_timeout)
+    measured_delay = max(0.0, hang_secs - base_secs)
+    print(
+        format_table(
+            [
+                "metric",
+                "measured",
+                "predicted",
+            ],
+            [
+                ["delay (s)", f"{measured_delay:.4f}",
+                 f"{pred.delay_seconds:.4f}"],
+                ["backups launched",
+                 res.counters.get("task.speculations"), 1],
+                ["attempts cancelled",
+                 res.counters.get("task.cancelled"), 1],
+                ["output ok", "yes" if ok else "NO", "yes"],
+            ],
+            title=(
+                f"speculation drill — map {hang_map} hangs once "
+                f"({len(splits)} maps, {args.reduces} reduces, "
+                f"timeout {args.hang_timeout}s)"
+            ),
+        )
+    )
+    if not ok:
+        print("error: speculated output differs from baseline", file=sys.stderr)
         return 1
     return 0
 
@@ -538,6 +648,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="retries per task (1 = fail fast)")
     p_query.add_argument("--recovery", default="persisted",
                          help="persisted|reexecute-all|reexecute-deps")
+    p_query.add_argument("--speculate", action="store_true",
+                         help="enable structure-aware speculative "
+                         "execution (hang detection + hedged backup "
+                         "attempts)")
+    p_query.add_argument("--hang-timeout", type=float, default=0.5,
+                         help="seconds without a heartbeat before an "
+                         "attempt is flagged hung (with --speculate)")
+    p_query.add_argument("--deadline", type=float, default=None,
+                         help="wall-clock budget in seconds; on expiry "
+                         "every in-flight attempt is cancelled")
+    p_query.add_argument("--on-deadline", default="fail",
+                         choices=("fail", "partial"),
+                         help="fail the job or return the partitions "
+                         "completed so far")
     p_query.set_defaults(fn=cmd_query)
 
     p_rec = sub.add_parser(
@@ -559,6 +683,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduce task to fail once after its fetch")
     p_rec.add_argument("--fault-seed", type=int, default=0)
     p_rec.set_defaults(fn=cmd_recovery)
+
+    p_spec = sub.add_parser(
+        "speculation",
+        help="measure hedged speculation against one injected map hang",
+    )
+    p_spec.add_argument("file")
+    p_spec.add_argument("--variable", required=True)
+    p_spec.add_argument("--extract", required=True, metavar="D0,D1,...")
+    p_spec.add_argument("--stride", default=None, metavar="D0,D1,...")
+    p_spec.add_argument(
+        "--operator", default="mean",
+        help="sum|count|mean|min|max|stddev|median|filter_gt",
+    )
+    p_spec.add_argument("--threshold", type=float, default=None)
+    p_spec.add_argument("--reduces", type=int, default=4)
+    p_spec.add_argument("--splits", type=int, default=16)
+    p_spec.add_argument("--hang-map", type=int, default=0,
+                        help="map task to hang on its first attempt")
+    p_spec.add_argument("--hang-timeout", type=float, default=0.2,
+                        help="detector staleness budget in seconds")
+    p_spec.add_argument("--fault-seed", type=int, default=0)
+    p_spec.set_defaults(fn=cmd_speculation)
 
     p_ver = sub.add_parser(
         "verify",

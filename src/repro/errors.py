@@ -91,6 +91,31 @@ class InjectedFaultError(ReproError):
     """
 
 
+class TaskCancelledError(ReproError):
+    """A task attempt was cooperatively cancelled mid-flight.
+
+    Raised from a :class:`~repro.spec.CancelToken` checkpoint inside a
+    task body.  ``reason`` says why — ``"superseded"`` (a speculative
+    backup attempt committed first), ``"hang-mitigation"`` (the hang
+    detector cancelled a stale attempt so the retry machinery can re-run
+    it), or ``"deadline"`` (the job's wall-clock deadline expired).  The
+    engine routes each reason differently; see
+    ``docs/FAULT_TOLERANCE.md``.
+    """
+
+    def __init__(self, message: str, *, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(ReproError):
+    """The job's wall-clock deadline expired before it completed.
+
+    Under ``on_deadline="fail"`` this surfaces inside a
+    :class:`JobFailedError`; under ``"partial"`` the engine swallows it
+    and returns the early results committed so far."""
+
+
 class JobFailedError(ReproError):
     """A job failed after retries were exhausted.
 

@@ -22,6 +22,13 @@ Fault kinds
 * ``corrupt-spill`` — scramble the map task's spill order on the first
   ``times`` attempts so the shuffle layer's sortedness validation
   rejects the commit (a torn/corrupt spill file; map-side only).
+* ``hang`` — block the first ``times`` attempts on their cancel token
+  *forever*: the attempt never self-completes, never times out on its
+  own, and is only released by cooperative cancellation (a speculation
+  race lost, hang mitigation, or a job deadline).  This is the fault
+  that demonstrably exercises the speculation machinery — without a
+  :class:`~repro.spec.SpeculationPolicy` (or a deadline) a hung task
+  blocks its engine run indefinitely.
 
 ``when`` selects the injection point: ``start`` (default, task entry)
 or ``after-fetch`` (reduce only — the task fails *after* consuming its
@@ -45,6 +52,7 @@ from __future__ import annotations
 import enum
 import json
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -57,6 +65,7 @@ class FaultKind(enum.Enum):
     TRANSIENT = "transient"
     SLOW = "slow"
     CORRUPT_SPILL = "corrupt-spill"
+    HANG = "hang"
 
 
 #: Injection points a rule may target.
@@ -107,7 +116,9 @@ class FaultRule:
         """Does this rule fire on the given attempt number?"""
         if self.attempts is not None:
             return attempt in self.attempts
-        if self.kind in (FaultKind.TRANSIENT, FaultKind.CORRUPT_SPILL):
+        if self.kind in (
+            FaultKind.TRANSIENT, FaultKind.CORRUPT_SPILL, FaultKind.HANG
+        ):
             return attempt < self.times
         return True  # crash / slow: every attempt
 
@@ -245,16 +256,35 @@ class BoundFaults:
             ):
                 yield rule
 
-    def fire(self, task: str, index: int, attempt: int, when: str = WHEN_START) -> None:
+    def fire(
+        self,
+        task: str,
+        index: int,
+        attempt: int,
+        when: str = WHEN_START,
+        *,
+        cancel: Any | None = None,
+    ) -> None:
         """Apply every matching fault at this injection point.
 
         Slow faults stall; crash/transient faults raise
         :class:`InjectedFaultError` (corrupt-spill is handled separately
-        at spill-build time via :meth:`should_corrupt`).
+        at spill-build time via :meth:`should_corrupt`).  Hang faults
+        block on ``cancel`` (the attempt's
+        :class:`~repro.spec.CancelToken`) until cancellation releases
+        them as :class:`~repro.errors.TaskCancelledError`; with no token
+        they block forever — deliberately, since "only cancellation
+        releases a hang" is the property under test.
         """
         for rule in self._matching(task, index, attempt, when):
             if rule.kind is FaultKind.SLOW:
                 time.sleep(rule.delay)
+            elif rule.kind is FaultKind.HANG:
+                if cancel is not None:
+                    cancel.wait()
+                    cancel.check()
+                else:
+                    threading.Event().wait()
             elif rule.kind in (FaultKind.CRASH, FaultKind.TRANSIENT):
                 raise InjectedFaultError(
                     rule.message

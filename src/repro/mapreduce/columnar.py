@@ -221,6 +221,8 @@ def run_columnar_map(
     *,
     attempt: int = 0,
     corrupt: bool = False,
+    cancel: Any | None = None,
+    heartbeat: Any | None = None,
 ) -> None:
     """Columnar map-task body (reader → batch partials → lexsort spill).
 
@@ -241,6 +243,15 @@ def run_columnar_map(
     fallback = 0
     with obs.phase("map.read", task_span) as read_span:
         for item in job.reader_factory(job.splits[split_index]):
+            # Batch-granular cancellation/liveness checkpoint: batches
+            # are big, so the per-item cost is noise while a cancelled
+            # attempt still exits within one batch.
+            if cancel is not None:
+                cancel.check()
+            if heartbeat is not None:
+                heartbeat.beat(
+                    item.num_instances if isinstance(item, ChunkBatch) else 1
+                )
             if isinstance(item, ChunkBatch):
                 if item.num_instances == 0:
                     continue
@@ -343,6 +354,9 @@ def run_columnar_reduce(
     counters: Counters,
     obs: JobObservability,
     task_span: Any,
+    *,
+    cancel: Any | None = None,
+    heartbeat: Any | None = None,
 ) -> list[KeyValue]:
     """Columnar reduce-task body (concatenate → lexsort → reduceat).
 
@@ -378,6 +392,10 @@ def run_columnar_reduce(
             groups = len(starts)
             records = keys.shape[0]
             for i in range(groups):
+                if cancel is not None:
+                    cancel.check()
+                if heartbeat is not None:
+                    heartbeat.beat()
                 key = tuple(int(x) for x in group_keys[i])
                 row = tuple(c[i] for c in merged)
                 out.append((key, bop.finalize_row(row, int(merged_counts[i]))))

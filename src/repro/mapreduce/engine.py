@@ -31,6 +31,20 @@ dependency set I_l under ``REEXECUTE_DEPS``, which is the paper's §6
 proposal running for real.  A failing threaded run cancels undispatched
 work and raises :class:`~repro.errors.JobFailedError` carrying every
 collected task error.  See ``docs/FAULT_TOLERANCE.md``.
+
+Speculative execution (structure-aware): constructing the engine with a
+:class:`~repro.spec.SpeculationPolicy` attaches heartbeats, a
+:class:`~repro.spec.HangDetector`, and a mitigation runtime to every
+run.  Hang-flagged (stale-heartbeat) and straggler-flagged attempts are
+hedged with a racing backup attempt (threaded maps) or cooperatively
+cancelled and retried in place (serial engine, reduce tasks); the
+shuffle store's commit gate guarantees at most one racing attempt ever
+publishes output, so the loser's spill can never serve a fetch.  Backup
+candidates are ranked by structural criticality — how many pending
+reduces' I_l sets the task blocks (``SIDRPlan.deps``).  A
+``JobConf.deadline`` arms a watchdog that cancels every in-flight
+attempt at expiry and either fails the job or returns the partial
+results committed so far (``JobConf.on_deadline``).
 """
 
 from __future__ import annotations
@@ -40,15 +54,18 @@ import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor, wait
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
 from repro.errors import (
     BarrierViolationError,
+    DeadlineExceededError,
     InjectedFaultError,
     JobConfigError,
     JobFailedError,
     ShuffleError,
+    TaskCancelledError,
 )
 from repro.faults import BoundFaults, InjectionPlan, RecoveryModel, WHEN_AFTER_FETCH
 from repro.mapreduce.columnar import run_columnar_map, run_columnar_reduce
@@ -63,11 +80,28 @@ from repro.obs import (
     RATE_BUCKETS,
     TIME_BUCKETS,
 )
+from repro.obs.live.bus import EV_TASK_HANG, EV_TASK_STRAGGLER, Event, EventBus
+from repro.spec import (
+    REASON_DEADLINE,
+    REASON_HANG,
+    REASON_SUPERSEDED,
+    CancelToken,
+    HangDetector,
+    Heartbeat,
+    SpeculationPolicy,
+    structural_priority,
+)
 
 #: Errors that retrying can never fix: the job itself is misconfigured
 #: (or the barrier's core invariant was violated), so attempts stop
 #: immediately regardless of the retry policy.
 _NON_RETRYABLE = (JobConfigError, BarrierViolationError)
+
+#: Returned by ``_execute_with_retry`` when the logical task succeeded
+#: through a *different* racing attempt: this invocation has no output
+#: of its own, but the task needs no further work (and must not be
+#: reported done a second time by the caller).
+_LOST_RACE = object()
 
 
 # --------------------------------------------------------------------- #
@@ -144,6 +178,11 @@ HOOK_SPILL_COMMIT = "spill-commit"
 HOOK_BARRIER_READY = "barrier-ready"
 HOOK_FETCH = "fetch"
 HOOK_REDUCE_START = "reduce-start"
+#: A speculative backup attempt entered the race for its logical task
+#: (fires from the backup's body, after the attempt number is claimed;
+#: ``info`` carries the flagged attempt it hedges against and the
+#: structural priority that ordered it).
+HOOK_SPECULATE = "speculate"
 
 HOOK_POINTS = (
     HOOK_CLAIM,
@@ -151,6 +190,7 @@ HOOK_POINTS = (
     HOOK_BARRIER_READY,
     HOOK_FETCH,
     HOOK_REDUCE_START,
+    HOOK_SPECULATE,
 )
 
 
@@ -222,7 +262,9 @@ class TaskAttempt:
     kind: str          # "map" | "reduce"
     index: int
     attempt: int       # 0-based, global across retries and recoveries
-    outcome: str       # "ok" | "failed"
+    #: "ok" | "failed" | "cancelled" (hang mitigation / deadline) |
+    #: "lost" (a rival speculative attempt committed first)
+    outcome: str
     error: str = ""    # exception type name when failed
     seconds: float = 0.0
 
@@ -238,6 +280,15 @@ class _RunState:
         self.next_attempt: dict[tuple[str, int], int] = {}
         self.failures = 0
         self.attempt_log: list[TaskAttempt] = []
+        #: Live cancel token per in-flight attempt.  An entry exists
+        #: exactly while the attempt body runs; mitigation and the
+        #: deadline watchdog cancel through these.
+        self.tokens: dict[tuple[str, int, int], CancelToken] = {}
+        #: Speculation races per logical task: ``members`` are the
+        #: attempt numbers competing for the commit, ``winner`` the one
+        #: that reached the shuffle store's gate first (latched once).
+        self.races: dict[tuple[str, int], dict[str, Any]] = {}
+        self.deadline_expired = False
         self.faults: BoundFaults | None = None
         if engine.faults is not None:
             self.faults = engine.faults.bind(
@@ -248,6 +299,12 @@ class _RunState:
         with self.lock:
             n = self.next_attempt.get((kind, index), 0)
             self.next_attempt[(kind, index)] = n + 1
+            # Attempts claimed while a race is unresolved join it, so a
+            # primary's in-place retry can't slip past the commit gate
+            # while a backup is still running.
+            race = self.races.get((kind, index))
+            if race is not None and race["winner"] is None:
+                race["members"].add(n)
             return n
 
     def record(self, att: TaskAttempt) -> None:
@@ -259,6 +316,244 @@ class _RunState:
         with self.lock:
             self.failures += 1
             return budget is not None and self.failures > budget
+
+    # -------------------------- cancel tokens ------------------------- #
+    def new_token(self, kind: str, index: int, attempt: int) -> CancelToken:
+        tok = CancelToken()
+        with self.lock:
+            self.tokens[(kind, index, attempt)] = tok
+            expired = self.deadline_expired
+        if expired:
+            # The watchdog already fired; don't let a late attempt start
+            # doing work the job can no longer use.
+            tok.cancel(REASON_DEADLINE)
+        return tok
+
+    def release_token(self, kind: str, index: int, attempt: int) -> None:
+        with self.lock:
+            self.tokens.pop((kind, index, attempt), None)
+
+    def token_of(self, kind: str, index: int, attempt: int) -> CancelToken | None:
+        with self.lock:
+            return self.tokens.get((kind, index, attempt))
+
+    def active_attempts(self, kind: str, index: int) -> list[int]:
+        with self.lock:
+            return [a for (k, i, a) in self.tokens if k == kind and i == index]
+
+    # ------------------------ speculation races ----------------------- #
+    def begin_race(self, kind: str, index: int) -> None:
+        """Open (or refresh) a speculation race for one logical task.
+
+        Every currently in-flight attempt becomes a member, as does
+        every attempt claimed while the race is unresolved (see
+        :meth:`claim_attempt`).  The first member through the shuffle
+        store's commit gate wins; the rest are cancelled as superseded.
+        """
+        with self.lock:
+            race = self.races.setdefault(
+                (kind, index), {"members": set(), "winner": None}
+            )
+            race["members"].update(
+                a for (k, i, a) in self.tokens if k == kind and i == index
+            )
+
+    def try_win(self, kind: str, index: int, attempt: int) -> bool:
+        """Commit-gate arbitration: non-raced attempts always pass; in a
+        race the first member to reach the gate latches as winner."""
+        with self.lock:
+            race = self.races.get((kind, index))
+            if race is None or attempt not in race["members"]:
+                return True
+            if race["winner"] is None:
+                race["winner"] = attempt
+                return True
+            return race["winner"] == attempt
+
+    def race_resolved(self, kind: str, index: int) -> bool:
+        with self.lock:
+            race = self.races.get((kind, index))
+            return race is not None and race["winner"] is not None
+
+    def race_losers(self, kind: str, index: int, attempt: int) -> list[CancelToken]:
+        """Tokens of the other race members, once ``attempt`` has won."""
+        with self.lock:
+            race = self.races.get((kind, index))
+            if race is None or race.get("winner") != attempt:
+                return []
+            return [
+                tok
+                for (k, i, a), tok in self.tokens.items()
+                if k == kind and i == index and a != attempt
+            ]
+
+    # ----------------------------- deadline --------------------------- #
+    def expire_deadline(self) -> list[CancelToken] | None:
+        """Latch deadline expiry.  Returns the tokens of every in-flight
+        attempt to cancel (None if the deadline had already expired)."""
+        with self.lock:
+            if self.deadline_expired:
+                return None
+            self.deadline_expired = True
+            return list(self.tokens.values())
+
+
+# --------------------------------------------------------------------- #
+# Speculation runtime & deadline watchdog
+# --------------------------------------------------------------------- #
+class _SpeculationRuntime:
+    """Per-run mitigation brain: turns hang/straggler flags into action.
+
+    Listens on the run's event bus (flags arrive from the detector's
+    ticker thread or from whichever task thread triggered a check).
+    For a flagged **map** with a backup launcher available (threaded
+    runs), it hedges: opens a race and submits a backup attempt, ranked
+    by structural criticality — how many pending reduces' I_l sets the
+    map blocks.  For everything else — serial runs, reduce tasks, or a
+    blown backup budget — a *hang* is mitigated by cancelling the
+    flagged attempt so the retry loop re-runs it in place, while a mere
+    straggler is left alone (it is still making progress; cancelling it
+    would lose work).
+    """
+
+    def __init__(
+        self,
+        policy: SpeculationPolicy,
+        state: _RunState,
+        job: JobConf,
+        barrier: BarrierPolicy,
+        obs: JobObservability,
+        *,
+        launch_backup: Callable[[int, int, float], None] | None = None,
+    ) -> None:
+        self.policy = policy
+        self.state = state
+        self.obs = obs
+        self.barrier = barrier
+        self.total_maps = job.num_map_tasks
+        plan = job.context.get("sidr_plan")
+        self.deps = getattr(plan, "deps", None)
+        self.weights = getattr(plan, "priorities", None)
+        #: ``launch_backup(index, of_attempt, priority)`` submits a
+        #: racing backup map attempt; None = cancel-retry only.
+        self.launch_backup = launch_backup
+        #: Thread-safe snapshot of still-pending reduce partitions,
+        #: installed by the run mode (drives structural priority).
+        self.pending_partitions: Callable[[], tuple[int, ...]] = tuple
+        self._lock = threading.Lock()
+        self._backups = 0
+        self._active_backup: set[int] = set()
+        self.detector = HangDetector(
+            obs.bus,
+            hang_timeout=policy.hang_timeout,
+            metrics=obs.metrics if obs.enabled else None,
+            tracer=obs.tracer if obs.enabled else None,
+            parent_span=obs.job_span,
+            k=policy.straggler_k,
+            min_samples=policy.min_samples,
+            min_seconds=policy.min_seconds,
+            rank=self.priority_of,
+        )
+        obs.bus.attach(self.on_event)
+
+    def priority_of(self, kind: str, index: int) -> float:
+        """Structural criticality of a flagged task (maps only)."""
+        if kind != "map":
+            return 0.0
+        try:
+            pending = tuple(self.pending_partitions())
+        except RuntimeError:
+            # Raced a bare set mutation (serial pending snapshot);
+            # next tick will see a consistent view.
+            return 1.0
+        return structural_priority(
+            index,
+            pending=pending,
+            deps=self.deps,
+            weights=self.weights,
+            barrier=self.barrier,
+            total_maps=self.total_maps,
+        )
+
+    def on_event(self, ev: Event) -> None:
+        if ev.type == EV_TASK_HANG:
+            self._mitigate(ev.kind, ev.index, ev.attempt, hang=True)
+        elif ev.type == EV_TASK_STRAGGLER and self.policy.speculate_stragglers:
+            self._mitigate(ev.kind, ev.index, ev.attempt, hang=False)
+
+    def _mitigate(self, kind: str, index: int, attempt: int, *, hang: bool) -> None:
+        tok = self.state.token_of(kind, index, attempt)
+        if tok is None or tok.cancelled:
+            return  # attempt already finished, or already being handled
+        priority = self.priority_of(kind, index)
+        if kind == "map" and self.launch_backup is not None:
+            with self._lock:
+                in_budget = (
+                    index not in self._active_backup
+                    and (
+                        self.policy.max_backups is None
+                        or self._backups < self.policy.max_backups
+                    )
+                )
+                if in_budget:
+                    self._backups += 1
+                    self._active_backup.add(index)
+                elif index in self._active_backup:
+                    return  # one racing backup per task at a time
+            if in_budget:
+                self.state.begin_race(kind, index)
+                self.launch_backup(index, attempt, priority)
+                return
+            # Backup budget blown: hangs still need releasing below.
+        if not hang:
+            return  # slow but alive — leave it running
+        if tok.cancel(REASON_HANG):
+            self.obs.task_speculate(
+                kind, index, attempt,
+                of_attempt=attempt, priority=priority, mode="cancel-retry",
+            )
+
+    def backup_done(self, index: int, *, failed: bool = False) -> None:
+        with self._lock:
+            self._active_backup.discard(index)
+        if failed:
+            # The backup died without resolving the race; release any
+            # still-blocked primary so the retry loop re-runs it in
+            # place (otherwise a hung primary would wait forever on a
+            # backup that no longer exists).
+            for a in self.state.active_attempts("map", index):
+                tok = self.state.token_of("map", index, a)
+                if tok is not None:
+                    tok.cancel(REASON_HANG)
+
+    def close(self) -> None:
+        self.obs.bus.detach(self.on_event)
+        self.detector.close()
+
+
+class _DeadlineWatchdog:
+    """Daemon timer firing ``on_expire`` once the job's wall-clock
+    budget elapses (unless stopped first)."""
+
+    def __init__(self, seconds: float, on_expire: Callable[[], None]) -> None:
+        self._stop = threading.Event()
+        self._seconds = seconds
+        self._on_expire = on_expire
+        self._thread = threading.Thread(
+            target=self._run, name="job-deadline", daemon=True
+        )
+
+    def start(self) -> "_DeadlineWatchdog":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        if not self._stop.wait(self._seconds):
+            self._on_expire()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
 
 
 # --------------------------------------------------------------------- #
@@ -375,6 +670,10 @@ class JobResult:
     #: Every task attempt in execution order — retries and recovery
     #: re-executions included.
     attempts: tuple[TaskAttempt, ...] = field(default_factory=tuple)
+    #: True when the job's deadline expired under ``on_deadline=
+    #: "partial"``: ``outputs`` holds only the partitions that committed
+    #: before expiry (each one complete and correct on its own).
+    partial: bool = False
 
     def all_records(self) -> list[KeyValue]:
         """All output records across partitions, sorted by key — the
@@ -401,6 +700,7 @@ class LocalEngine:
         faults: InjectionPlan | None = None,
         recovery: RecoveryModel = RecoveryModel.PERSISTED,
         scheduler_hook: SchedulerHook | None = None,
+        speculation: SpeculationPolicy | None = None,
     ) -> None:
         if map_workers <= 0 or reduce_workers <= 0:
             raise JobConfigError("worker counts must be positive")
@@ -422,6 +722,12 @@ class LocalEngine:
         #: Verification seam (None in production — every call site is a
         #: single None check).  See :data:`HOOK_POINTS`.
         self.scheduler_hook = scheduler_hook
+        #: Speculation knobs; None keeps the engine's historical
+        #: flag-only behaviour (stragglers observed, never mitigated).
+        self.speculation = speculation
+        self._hb_interval = (
+            speculation.heartbeat_interval if speculation is not None else 0.05
+        )
 
     def _hook_event(
         self,
@@ -443,6 +749,11 @@ class LocalEngine:
             )
         if obs.trace is None:
             obs.trace = EngineTrace()
+        if self.speculation is not None and obs.bus is None:
+            # Speculation rides the live stream: heartbeats and
+            # hang/straggler flags are bus events, so a run without an
+            # externally attached bus gets a private one.
+            obs.bus = EventBus()
         return obs
 
     # ------------------------------------------------------------------ #
@@ -458,10 +769,12 @@ class LocalEngine:
         *,
         attempt: int = 0,
         faults: BoundFaults | None = None,
+        cancel: CancelToken | None = None,
     ) -> None:
+        hb = Heartbeat(obs.bus, "map", split_index, attempt, self._hb_interval)
         with obs.task("map", split_index, attempt) as task_span:
             if faults is not None:
-                faults.fire("map", split_index, attempt)
+                faults.fire("map", split_index, attempt, cancel=cancel)
             corrupt = faults is not None and faults.should_corrupt(
                 "map", split_index, attempt
             )
@@ -469,6 +782,7 @@ class LocalEngine:
                 run_columnar_map(
                     job, split_index, store, counters, obs, task_span,
                     attempt=attempt, corrupt=corrupt,
+                    cancel=cancel, heartbeat=hb,
                 )
                 return
             split = job.splits[split_index]
@@ -497,6 +811,12 @@ class LocalEngine:
             # share one phase span (see docs/OBSERVABILITY.md).
             with obs.phase("map.read", task_span) as read_span:
                 for k, v in job.reader_factory(split):
+                    # Per-record cancellation/liveness checkpoint: a
+                    # latched-Event probe plus a modulo-gated heartbeat,
+                    # cheap enough for the record hot path.
+                    if cancel is not None:
+                        cancel.check()
+                    hb.beat()
                     records_in += 1
                     consume(mapper.map(k, v))
                 consume(mapper.cleanup())
@@ -572,14 +892,16 @@ class LocalEngine:
         *,
         attempt: int = 0,
         faults: BoundFaults | None = None,
+        cancel: CancelToken | None = None,
     ) -> list[KeyValue]:
+        hb = Heartbeat(obs.bus, "reduce", partition, attempt, self._hb_interval)
         with obs.task("reduce", partition, attempt) as task_span:
             self._hook_event(
                 HOOK_REDUCE_START, "reduce", partition, attempt,
                 completed=tuple(sorted(completed_at_start)),
             )
             if faults is not None:
-                faults.fire("reduce", partition, attempt)
+                faults.fire("reduce", partition, attempt, cancel=cancel)
             total = job.num_map_tasks
             if not barrier.ready(partition, completed_at_start, total):
                 raise BarrierViolationError(
@@ -605,6 +927,11 @@ class LocalEngine:
                 shuffled_records = 0
                 shuffled_bytes = 0
                 for m in sorted(fetch_from):
+                    # Per-fetch checkpoint: fetches are the reduce's
+                    # longest pre-merge stretch.
+                    if cancel is not None:
+                        cancel.check()
+                    hb.beat()
                     f = store.fetch(m, partition)
                     if f is not None and f.num_records:
                         files.append(f)
@@ -623,10 +950,16 @@ class LocalEngine:
                 # Post-fetch injection point: the attempt has consumed
                 # its shuffle input, so failing here is what forces the
                 # no-persist modes to re-execute producing maps.
-                faults.fire("reduce", partition, attempt, WHEN_AFTER_FETCH)
+                faults.fire(
+                    "reduce", partition, attempt, WHEN_AFTER_FETCH,
+                    cancel=cancel,
+                )
 
             if job.data_plane == "columnar":
-                return run_columnar_reduce(job, files, counters, obs, task_span)
+                return run_columnar_reduce(
+                    job, files, counters, obs, task_span,
+                    cancel=cancel, heartbeat=hb,
+                )
 
             segments = [f.records for f in files]
             reducer = job.reducer_factory()
@@ -639,6 +972,9 @@ class LocalEngine:
             # one phase span; group sizes land in the skew histogram.
             with obs.phase("reduce.reduce", task_span):
                 for key, values in group_sorted(merge_segments(segments)):
+                    if cancel is not None:
+                        cancel.check()
+                    hb.beat()
                     groups += 1
                     records += len(values)
                     if group_sizes is not None:
@@ -664,25 +1000,64 @@ class LocalEngine:
         state: _RunState,
         counters: Counters,
         obs: JobObservability,
-        body: Callable[[int], Any],
+        body: Callable[[int, CancelToken], Any],
     ) -> Any:
-        """Run ``body(attempt)`` until success, retry exhaustion, or a
-        blown failure budget.  Attempt numbers are global per logical
-        task (recovery re-runs keep counting up); the per-invocation
-        retry cap is ``self.retry.max_attempts``."""
+        """Run ``body(attempt, cancel)`` until success, retry
+        exhaustion, a blown failure budget, cancellation, or the job
+        deadline.  Attempt numbers are global per logical task (recovery
+        re-runs keep counting up); the per-invocation retry cap is
+        ``self.retry.max_attempts``.
+
+        Cancellation outcomes: an attempt superseded by a rival racer
+        returns :data:`_LOST_RACE` (the logical task is done, just not
+        through us); a deadline cancel raises
+        :class:`DeadlineExceededError`; a hang-mitigation cancel retries
+        in place without backoff (the attempt already sat out the hang
+        timeout)."""
         policy = self.retry
         tries = 0
         while True:
+            if state.deadline_expired:
+                raise DeadlineExceededError(
+                    f"{kind} {index} not attempted: job deadline expired"
+                )
             attempt = state.claim_attempt(kind, index)
             self._hook_event(HOOK_CLAIM, kind, index, attempt)
             tries += 1
             counters.increment("task.attempts")
+            cancel = state.new_token(kind, index, attempt)
             t0 = time.perf_counter()
             try:
-                out = body(attempt)
+                out = body(attempt, cancel)
             except _NON_RETRYABLE:
+                state.release_token(kind, index, attempt)
                 raise
+            except TaskCancelledError as exc:
+                state.release_token(kind, index, attempt)
+                seconds = time.perf_counter() - t0
+                reason = exc.reason or cancel.reason
+                outcome = "lost" if reason == REASON_SUPERSEDED else "cancelled"
+                state.record(
+                    TaskAttempt(kind, index, attempt, outcome,
+                                type(exc).__name__, seconds)
+                )
+                counters.increment("task.cancelled")
+                obs.task_cancelled(kind, index, attempt, reason)
+                if reason == REASON_SUPERSEDED:
+                    return _LOST_RACE
+                if reason == REASON_DEADLINE or state.deadline_expired:
+                    raise DeadlineExceededError(
+                        f"{kind} {index} attempt {attempt} cancelled: "
+                        "job deadline expired"
+                    ) from exc
+                # Hang mitigation: retry in place, no backoff.
+                counters.increment("task.failures")
+                over_budget = state.count_failure(policy.failure_budget)
+                if tries >= policy.max_attempts or over_budget:
+                    raise
+                counters.increment("task.retries")
             except Exception as exc:
+                state.release_token(kind, index, attempt)
                 seconds = time.perf_counter() - t0
                 state.record(
                     TaskAttempt(kind, index, attempt, "failed",
@@ -699,13 +1074,18 @@ class LocalEngine:
                 obs.retry_backoff(
                     kind, index, attempt, delay, error=type(exc).__name__
                 )
-                if delay > 0:
+                if delay > 0 and not state.deadline_expired:
                     time.sleep(delay)
             else:
+                state.release_token(kind, index, attempt)
                 state.record(
                     TaskAttempt(kind, index, attempt, "ok",
                                 seconds=time.perf_counter() - t0)
                 )
+                # This attempt won (or was never raced): racing rivals
+                # are superseded the moment we report success.
+                for tok in state.race_losers(kind, index, attempt):
+                    tok.cancel(REASON_SUPERSEDED)
                 return out
 
     def _map_with_retry(
@@ -716,14 +1096,51 @@ class LocalEngine:
         counters: Counters,
         obs: JobObservability,
         state: _RunState,
-    ) -> None:
-        self._execute_with_retry(
+    ) -> Any:
+        return self._execute_with_retry(
             "map", i, state, counters, obs,
-            lambda attempt: self._run_map(
+            lambda attempt, cancel: self._run_map(
                 job, i, store, counters, obs,
-                attempt=attempt, faults=state.faults,
+                attempt=attempt, faults=state.faults, cancel=cancel,
             ),
         )
+
+    def _run_backup_map(
+        self,
+        job: JobConf,
+        i: int,
+        of_attempt: int,
+        priority: float,
+        store: ShuffleStore,
+        counters: Counters,
+        obs: JobObservability,
+        state: _RunState,
+    ) -> Any:
+        """One speculative backup execution of map ``i``, racing the
+        flagged ``of_attempt``.  Returns :data:`_LOST_RACE` when the
+        primary (or another rival) committed first."""
+
+        def body(attempt: int, cancel: CancelToken) -> None:
+            if state.race_resolved("map", i):
+                raise TaskCancelledError(
+                    f"backup map {i} obsolete: race already resolved",
+                    reason=REASON_SUPERSEDED,
+                )
+            self._hook_event(
+                HOOK_SPECULATE, "map", i, attempt,
+                of=of_attempt, priority=priority, mode="race",
+            )
+            obs.task_speculate(
+                "map", i, attempt,
+                of_attempt=of_attempt, priority=priority, mode="race",
+            )
+            counters.increment("task.speculations")
+            return self._run_map(
+                job, i, store, counters, obs,
+                attempt=attempt, faults=state.faults, cancel=cancel,
+            )
+
+        return self._execute_with_retry("map", i, state, counters, obs, body)
 
     def _reduce_with_recovery(
         self,
@@ -741,7 +1158,7 @@ class LocalEngine:
         attempt consumed by re-executing the producing maps."""
         first_attempt = True
 
-        def body(attempt: int) -> list[KeyValue]:
+        def body(attempt: int, cancel: CancelToken) -> list[KeyValue]:
             nonlocal first_attempt
             if not first_attempt:
                 self._recover_reduce_inputs(
@@ -751,7 +1168,7 @@ class LocalEngine:
             store.begin_reduce_attempt(p)
             out = self._run_reduce(
                 job, p, barrier, store, counters, obs, snapshot,
-                attempt=attempt, faults=state.faults,
+                attempt=attempt, faults=state.faults, cancel=cancel,
             )
             # Attempt-aware invalidation: if any map we fetched from was
             # re-executed while we ran, our input is superseded — raise
@@ -801,7 +1218,22 @@ class LocalEngine:
         counters.increment("recovery.maps_reexecuted", len(targets))
         obs.recovery(p, targets, seconds)
 
-    def _new_store(self, obs: JobObservability) -> ShuffleStore:
+    def _commit_gate(self, state: _RunState, index: int, attempt: int) -> None:
+        """Shuffle-store guard: runs under the store lock immediately
+        before a map spill commits.  A cancelled attempt never commits;
+        among racing attempts the first one here wins and every later
+        rival is refused — so a losing attempt's spill can never enter
+        the store, let alone serve a fetch."""
+        tok = state.token_of("map", index, attempt)
+        if tok is not None:
+            tok.check()
+        if not state.try_win("map", index, attempt):
+            raise TaskCancelledError(
+                f"map {index} attempt {attempt} lost the speculation race",
+                reason=REASON_SUPERSEDED,
+            )
+
+    def _new_store(self, obs: JobObservability, state: _RunState) -> ShuffleStore:
         hook = None
         if self.scheduler_hook is not None:
             hook = self.scheduler_hook.on_event
@@ -810,7 +1242,36 @@ class LocalEngine:
             persist=self.recovery is RecoveryModel.PERSISTED,
             hook=hook,
             bus=obs.bus,
+            guard=lambda index, attempt: self._commit_gate(state, index, attempt),
         )
+
+    def _spec_runtime(
+        self,
+        job: JobConf,
+        barrier: BarrierPolicy,
+        state: _RunState,
+        obs: JobObservability,
+    ) -> _SpeculationRuntime | None:
+        if self.speculation is None:
+            return None
+        return _SpeculationRuntime(self.speculation, state, job, barrier, obs)
+
+    def _expire_deadline(
+        self,
+        job: JobConf,
+        state: _RunState,
+        obs: JobObservability,
+        counters: Counters,
+    ) -> None:
+        """Watchdog callback: latch expiry and cancel every in-flight
+        attempt (idempotent)."""
+        tokens = state.expire_deadline()
+        if tokens is None:
+            return
+        counters.increment("job.deadline.expired")
+        obs.deadline_expired(job.deadline or 0.0)
+        for tok in tokens:
+            tok.cancel(REASON_DEADLINE)
 
     # ------------------------------------------------------------------ #
     # Serial execution
@@ -834,39 +1295,75 @@ class LocalEngine:
         barrier = barrier or GlobalBarrier()
         obs = self._make_obs(job, obs)
         obs.job_started(job.num_map_tasks, job.num_reduce_tasks)
-        store = self._new_store(obs)
         state = _RunState(self, job)
+        store = self._new_store(obs, state)
         counters = Counters()
         total_maps = job.num_map_tasks
         outputs: dict[int, list[KeyValue]] = {}
         pending = set(range(job.num_reduce_tasks))
         completed: set[int] = set()
         last_map_done = False
+        deadline_exc: DeadlineExceededError | None = None
 
-        for i in range(total_maps):
-            self._map_with_retry(job, i, store, counters, obs, state)
-            completed.add(i)
-            last_map_done = len(completed) == total_maps
-            fired = [
-                p
-                for p in sorted(pending)
-                if barrier.ready(p, frozenset(completed), total_maps)
-            ]
-            for p in fired:
-                pending.discard(p)
-                self._hook_event(
-                    HOOK_BARRIER_READY, "reduce", p,
-                    completed=tuple(sorted(completed)),
+        with ExitStack() as stack:
+            spec_rt = self._spec_runtime(job, barrier, state, obs)
+            if spec_rt is not None:
+                # Serial mode has no pool to race a backup on; hangs are
+                # mitigated by cancel-and-retry-in-place instead.
+                spec_rt.pending_partitions = lambda: tuple(pending)
+                stack.callback(spec_rt.close)
+                stack.enter_context(
+                    spec_rt.detector.ticker(self.speculation.effective_tick)
                 )
-                obs.barrier_wait(p)
-                if not last_map_done:
-                    self._note_early_start(obs, counters, p, len(completed))
-                outputs[p] = self._reduce_with_recovery(
-                    job, p, barrier, store, counters, obs, state,
-                    frozenset(completed),
+            if job.deadline is not None:
+                watchdog = _DeadlineWatchdog(
+                    job.deadline,
+                    lambda: self._expire_deadline(job, state, obs, counters),
+                ).start()
+                stack.callback(watchdog.stop)
+            try:
+                for i in range(total_maps):
+                    self._map_with_retry(job, i, store, counters, obs, state)
+                    completed.add(i)
+                    last_map_done = len(completed) == total_maps
+                    fired = [
+                        p
+                        for p in sorted(pending)
+                        if barrier.ready(p, frozenset(completed), total_maps)
+                    ]
+                    for p in fired:
+                        pending.discard(p)
+                        self._hook_event(
+                            HOOK_BARRIER_READY, "reduce", p,
+                            completed=tuple(sorted(completed)),
+                        )
+                        obs.barrier_wait(p)
+                        if not last_map_done:
+                            self._note_early_start(obs, counters, p, len(completed))
+                        outputs[p] = self._reduce_with_recovery(
+                            job, p, barrier, store, counters, obs, state,
+                            frozenset(completed),
+                        )
+                        if on_reduce_complete is not None:
+                            on_reduce_complete(p, outputs[p])
+            except DeadlineExceededError as exc:
+                deadline_exc = exc
+
+        if deadline_exc is not None:
+            obs.finish(deadline="expired")
+            if job.on_deadline == "partial":
+                return JobResult(
+                    job_name=job.name,
+                    outputs=outputs,
+                    counters=counters,
+                    trace=obs.trace,
+                    shuffle_connections=store.connections,
+                    empty_fetches=store.empty_fetches,
+                    obs=obs,
+                    attempts=tuple(state.attempt_log),
+                    partial=True,
                 )
-                if on_reduce_complete is not None:
-                    on_reduce_complete(p, outputs[p])
+            raise JobFailedError.from_errors(job.name, [deadline_exc])
         if pending:
             raise BarrierViolationError(
                 f"reduces {sorted(pending)} never became ready; dependency "
@@ -931,8 +1428,8 @@ class LocalEngine:
         barrier = barrier or GlobalBarrier()
         obs = self._make_obs(job, obs)
         obs.job_started(job.num_map_tasks, job.num_reduce_tasks)
-        store = self._new_store(obs)
         state = _RunState(self, job)
+        store = self._new_store(obs, state)
         counters = Counters()
         total_maps = job.num_map_tasks
         outputs: dict[int, list[KeyValue]] = {}
@@ -941,6 +1438,7 @@ class LocalEngine:
         completed: set[int] = set()
         pending = set(range(job.num_reduce_tasks))
         errors: list[BaseException] = []
+        deadline_errors: list[BaseException] = []
         map_futures: list = []
         reduce_futures: list = []
 
@@ -954,79 +1452,174 @@ class LocalEngine:
                 for f in reduce_futures:
                     f.cancel()
 
-        with ThreadPoolExecutor(max_workers=self.map_workers) as map_pool, \
-                ThreadPoolExecutor(max_workers=self.reduce_workers) as reduce_pool:
+        def note_deadline(exc: BaseException) -> None:
+            """Deadline expiry is not a task failure: collect it apart so
+            the run can apply fail/partial semantics afterwards."""
+            with lock:
+                deadline_errors.append(exc)
+                abort.set()
+                for f in map_futures:
+                    f.cancel()
+                for f in reduce_futures:
+                    f.cancel()
 
-            def reduce_job(p: int, snapshot: frozenset[int]) -> None:
-                if abort.is_set():
-                    return
-                try:
-                    out = self._reduce_with_recovery(
-                        job, p, barrier, store, counters, obs, state, snapshot
-                    )
-                    with lock:
-                        outputs[p] = out
-                    if on_reduce_complete is not None:
-                        on_reduce_complete(p, out)
-                except BaseException as exc:  # propagate to caller
-                    record_error(exc)
+        def pending_snapshot() -> tuple[int, ...]:
+            with lock:
+                return tuple(pending)
 
-            def on_map_done(i: int) -> None:
-                with lock:
+        with ExitStack() as stack:
+            spec_rt = self._spec_runtime(job, barrier, state, obs)
+            if spec_rt is not None:
+                spec_rt.pending_partitions = pending_snapshot
+                stack.callback(spec_rt.close)
+            if job.deadline is not None:
+                watchdog = _DeadlineWatchdog(
+                    job.deadline,
+                    lambda: self._expire_deadline(job, state, obs, counters),
+                ).start()
+                stack.callback(watchdog.stop)
+
+            with ThreadPoolExecutor(max_workers=self.map_workers) as map_pool, \
+                    ThreadPoolExecutor(max_workers=self.reduce_workers) as reduce_pool:
+
+                def reduce_job(p: int, snapshot: frozenset[int]) -> None:
                     if abort.is_set():
                         return
-                    completed.add(i)
-                    snapshot = frozenset(completed)
-                    fired = [
-                        p
-                        for p in sorted(pending)
-                        if barrier.ready(p, snapshot, total_maps)
-                    ]
-                    for p in fired:
-                        pending.discard(p)
-                        self._hook_event(
-                            HOOK_BARRIER_READY, "reduce", p,
-                            completed=tuple(sorted(snapshot)),
+                    try:
+                        out = self._reduce_with_recovery(
+                            job, p, barrier, store, counters, obs, state, snapshot
                         )
-                        obs.barrier_wait(p)
-                        if len(snapshot) < total_maps:
-                            self._note_early_start(obs, counters, p, len(snapshot))
-                        reduce_futures.append(
-                            reduce_pool.submit(reduce_job, p, snapshot)
+                        with lock:
+                            outputs[p] = out
+                        if on_reduce_complete is not None:
+                            on_reduce_complete(p, out)
+                    except DeadlineExceededError as exc:
+                        note_deadline(exc)
+                    except BaseException as exc:  # propagate to caller
+                        record_error(exc)
+
+                def on_map_done(i: int) -> None:
+                    with lock:
+                        if abort.is_set():
+                            return
+                        completed.add(i)
+                        snapshot = frozenset(completed)
+                        fired = [
+                            p
+                            for p in sorted(pending)
+                            if barrier.ready(p, snapshot, total_maps)
+                        ]
+                        for p in fired:
+                            pending.discard(p)
+                            self._hook_event(
+                                HOOK_BARRIER_READY, "reduce", p,
+                                completed=tuple(sorted(snapshot)),
+                            )
+                            obs.barrier_wait(p)
+                            if len(snapshot) < total_maps:
+                                self._note_early_start(obs, counters, p, len(snapshot))
+                            reduce_futures.append(
+                                reduce_pool.submit(reduce_job, p, snapshot)
+                            )
+
+                def map_job(i: int) -> None:
+                    if abort.is_set():
+                        return
+                    try:
+                        out = self._map_with_retry(
+                            job, i, store, counters, obs, state
+                        )
+                        # A lost race means a backup committed this map
+                        # and already reported it done.
+                        if out is not _LOST_RACE:
+                            on_map_done(i)
+                    except DeadlineExceededError as exc:
+                        note_deadline(exc)
+                    except BaseException as exc:
+                        record_error(exc)
+
+                def backup_job(i: int, of_attempt: int, priority: float) -> None:
+                    try:
+                        out = self._run_backup_map(
+                            job, i, of_attempt, priority,
+                            store, counters, obs, state,
+                        )
+                    except DeadlineExceededError as exc:
+                        spec_rt.backup_done(i)
+                        note_deadline(exc)
+                    except BaseException:
+                        # A failed backup must not fail the job — the
+                        # primary may still win (backup_done revives it
+                        # if it is blocked in a hang).
+                        counters.increment("task.speculation.failed")
+                        spec_rt.backup_done(i, failed=True)
+                    else:
+                        spec_rt.backup_done(i)
+                        if out is not _LOST_RACE:
+                            on_map_done(i)
+
+                def launch_backup(i: int, of_attempt: int, priority: float) -> None:
+                    with lock:
+                        if abort.is_set():
+                            return
+                        map_futures.append(
+                            map_pool.submit(backup_job, i, of_attempt, priority)
                         )
 
-            def map_job(i: int) -> None:
-                if abort.is_set():
-                    return
-                try:
-                    self._map_with_retry(job, i, store, counters, obs, state)
-                    on_map_done(i)
-                except BaseException as exc:
-                    record_error(exc)
-
-            with lock:
-                map_futures.extend(
-                    map_pool.submit(map_job, i) for i in range(total_maps)
-                )
-            wait(map_futures)
-            with lock:
-                still_pending = set(pending)
-            if still_pending and not errors and not abort.is_set():
-                with lock:
-                    errors.append(
-                        BarrierViolationError(
-                            f"reduces {sorted(still_pending)} never ready"
-                        )
+                if spec_rt is not None:
+                    spec_rt.launch_backup = launch_backup
+                    stack.enter_context(
+                        spec_rt.detector.ticker(self.speculation.effective_tick)
                     )
-            # No new reduce submissions can happen past this point (all
-            # map threads are done), so the snapshot is final.
-            with lock:
-                reduce_snapshot = list(reduce_futures)
-            wait(reduce_snapshot)
 
-        obs.finish()
+                with lock:
+                    map_futures.extend(
+                        map_pool.submit(map_job, i) for i in range(total_maps)
+                    )
+                # Speculative backups append to map_futures while we
+                # wait, so re-wait until the list stops growing.
+                while True:
+                    with lock:
+                        fs = list(map_futures)
+                    wait(fs)
+                    with lock:
+                        if len(map_futures) == len(fs):
+                            break
+                with lock:
+                    still_pending = set(pending)
+                if still_pending and not errors and not abort.is_set():
+                    with lock:
+                        errors.append(
+                            BarrierViolationError(
+                                f"reduces {sorted(still_pending)} never ready"
+                            )
+                        )
+                # No new reduce submissions can happen past this point (all
+                # map threads are done), so the snapshot is final.
+                with lock:
+                    reduce_snapshot = list(reduce_futures)
+                wait(reduce_snapshot)
+
+        if deadline_errors and not errors:
+            obs.finish(deadline="expired")
+        else:
+            obs.finish()
         if errors:
             raise JobFailedError.from_errors(job.name, errors)
+        if deadline_errors:
+            if job.on_deadline != "partial":
+                raise JobFailedError.from_errors(job.name, deadline_errors)
+            return JobResult(
+                job_name=job.name,
+                outputs=outputs,
+                counters=counters,
+                trace=obs.trace,
+                shuffle_connections=store.connections,
+                empty_fetches=store.empty_fetches,
+                obs=obs,
+                attempts=tuple(state.attempt_log),
+                partial=True,
+            )
         return JobResult(
             job_name=job.name,
             outputs=outputs,

@@ -46,12 +46,29 @@ class JobConf:
     #: a ``context["batch_operator"]`` — see
     #: :meth:`repro.sidr.planner.SIDRPlan.configure_job`).
     data_plane: str = "record"
+    #: Wall-clock budget in seconds for the whole job run (None = no
+    #: deadline).  On expiry every in-flight attempt is cooperatively
+    #: cancelled; ``on_deadline`` picks what happens next.
+    deadline: float | None = None
+    #: ``"fail"`` raises :class:`~repro.errors.JobFailedError` when the
+    #: deadline expires; ``"partial"`` returns the reduce outputs
+    #: completed so far as a partial :class:`JobResult`.
+    on_deadline: str = "fail"
     #: Arbitrary per-job context (e.g. the SIDRPlan) for hooks/tests.
     context: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise JobConfigError("job name must be non-empty")
+        if self.deadline is not None and self.deadline <= 0:
+            raise JobConfigError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        if self.on_deadline not in ("fail", "partial"):
+            raise JobConfigError(
+                f"unknown on_deadline policy {self.on_deadline!r}; "
+                "expected 'fail' or 'partial'"
+            )
         if self.data_plane not in ("record", "columnar"):
             raise JobConfigError(
                 f"unknown data plane {self.data_plane!r}; "

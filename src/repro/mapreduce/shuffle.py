@@ -172,8 +172,15 @@ class ShuffleStore:
         persist: bool = True,
         hook: Any | None = None,
         bus: Any | None = None,
+        guard: Any | None = None,
     ) -> None:
         self._lock = threading.Lock()
+        #: Commit gate: ``guard(map_index, attempt)`` runs under the
+        #: store lock *before* a spill mutates anything, and may raise
+        #: to veto the commit (the engine uses this to enforce
+        #: first-commit-wins between racing speculative attempts — a
+        #: cancelled loser can never publish output a fetch could see).
+        self._guard = guard
         #: Verification seam (engine's SchedulerHook.on_event, or None).
         #: ``spill-commit`` and ``fetch`` events fire while the store
         #: lock is held so the event stream linearizes commits against
@@ -211,6 +218,11 @@ class ShuffleStore:
         if attempt < 0:
             raise ShuffleError(f"negative attempt {attempt}")
         with self._lock:
+            if self._guard is not None:
+                # Gate under the lock so the winner decision linearizes
+                # with the mutation: once an attempt passes, it commits
+                # before any rival can be consulted.
+                self._guard(map_id.index, attempt)
             current = self._attempts.get(map_id.index)
             superseding = current is not None
             if current is not None:

@@ -25,11 +25,14 @@ from typing import Any
 
 from repro.obs.live.bus import (
     EV_BARRIER_FIRE,
+    EV_JOB_DEADLINE,
     EV_JOB_FINISH,
     EV_JOB_START,
     EV_RECOVERY,
+    EV_TASK_CANCELLED,
     EV_TASK_FINISH,
     EV_TASK_RETRY,
+    EV_TASK_SPECULATE,
     EV_TASK_START,
     EventBus,
 )
@@ -272,6 +275,78 @@ class JobObservability:
                 "seconds": seconds,
             },
         )
+
+    def task_speculate(
+        self,
+        kind: str,
+        index: int,
+        attempt: int,
+        *,
+        of_attempt: int,
+        priority: float,
+        mode: str,
+    ) -> None:
+        """Record a speculation decision: a backup ``attempt`` was
+        hedged against (``mode="race"``) or scheduled to replace
+        (``mode="cancel-retry"``) the flagged ``of_attempt``.
+        ``priority`` is the structural criticality that ordered this
+        candidate (how many pending reduces the task blocks)."""
+        if self.bus is not None:
+            self.bus.publish(
+                EV_TASK_SPECULATE,
+                kind=kind,
+                index=index,
+                attempt=attempt,
+                of=of_attempt,
+                priority=round(priority, 4),
+                mode=mode,
+            )
+        if not self.enabled:
+            return
+        self.metrics.counter("sched.speculations").inc()
+        self.tracer.instant(
+            "task.speculate",
+            parent=self.job_span,
+            track=f"{kind} {index}",
+            args={
+                "index": index,
+                "attempt": attempt,
+                "of": of_attempt,
+                "priority": priority,
+                "mode": mode,
+            },
+        )
+
+    def task_cancelled(
+        self, kind: str, index: int, attempt: int, reason: str
+    ) -> None:
+        """Record a cooperative cancellation (race lost, hang
+        mitigation, or deadline) of one task attempt."""
+        if self.bus is not None:
+            self.bus.publish(
+                EV_TASK_CANCELLED,
+                kind=kind,
+                index=index,
+                attempt=attempt,
+                reason=reason,
+            )
+        if not self.enabled:
+            return
+        self.metrics.counter("task.cancelled").inc()
+        self.tracer.instant(
+            "task.cancelled",
+            parent=self.job_span,
+            track=f"{kind} {index}",
+            args={"index": index, "attempt": attempt, "reason": reason},
+        )
+
+    def deadline_expired(self, deadline: float) -> None:
+        """Announce that the job's wall-clock deadline passed and every
+        in-flight attempt is being cancelled."""
+        if self.bus is not None:
+            self.bus.publish(EV_JOB_DEADLINE, deadline=deadline)
+        if self.enabled:
+            self.metrics.counter("job.deadline.expired").inc()
 
     # ------------------------------------------------------------------ #
     def finish(self, **args: Any) -> None:

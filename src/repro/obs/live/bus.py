@@ -23,9 +23,11 @@ from hot paths, so the contract is strict:
   propagated into the publishing task.
 
 Event vocabulary (see ``docs/OBSERVABILITY.md``): ``job.start``,
-``task.start``, ``task.finish``, ``task.retry``, ``task.straggler``,
-``spill.commit``, ``barrier.fire``, ``fetch``, ``recovery.reexecute``,
-``sched.reduce.scheduled``, ``sched.map.scheduled``, ``job.finish``.
+``task.start``, ``task.heartbeat``, ``task.finish``, ``task.retry``,
+``task.straggler``, ``task.hang``, ``task.speculate``,
+``task.cancelled``, ``spill.commit``, ``barrier.fire``, ``fetch``,
+``recovery.reexecute``, ``sched.reduce.scheduled``,
+``sched.map.scheduled``, ``job.deadline``, ``job.finish``.
 """
 
 from __future__ import annotations
@@ -49,6 +51,11 @@ EV_TASK_START = "task.start"
 EV_TASK_FINISH = "task.finish"
 EV_TASK_RETRY = "task.retry"
 EV_TASK_STRAGGLER = "task.straggler"
+EV_TASK_HEARTBEAT = "task.heartbeat"
+EV_TASK_HANG = "task.hang"
+EV_TASK_SPECULATE = "task.speculate"
+EV_TASK_CANCELLED = "task.cancelled"
+EV_JOB_DEADLINE = "job.deadline"
 EV_SPILL_COMMIT = "spill.commit"
 EV_BARRIER_FIRE = "barrier.fire"
 EV_FETCH = "fetch"

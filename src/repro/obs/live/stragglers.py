@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import bisect
 import threading
+from contextlib import contextmanager
 from threading import Lock
-from typing import Any
+from typing import Any, Iterator
 
 from repro.obs.live.bus import (
     EV_TASK_FINISH,
@@ -214,6 +215,26 @@ class StragglerDetector:
         if self._ticker is not None:
             self._ticker.join(timeout=5.0)
             self._ticker = None
+
+    @contextmanager
+    def ticker(self, interval: float = 0.05) -> "Iterator[StragglerDetector]":
+        """Exception-safe ticker scope: ``with detector.ticker(): run()``.
+
+        The ticker thread is stopped in a ``finally`` no matter how the
+        body exits, so a failed ``run_threaded`` (or a test assertion)
+        can never leak a live daemon thread that keeps flagging a job
+        that no longer exists.
+        """
+        self.start_ticker(interval)
+        try:
+            yield self
+        finally:
+            self.stop_ticker()
+
+    def close(self) -> None:
+        """Stop the ticker and detach from the bus (idempotent)."""
+        self.stop_ticker()
+        self._bus.detach(self.on_event)
 
     # ------------------------------------------------------------------ #
     @property

@@ -26,8 +26,11 @@ from repro.obs.live.bus import (
     EV_FETCH,
     EV_RECOVERY,
     EV_SPILL_COMMIT,
+    EV_TASK_CANCELLED,
     EV_TASK_FINISH,
+    EV_TASK_HANG,
     EV_TASK_RETRY,
+    EV_TASK_SPECULATE,
     EV_TASK_START,
     EV_TASK_STRAGGLER,
     Event,
@@ -141,6 +144,9 @@ def phase_totals(events: "list[Event]") -> dict[str, Any]:
         "retries": 0,
         "recoveries": 0,
         "stragglers": 0,
+        "hangs": 0,
+        "speculations": 0,
+        "cancelled": 0,
     }
     for ev in events:
         if ev.type == EV_TASK_START and ev.kind in totals:
@@ -160,6 +166,12 @@ def phase_totals(events: "list[Event]") -> dict[str, Any]:
             totals["recoveries"] += 1
         elif ev.type == EV_TASK_STRAGGLER:
             totals["stragglers"] += 1
+        elif ev.type == EV_TASK_HANG:
+            totals["hangs"] += 1
+        elif ev.type == EV_TASK_SPECULATE:
+            totals["speculations"] += 1
+        elif ev.type == EV_TASK_CANCELLED:
+            totals["cancelled"] += 1
     return totals
 
 

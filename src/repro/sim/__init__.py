@@ -37,8 +37,10 @@ from repro.sim.jobsim import ExecutionMode, simulate_job
 from repro.sim.failure import (
     RecoveryCost,
     RecoveryModel,
+    SpeculationPrediction,
     breakeven_failure_prob,
     evaluate_recovery,
+    predict_speculation,
 )
 from repro.sim.timeline import TaskTimeline
 
@@ -57,7 +59,9 @@ __all__ = [
     "simulate_job",
     "RecoveryCost",
     "RecoveryModel",
+    "SpeculationPrediction",
     "breakeven_failure_prob",
     "evaluate_recovery",
+    "predict_speculation",
     "TaskTimeline",
 ]

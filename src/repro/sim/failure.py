@@ -39,8 +39,10 @@ __all__ = [
     "RecoveryModel",
     "RecoveryCost",
     "SingleFailureRecovery",
+    "SpeculationPrediction",
     "evaluate_recovery",
     "predict_single_failure",
+    "predict_speculation",
     "breakeven_failure_prob",
 ]
 
@@ -187,6 +189,65 @@ def predict_single_failure(
             model, reduce_index, len(deps), rerun + refetch
         )
     raise SimulationError(f"unknown recovery model {model!r}")
+
+
+@dataclass(frozen=True)
+class SpeculationPrediction:
+    """Predicted makespan delay from ONE hung map task under hedged
+    speculative execution.
+
+    Mirrors :class:`SingleFailureRecovery` for the speculation
+    subsystem: the hedging engine's measured delay (makespan with an
+    injected hang minus the fault-free makespan) is compared against
+    this deterministic analytical quantity.  The model is simple by
+    design — the hung attempt sits silent for ``hang_timeout`` before
+    the detector flags it, then the backup re-runs the map from scratch:
+
+    ``delay ≈ hang_timeout + map_rerun_cost``
+
+    minus whatever overlap the rest of the job provides (ignored here,
+    which makes the prediction an upper bound on a busy cluster and a
+    good estimate when the hung map is the critical path, as it is for
+    a map blocking many reduces).  Without speculation the same hang
+    never resolves: the predicted delay is unbounded.
+    """
+
+    map_index: int
+    #: Detector staleness budget the hung attempt sits out.
+    hang_timeout: float
+    #: Machine-seconds for the backup attempt to redo the map.
+    rerun_seconds: float
+
+    @property
+    def delay_seconds(self) -> float:
+        return self.hang_timeout + self.rerun_seconds
+
+
+def predict_speculation(
+    spec: SimJobSpec,
+    map_index: int,
+    *,
+    hang_timeout: float,
+    cost: CostModel | None = None,
+) -> SpeculationPrediction:
+    """Predicted job-completion delay from one hung map mitigated by a
+    speculative backup — the analytical counterpart of what
+    ``LocalEngine(speculation=...)`` measures with a ``hang`` fault
+    injected into exactly that map."""
+    if not (0 <= map_index < spec.num_maps):
+        raise SimulationError(
+            f"map index {map_index} out of range 0..{spec.num_maps - 1}"
+        )
+    if hang_timeout <= 0:
+        raise SimulationError(
+            f"hang_timeout must be positive, got {hang_timeout}"
+        )
+    cost = cost or CostModel()
+    return SpeculationPrediction(
+        map_index=map_index,
+        hang_timeout=hang_timeout,
+        rerun_seconds=_map_rerun_cost(spec, cost, map_index),
+    )
 
 
 def breakeven_failure_prob(

@@ -40,6 +40,7 @@ from repro.verify.hooks import (
     HOOK_FETCH,
     HOOK_POINTS,
     HOOK_REDUCE_START,
+    HOOK_SPECULATE,
     HOOK_SPILL_COMMIT,
     ChaosHook,
     HookEvent,
@@ -69,6 +70,7 @@ __all__ = [
     "HOOK_FETCH",
     "HOOK_POINTS",
     "HOOK_REDUCE_START",
+    "HOOK_SPECULATE",
     "HOOK_SPILL_COMMIT",
     "HookEvent",
     "OPERATOR_NAMES",

@@ -65,6 +65,10 @@ class FuzzCase:
     data_low: int = -40
     data_high: int = 40
     max_attempts: int = 6
+    #: Run the engines with a :class:`~repro.spec.SpeculationPolicy`
+    #: (fast hang timeout) — required whenever ``fault_rules`` contains
+    #: a ``hang`` rule, since an unmitigated hang blocks forever.
+    speculate: bool = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -138,6 +142,7 @@ class FuzzCase:
             "data_low": self.data_low,
             "data_high": self.data_high,
             "max_attempts": self.max_attempts,
+            "speculate": self.speculate,
         }
 
     @classmethod
@@ -166,15 +171,17 @@ class FuzzCase:
             data_low=int(doc.get("data_low", -40)),
             data_high=int(doc.get("data_high", 40)),
             max_attempts=int(doc.get("max_attempts", 6)),
+            speculate=bool(doc.get("speculate", False)),
         )
 
     def describe(self) -> str:
         stride = f" stride={list(self.stride)}" if self.stride else ""
         faults = f" faults={len(self.fault_rules)}" if self.fault_rules else ""
+        spec = " speculate" if self.speculate else ""
         return (
             f"{self.operator}{list(self.shape)}/ex{list(self.extraction)}"
             f"{stride} splits={self.num_splits} reduces={self.reduces}"
-            f" recovery={self.recovery}{faults}"
+            f" recovery={self.recovery}{faults}{spec}"
         )
 
 
@@ -183,16 +190,19 @@ class FuzzCase:
 # --------------------------------------------------------------------- #
 def _random_faults(
     rng: random.Random, num_splits: int, reduces: int
-) -> tuple[tuple[dict, ...], str]:
-    """Fault rules + recovery mode for ~1/3 of cases.
+) -> tuple[tuple[dict, ...], str, bool]:
+    """(fault rules, recovery mode, speculate) for ~1/3 of cases.
 
     At most one after-fetch rule with ``times<=2`` and at most two rules
     total, so stale-fetch cascades stay well inside the runner's retry
     budget; ~1 in 5 fault cases draws a ``crash`` (expected failure).
+    A small slice draws a single ``hang`` rule — those cases always set
+    ``speculate`` (an unmitigated hang never terminates), with
+    ``times=1`` so the serial cancel-retry path succeeds on attempt 1.
     """
     r = rng.random()
     if r >= 0.34:
-        return (), "persisted"
+        return (), "persisted", False
     if r < 0.07:
         task = rng.choice(("map", "reduce"))
         n = num_splits if task == "map" else reduces
@@ -201,7 +211,17 @@ def _random_faults(
             "fault": "crash",
             "indices": [rng.randrange(n)],
         }
-        return (rule,), "persisted"
+        return (rule,), "persisted", False
+    if r < 0.12:
+        task = rng.choice(("map", "map", "reduce"))
+        n = num_splits if task == "map" else reduces
+        rule = {
+            "task": task,
+            "fault": "hang",
+            "indices": [rng.randrange(n)],
+            "times": 1,
+        }
+        return (rule,), "persisted", True
 
     kinds = [
         ("map", "transient", "start"),
@@ -233,7 +253,7 @@ def _random_faults(
         if used_after_fetch
         else rng.choice(("persisted", "persisted", "reexecute-deps"))
     )
-    return tuple(rules), recovery
+    return tuple(rules), recovery, False
 
 
 def generate_case(index: int, master_seed: int = 0) -> FuzzCase:
@@ -261,7 +281,7 @@ def generate_case(index: int, master_seed: int = 0) -> FuzzCase:
         )
         num_splits = rng.randint(1, 5)
         reduces = rng.randint(1, 4)
-        faults, recovery = _random_faults(rng, num_splits, reduces)
+        faults, recovery, speculate = _random_faults(rng, num_splits, reduces)
         case = FuzzCase(
             seed=rng.randrange(2**31),
             shape=shape,
@@ -273,6 +293,7 @@ def generate_case(index: int, master_seed: int = 0) -> FuzzCase:
             reduces=reduces,
             recovery=recovery,
             fault_rules=faults,
+            speculate=speculate,
         )
         try:
             plan = case.compile()

@@ -26,6 +26,7 @@ from repro.faults import RecoveryModel
 from repro.mapreduce.engine import LocalEngine, RetryPolicy
 from repro.query.splits import slice_splits
 from repro.sidr.planner import build_sidr_job
+from repro.spec import SpeculationPolicy
 from repro.verify.cases import FuzzCase, generate_case
 from repro.verify.explorer import (
     ExplorationReport,
@@ -50,6 +51,13 @@ def _make_engine(case: FuzzCase, hook: Any | None = None) -> LocalEngine:
         faults=case.injection_plan(),
         recovery=RecoveryModel.parse(case.recovery),
         scheduler_hook=hook,
+        speculation=(
+            # Fast detector so hung fuzz attempts are mitigated within
+            # milliseconds, not the production half-second default.
+            SpeculationPolicy(hang_timeout=0.1, heartbeat_interval=0.01)
+            if case.speculate
+            else None
+        ),
     )
 
 
@@ -156,13 +164,23 @@ def _diff(
 # --------------------------------------------------------------------- #
 # Shrinking
 # --------------------------------------------------------------------- #
+def _drop_rules(case: FuzzCase, rest: tuple[dict, ...]) -> FuzzCase:
+    """Replace the fault rules, turning speculation off once no hang
+    rule remains (speculate without hangs is inert; hangs without
+    speculate never terminate, so the pair shrinks together)."""
+    speculate = case.speculate and any(
+        r.get("fault") == "hang" for r in rest
+    )
+    return replace(case, fault_rules=rest, speculate=speculate)
+
+
 def _shrink_candidates(case: FuzzCase):
     """Simplification attempts, most aggressive first."""
     if case.fault_rules:
-        yield replace(case, fault_rules=())
+        yield _drop_rules(case, ())
         for i in range(len(case.fault_rules)):
             rest = case.fault_rules[:i] + case.fault_rules[i + 1:]
-            yield replace(case, fault_rules=rest)
+            yield _drop_rules(case, rest)
     if case.recovery != "persisted":
         yield replace(case, recovery="persisted")
     if case.stride is not None:

@@ -38,6 +38,7 @@ from repro.mapreduce.engine import (  # noqa: F401  (re-exported)
     HOOK_FETCH,
     HOOK_POINTS,
     HOOK_REDUCE_START,
+    HOOK_SPECULATE,
     HOOK_SPILL_COMMIT,
 )
 

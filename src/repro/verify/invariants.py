@@ -22,6 +22,13 @@ Checked invariants (paper §4-§6):
   must NOT have committed: the engine's freshness check has to have
   failed it (:class:`~repro.errors.StaleFetchError`) so a retry re-reads
   fresh input.
+* **at-most-one-winner** — for every speculation race (a ``speculate``
+  event names the hedged backup attempt and the flagged attempt it
+  races, via ``info["of"]``), at most one member attempt ever commits a
+  spill, and no fetch is ever served a losing member's attempt.  This
+  is the supersede-free guarantee hedging adds on top of the retry
+  path: the loser is *cancelled before commit*, not committed and then
+  superseded.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.verify.hooks import (
     HOOK_CLAIM,
     HOOK_FETCH,
     HOOK_REDUCE_START,
+    HOOK_SPECULATE,
     HOOK_SPILL_COMMIT,
     HookEvent,
 )
@@ -191,6 +199,43 @@ def check_interleaving_invariants(
                         f"reduce {p} attempt {a} committed although map "
                         f"{m} attempt {served} was superseded (attempt "
                         f"{superseded[0][1]}) before its fetch phase ended",
+                    )
+                )
+
+    # ---------------- at-most-one-winner ---------------- #
+    # Race membership per map task: each speculate event contributes the
+    # hedged backup attempt plus the flagged attempt it races (info["of"]).
+    races: dict[int, set[int]] = {}
+    for e in events:
+        if e.point == HOOK_SPECULATE and e.kind == "map":
+            members = races.setdefault(e.index, set())
+            members.add(e.attempt)
+            if "of" in e.info:
+                members.add(int(e.info["of"]))
+    for m, members in races.items():
+        winners = sorted(
+            a for _seq, a in spills.get(m, []) if a in members
+        )
+        if len(winners) > 1:
+            violations.append(
+                Violation(
+                    "at-most-one-winner",
+                    f"map {m} speculation race committed {len(winners)} "
+                    f"member attempts {winners}; expected at most one",
+                )
+            )
+        winner = winners[0] if winners else None
+        for e in events:
+            if e.point != HOOK_FETCH or int(e.info["map"]) != m:
+                continue
+            served = int(e.info["map_attempt"])
+            if served in members and served != winner:
+                violations.append(
+                    Violation(
+                        "at-most-one-winner",
+                        f"reduce {e.index} was served map {m} attempt "
+                        f"{served}, a losing member of a speculation race "
+                        f"(winner: {winner})",
                     )
                 )
     return violations

@@ -1,0 +1,532 @@
+"""Speculative execution: hang detection, hedged races, cancellation,
+deadlines — units through full engine round-trips."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    JobConfigError,
+    JobFailedError,
+    TaskCancelledError,
+)
+from repro.faults import FaultKind, FaultRule, InjectionPlan
+from repro.mapreduce.engine import (
+    HOOK_POINTS,
+    HOOK_SPECULATE,
+    LocalEngine,
+    RetryPolicy,
+)
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.mapper import IdentityMapper
+from repro.mapreduce.partitioner import HashPartitioner
+from repro.mapreduce.reducer import FunctionReducer
+from repro.mapreduce.splits import ByteRangeSplit
+from repro.obs.live.bus import (
+    EV_TASK_HANG,
+    EV_TASK_HEARTBEAT,
+    EV_TASK_START,
+    EventBus,
+)
+from repro.query.language import StructuralQuery
+from repro.query.operators import MeanOp
+from repro.query.splits import slice_splits
+from repro.scidata.generators import temperature_dataset
+from repro.sidr.planner import build_sidr_job
+from repro.spec import (
+    REASON_HANG,
+    REASON_SUPERSEDED,
+    CancelToken,
+    HangDetector,
+    Heartbeat,
+    SpeculationPolicy,
+    structural_priority,
+)
+from repro.verify import (
+    ChaosHook,
+    check_interleaving_invariants,
+)
+from repro.verify.cases import FuzzCase
+from repro.verify.fuzz import run_case
+
+FAST = SpeculationPolicy(hang_timeout=0.08, heartbeat_interval=0.01)
+
+
+def hang_plan(task="map", index=1, times=1):
+    return InjectionPlan(
+        rules=(
+            FaultRule(
+                task=task,
+                kind=FaultKind.HANG,
+                indices=frozenset({index}),
+                times=times,
+            ),
+        )
+    )
+
+
+def counting_job(num_splits=4, num_reduces=2, **kwargs):
+    def reader(split):
+        for j in range(5):
+            yield ((j,), 1 + split.index)
+
+    return JobConf(
+        name="count",
+        splits=[
+            ByteRangeSplit(index=i, path="/f", start=i * 10, length=10)
+            for i in range(num_splits)
+        ],
+        reader_factory=reader,
+        mapper_factory=IdentityMapper,
+        reducer_factory=lambda: FunctionReducer(
+            lambda k, vals: [(k, sum(vals))]
+        ),
+        partitioner=HashPartitioner(),
+        num_reduce_tasks=num_reduces,
+        **kwargs,
+    )
+
+
+def canon(res):
+    return {p: sorted(v) for p, v in res.outputs.items()}
+
+
+# --------------------------------------------------------------------- #
+# Units: CancelToken / Heartbeat / HangDetector
+# --------------------------------------------------------------------- #
+class TestCancelToken:
+    def test_first_cancel_wins(self):
+        tok = CancelToken()
+        assert not tok.cancelled
+        assert tok.cancel(REASON_HANG)
+        assert not tok.cancel(REASON_SUPERSEDED)
+        assert tok.reason == REASON_HANG
+        assert tok.cancelled
+
+    def test_check_raises_with_reason(self):
+        tok = CancelToken()
+        tok.check()  # no-op before cancellation
+        tok.cancel(REASON_SUPERSEDED)
+        with pytest.raises(TaskCancelledError) as ei:
+            tok.check()
+        assert ei.value.reason == REASON_SUPERSEDED
+
+    def test_wait_releases_on_cancel(self):
+        tok = CancelToken()
+        assert not tok.wait(timeout=0.01)
+        threading.Timer(0.02, lambda: tok.cancel(REASON_HANG)).start()
+        assert tok.wait(timeout=2.0)
+
+
+class TestHeartbeat:
+    def test_publishes_rate_limited(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        hb = Heartbeat(bus, "map", 3, 0, 0.01, every=1)
+        hb.beat()
+        time.sleep(0.02)
+        hb.beat()
+        evs = [e for e in sub.drain() if e.type == EV_TASK_HEARTBEAT]
+        assert len(evs) == 2
+        assert evs[0].index == 3
+        assert evs[-1].data["progress"] == 2
+
+    def test_noop_without_bus(self):
+        hb = Heartbeat(None, "map", 0, 0, 0.01)
+        hb.beat()
+        assert hb.count == 0  # short-circuits before counting
+
+
+class TestHangDetector:
+    def test_flags_silent_not_beating(self):
+        bus = EventBus()
+        det = HangDetector(bus, hang_timeout=0.05)
+        bus.publish(EV_TASK_START, kind="map", index=0, attempt=0)
+        bus.publish(EV_TASK_START, kind="map", index=1, attempt=0)
+        hb = Heartbeat(bus, "map", 1, 0, 0.0, every=1)
+        deadline = time.time() + 2.0
+        while not det.hangs and time.time() < deadline:
+            hb.beat()
+            det.check()
+            time.sleep(0.01)
+        assert ("map", 0, 0) in det.hangs
+        assert ("map", 1, 0) not in det.hangs
+
+    def test_rank_orders_simultaneous_flags(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        det = HangDetector(
+            bus, hang_timeout=0.01, rank=lambda kind, index: float(index)
+        )
+        for i in range(3):
+            bus.publish(EV_TASK_START, kind="map", index=i, attempt=0)
+        time.sleep(0.05)
+        det.check()
+        hangs = [e.index for e in sub.drain() if e.type == EV_TASK_HANG]
+        assert hangs == [2, 1, 0]
+
+    def test_ticker_context_stops_on_exception(self):
+        det = HangDetector(EventBus(), hang_timeout=0.5)
+        with pytest.raises(RuntimeError):
+            with det.ticker(0.01):
+                assert det._ticker is not None
+                raise RuntimeError("body blew up")
+        assert det._ticker is None
+
+
+class TestStructuralPriority:
+    def test_fetch_set_probe(self):
+        from repro.mapreduce.engine import DependencyBarrier
+
+        barrier = DependencyBarrier(
+            {0: frozenset({0, 1}), 1: frozenset({0}), 2: frozenset({2})}
+        )
+        p0 = structural_priority(
+            0, pending=(0, 1, 2), barrier=barrier, total_maps=3
+        )
+        p2 = structural_priority(
+            2, pending=(0, 1, 2), barrier=barrier, total_maps=3
+        )
+        assert p0 == 2.0  # map 0 blocks reduces 0 and 1
+        assert p2 == 1.0
+        # already-fired partitions stop counting
+        assert structural_priority(
+            2, pending=(0, 1), barrier=barrier, total_maps=3
+        ) == 0.0
+
+    def test_default_is_one(self):
+        assert structural_priority(5) == 1.0
+
+
+# --------------------------------------------------------------------- #
+# The HANG fault blocks until cooperatively cancelled
+# --------------------------------------------------------------------- #
+class TestHangFault:
+    def test_blocks_until_cancel(self):
+        bound = hang_plan(index=0).bind(1, 1)
+        tok = CancelToken()
+        state = {}
+
+        def body():
+            try:
+                bound.fire("map", 0, 0, cancel=tok)
+            except TaskCancelledError as exc:
+                state["reason"] = exc.reason
+
+        t = threading.Thread(target=body, daemon=True)
+        t.start()
+        t.join(timeout=0.1)
+        assert t.is_alive()  # still blocked
+        tok.cancel(REASON_HANG)
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert state["reason"] == REASON_HANG
+
+    def test_released_attempt_window(self):
+        rule = hang_plan(index=0).rules[0]
+        assert rule.active_on_attempt(0)
+        assert not rule.active_on_attempt(1)
+
+
+# --------------------------------------------------------------------- #
+# Engine round-trips: hang -> speculate -> cancel -> identical output
+# --------------------------------------------------------------------- #
+class TestEngineSpeculation:
+    def test_threaded_backup_wins_race(self):
+        oracle = LocalEngine().run_serial(counting_job())
+        eng = LocalEngine(
+            speculation=FAST,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=hang_plan(index=1),
+        )
+        res = eng.run_threaded(counting_job())
+        assert canon(res) == canon(oracle)
+        assert res.counters.get("task.speculations") == 1
+        assert res.counters.get("task.cancelled") == 1
+        lost = [a for a in res.attempts if a.outcome == "lost"]
+        assert [(a.kind, a.index) for a in lost] == [("map", 1)]
+
+    def test_serial_cancel_retry(self):
+        oracle = LocalEngine().run_serial(counting_job())
+        eng = LocalEngine(
+            speculation=FAST,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=hang_plan(index=1),
+        )
+        res = eng.run_serial(counting_job())
+        assert canon(res) == canon(oracle)
+        # serial has no pool to race on: mitigation is cancel + retry
+        assert res.counters.get("task.cancelled") == 1
+        cancelled = [a for a in res.attempts if a.outcome == "cancelled"]
+        assert [(a.kind, a.index) for a in cancelled] == [("map", 1)]
+
+    def test_reduce_hang_is_cancel_retried(self):
+        oracle = LocalEngine().run_serial(counting_job())
+        for run in ("run_serial", "run_threaded"):
+            eng = LocalEngine(
+                speculation=FAST,
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+                faults=hang_plan(task="reduce", index=0),
+            )
+            res = getattr(eng, run)(counting_job())
+            assert canon(res) == canon(oracle), run
+            assert res.counters.get("task.cancelled") == 1, run
+
+    def test_hang_exhausts_retry_budget_serial(self):
+        # Serial raises the raw task error (matching crash semantics).
+        eng = LocalEngine(
+            speculation=SpeculationPolicy(
+                hang_timeout=0.05, heartbeat_interval=0.01, max_backups=0
+            ),
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            faults=hang_plan(index=1, times=5),
+        )
+        with pytest.raises(TaskCancelledError):
+            eng.run_serial(counting_job())
+
+    def test_hang_exhausts_retry_budget_threaded(self):
+        eng = LocalEngine(
+            speculation=SpeculationPolicy(
+                hang_timeout=0.05, heartbeat_interval=0.01, max_backups=0
+            ),
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            faults=hang_plan(index=1, times=5),
+        )
+        with pytest.raises(JobFailedError):
+            eng.run_threaded(counting_job())
+
+    def test_speculate_hook_fires(self):
+        from repro.verify import RecordingHook
+
+        hook = RecordingHook()
+        eng = LocalEngine(
+            observability=False,
+            speculation=FAST,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=hang_plan(index=1),
+            scheduler_hook=hook,
+        )
+        eng.run_threaded(counting_job())
+        spec = [e for e in hook.events if e.point == HOOK_SPECULATE]
+        assert len(spec) == 1
+        assert spec[0].kind == "map" and spec[0].index == 1
+        assert spec[0].info["of"] == 0 and spec[0].attempt == 1
+        assert HOOK_SPECULATE in HOOK_POINTS
+
+
+# --------------------------------------------------------------------- #
+# Weekly-mean workload: both engines x both data planes (acceptance)
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def weekly():
+    field = temperature_dataset(days=364, lat=8, lon=8, seed=3)
+    data = field.arrays["temperature"].astype(np.float64)
+    plan = StructuralQuery(
+        variable="temperature",
+        extraction_shape=(7, 5, 2),
+        operator=MeanOp(),
+    ).compile(field.metadata)
+    splits = slice_splits(plan, num_splits=8)
+    return plan, splits, data
+
+
+class TestWeeklyMeanRoundTrip:
+    @pytest.mark.parametrize("plane", ["record", "columnar"])
+    @pytest.mark.parametrize("run", ["run_serial", "run_threaded"])
+    def test_byte_identical_to_no_fault_oracle(self, weekly, run, plane):
+        plan, splits, data = weekly
+        job, barrier, _ = build_sidr_job(
+            plan, splits, 4, data, data_plane=plane
+        )
+        expected = LocalEngine().run_serial(job, barrier).all_records()
+
+        eng = LocalEngine(
+            speculation=FAST,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=hang_plan(index=2),
+        )
+        job, barrier, _ = build_sidr_job(
+            plan, splits, 4, data, data_plane=plane
+        )
+        res = getattr(eng, run)(job, barrier)
+        assert res.all_records() == expected
+
+
+# --------------------------------------------------------------------- #
+# Deadlines
+# --------------------------------------------------------------------- #
+class TestDeadline:
+    def test_conf_validation(self):
+        with pytest.raises(JobConfigError):
+            counting_job(deadline=-1.0)
+        with pytest.raises(JobConfigError):
+            counting_job(deadline=1.0, on_deadline="shrug")
+
+    @pytest.mark.parametrize("run", ["run_serial", "run_threaded"])
+    def test_fail_mode_raises(self, run):
+        eng = LocalEngine(
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            faults=hang_plan(index=1, times=5),
+        )
+        job = counting_job(deadline=0.1, on_deadline="fail")
+        with pytest.raises(JobFailedError):
+            getattr(eng, run)(job)
+
+    def test_partial_mode_returns_completed_prefix(self):
+        # Disjoint deps: reduce 1 only needs map 2, which never hangs.
+        from repro.mapreduce.engine import DependencyBarrier
+        from repro.mapreduce.partitioner import RangePartitioner
+
+        def reader(split):
+            yield ((split.index,), split.index * 10)
+
+        def make(**kw):
+            return JobConf(
+                name="partial",
+                splits=[
+                    ByteRangeSplit(index=i, path="/f", start=i * 10, length=10)
+                    for i in range(3)
+                ],
+                reader_factory=reader,
+                mapper_factory=IdentityMapper,
+                reducer_factory=lambda: FunctionReducer(
+                    lambda k, vals: [(k, sum(vals))]
+                ),
+                partitioner=RangePartitioner((3,), [2, 3]),
+                num_reduce_tasks=2,
+                contact_all_maps=False,
+                **kw,
+            )
+
+        barrier = DependencyBarrier(
+            {0: frozenset({0, 1}), 1: frozenset({2})}
+        )
+        oracle = LocalEngine().run_threaded(make(), barrier)
+
+        eng = LocalEngine(
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            faults=hang_plan(index=0, times=5),
+        )
+        res = eng.run_threaded(
+            make(deadline=0.25, on_deadline="partial"), barrier
+        )
+        assert res.partial
+        assert 1 in res.outputs  # the unblocked partition finished
+        assert 0 not in res.outputs  # the hung dependency never cleared
+        assert sorted(res.outputs[1]) == sorted(oracle.outputs[1])
+
+    def test_deadline_not_hit_is_clean(self):
+        res = LocalEngine().run_threaded(
+            counting_job(deadline=60.0, on_deadline="partial")
+        )
+        assert not res.partial
+        assert len(res.outputs) == 2
+
+
+# --------------------------------------------------------------------- #
+# Explorer: at-most-one-winner across >= 25 seeded schedules
+# --------------------------------------------------------------------- #
+class TestAtMostOneWinner:
+    def test_chaos_schedules(self):
+        oracle = canon(LocalEngine().run_serial(counting_job()))
+        for schedule in range(25):
+            hook = ChaosHook(
+                seed=11,
+                schedule=schedule,
+                max_delay=0.0 if schedule == 0 else 0.0015,
+            )
+            eng = LocalEngine(
+                observability=False,
+                speculation=FAST,
+                retry=RetryPolicy(max_attempts=4, backoff_base=0.0),
+                faults=hang_plan(index=1),
+                scheduler_hook=hook,
+            )
+            job = counting_job()
+            res = eng.run_threaded(job)
+            assert canon(res) == oracle, f"schedule {schedule}"
+            from repro.mapreduce.engine import GlobalBarrier
+
+            violations = check_interleaving_invariants(
+                hook.events,
+                barrier=GlobalBarrier(),
+                total_maps=job.num_map_tasks,
+                contact_all_maps=True,
+                attempts=res.attempts,
+            )
+            assert not violations, (
+                f"schedule {schedule}: "
+                + "; ".join(str(v) for v in violations)
+            )
+
+    def test_invariant_catches_double_winner(self):
+        from repro.mapreduce.engine import GlobalBarrier
+        from repro.verify.hooks import HookEvent
+
+        events = [
+            HookEvent(0, HOOK_SPECULATE, "map", 0, 1, {"of": 0}),
+            HookEvent(1, "spill-commit", "map", 0, 0),
+            HookEvent(2, "spill-commit", "map", 0, 1),
+        ]
+        violations = check_interleaving_invariants(
+            events, barrier=GlobalBarrier(), total_maps=1,
+            contact_all_maps=True,
+        )
+        assert any(v.invariant == "at-most-one-winner" for v in violations)
+
+
+# --------------------------------------------------------------------- #
+# Differential fuzz: a speculate case through all four configurations
+# --------------------------------------------------------------------- #
+class TestFuzzSpeculate:
+    def test_hang_case_all_configs(self):
+        case = FuzzCase(
+            seed=77,
+            shape=(6, 4),
+            extraction=(3, 2),
+            stride=None,
+            operator="mean",
+            threshold=None,
+            num_splits=3,
+            reduces=2,
+            fault_rules=(
+                {"task": "map", "fault": "hang", "indices": [1], "times": 1},
+            ),
+            speculate=True,
+        )
+        assert FuzzCase.from_json(case.to_json()) == case
+        result = run_case(case)
+        assert result.ok, result.mismatch
+
+
+# --------------------------------------------------------------------- #
+# Live plane vocabulary
+# --------------------------------------------------------------------- #
+class TestLiveVocabulary:
+    def test_phase_totals_counts_speculation_events(self):
+        from repro.obs import JobObservability
+        from repro.obs.live.stream import phase_totals
+
+        bus = EventBus()
+        sub = bus.subscribe()
+        obs = JobObservability("spec", bus=bus)
+        eng = LocalEngine(
+            # Straggler speculation off: mitigation must come from the
+            # staleness rule, so a task.hang event is guaranteed.
+            speculation=SpeculationPolicy(
+                hang_timeout=0.08,
+                heartbeat_interval=0.01,
+                speculate_stragglers=False,
+            ),
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=hang_plan(index=1),
+        )
+        res = eng.run_threaded(counting_job(), obs=obs)
+        totals = phase_totals(sub.drain())
+        assert totals["hangs"] >= 1
+        assert totals["speculations"] == 1
+        assert totals["cancelled"] == 1
+        assert totals["map"]["finished"] == 4
+        assert res.counters.get("task.speculations") == 1
