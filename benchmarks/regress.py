@@ -39,7 +39,8 @@ from pathlib import Path
 
 BASELINE_DIR = Path(__file__).parent / "baselines"
 RESULT_FILES = ("BENCH_throughput.json", "BENCH_recovery.json",
-                "BENCH_speculation.json", "BENCH_obs.json")
+                "BENCH_speculation.json", "BENCH_pruning.json",
+                "BENCH_obs.json")
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,17 @@ CHECKS: tuple[Check, ...] = (
     Check("BENCH_speculation.json", "within_2x", "exact"),
     Check("BENCH_speculation.json", "speculations", "exact"),
     Check("BENCH_speculation.json", "hang_speculation_seconds", "relative",
+          0.60),
+    # Zone-map pruning: byte-identity and split counts are structural
+    # invariants; the low-selectivity speedup gate (>=5x) is exact as a
+    # boolean, with the raw ratio in a wide band (the pruned runs are
+    # milliseconds, so runner noise shows up amplified in the ratio).
+    Check("BENCH_pruning.json", "identical", "exact"),
+    Check("BENCH_pruning.json", "speedup_ok", "exact"),
+    Check("BENCH_pruning.json", "sweep[0].splits_pruned", "exact"),
+    Check("BENCH_pruning.json", "sweep[5].splits_pruned", "exact"),
+    Check("BENCH_pruning.json", "sweep[0].record.speedup", "relative", 0.75),
+    Check("BENCH_pruning.json", "sweep[5].record.seconds_full", "relative",
           0.60),
     # Observability: overhead ratios are near zero, so band them
     # absolutely — baseline 0.04 vs fresh 0.09 is fine; 0.25 is not.
@@ -210,6 +222,7 @@ def trajectory_row(results: dict) -> dict:
     thr = results["BENCH_throughput.json"]
     rec = results["BENCH_recovery.json"]
     spec = results.get("BENCH_speculation.json", {})
+    prune = results.get("BENCH_pruning.json", {})
     overhead = obs["sections"].get("obs_overhead", {})
     return {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -225,6 +238,10 @@ def trajectory_row(results: dict) -> dict:
             m["maps_reexecuted"] for m in rec["models"]
         ],
         "speculation_hang_ratio": spec.get("ratio"),
+        "pruning_low_speedup": (
+            prune["sweep"][0]["record"]["speedup"]
+            if prune.get("sweep") else None
+        ),
         "runall_total_seconds": obs.get("total_seconds"),
     }
 

@@ -134,7 +134,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     print(f"# {plan.describe()}", file=sys.stderr)
     job, barrier, sidr = build_sidr_job(
         plan, splits, args.reduces, source=args.file,
-        data_plane=args.data_plane,
+        data_plane=args.data_plane, prune=not args.no_prune,
     )
     if args.deadline is not None:
         if args.deadline <= 0:
@@ -203,12 +203,19 @@ def cmd_query(args: argparse.Namespace) -> int:
             )
             print(f"# status snapshot written to {args.status}", file=sys.stderr)
     print(
-        f"# {len(splits)} map tasks, {args.reduces} reduce tasks, "
+        f"# {len(job.splits)} map tasks, {args.reduces} reduce tasks, "
         f"{res.counters.get('barrier.early.starts')} early starts, "
         f"{res.shuffle_connections} shuffle connections, "
         f"{job.data_plane} data plane",
         file=sys.stderr,
     )
+    if sidr.pruning is not None:
+        print(
+            f"# zone maps pruned {sidr.pruning.num_pruned}/"
+            f"{sidr.pruning.original_splits} splits, synthesized "
+            f"{sidr.pruning.num_synth_keys} keys (--no-prune disables)",
+            file=sys.stderr,
+        )
     if fault_plan is not None or args.max_attempts > 1:
         print(
             f"# {res.counters.get('task.attempts')} attempts, "
@@ -459,6 +466,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
             )
         return 1
 
+    operators = None
+    if args.operators:
+        operators = tuple(
+            name.strip() for name in args.operators.split(",") if name.strip()
+        )
     report = fuzz(
         args.cases,
         seed=args.seed,
@@ -466,6 +478,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         out_dir=args.out,
         metrics=metrics,
         shrink=not args.no_shrink,
+        operators=operators,
     )
     print(report.summary())
     for f in report.failures:
@@ -622,6 +635,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution path: per-record objects (oracle) or the "
         "vectorized columnar batch path (docs/PERFORMANCE.md)",
     )
+    p_query.add_argument(
+        "--no-prune", action="store_true",
+        help="disable zone-map split skipping (run every split; the "
+        "output is byte-identical either way)",
+    )
     p_query.add_argument("--limit", type=int, default=20,
                          help="max output rows (0 = all)")
     p_query.add_argument("--live", action="store_true",
@@ -724,6 +742,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "instead of fuzzing")
     p_ver.add_argument("--no-shrink", action="store_true",
                        help="skip shrinking failing cases")
+    p_ver.add_argument("--operators", default=None, metavar="NAME[,NAME...]",
+                       help="restrict generated cases to these operators "
+                       "(e.g. filter_gt for a pruning-equivalence run)")
     p_ver.set_defaults(fn=cmd_verify)
 
     p_sim = sub.add_parser("simulate", help="regenerate a paper figure")

@@ -200,6 +200,22 @@ class ColumnarMapOutput:
         )
 
 
+def _fallback_cell(component: Any) -> np.ndarray:
+    """One fallback record's state component as a length-1 column part.
+
+    Array-valued components (filter_gt's surviving-values state) must
+    become a single object-dtype cell — ``np.asarray([arr])`` would
+    build a ``(1, k)`` numeric block that cannot concatenate with the
+    batch path's object columns (and silently changes shape when
+    ``k == 1``).  Scalars keep the old direct path.
+    """
+    if isinstance(component, np.ndarray):
+        cell = np.empty(1, dtype=object)
+        cell[0] = np.asarray(component, dtype=np.float64).reshape(-1)
+        return cell
+    return np.asarray([component])
+
+
 def _batch_operator(job: Any) -> BatchOperator:
     bop = job.context.get("batch_operator")
     if bop is None:
@@ -234,6 +250,7 @@ def run_columnar_map(
     ``plane.*`` additionally reports how much of the split was batched.
     """
     bop = _batch_operator(job)
+    masker = getattr(bop, "masked_cells", None)
     n = job.num_reduce_tasks
     key_parts: list[np.ndarray] = []
     col_parts: list[tuple[np.ndarray, ...]] = []
@@ -241,6 +258,7 @@ def run_columnar_map(
     records_in = 0
     batched = 0
     fallback = 0
+    masked = 0
     with obs.phase("map.read", task_span) as read_span:
         for item in job.reader_factory(job.splits[split_index]):
             # Batch-granular cancellation/liveness checkpoint: batches
@@ -258,7 +276,10 @@ def run_columnar_map(
                 records_in += item.num_instances
                 batched += item.num_instances
                 key_parts.append(item.keys)
-                col_parts.append(bop.map_batch(item.values))
+                cols = bop.map_batch(item.values)
+                col_parts.append(cols)
+                if masker is not None:
+                    masked += masker(item.values, cols)
                 count_parts.append(
                     np.full(item.num_instances, item.cells_per_instance, dtype=np.int64)
                 )
@@ -268,15 +289,19 @@ def run_columnar_map(
                 fallback += 1
                 row, src = bop.map_record(chunk)
                 key_parts.append(np.asarray([key], dtype=np.int64))
-                col_parts.append(tuple(np.asarray([c]) for c in row))
+                col_parts.append(tuple(_fallback_cell(c) for c in row))
                 count_parts.append(np.asarray([src], dtype=np.int64))
     counters.increment("map.input.records", records_in)
     counters.increment("map.output.records", records_in)
     counters.increment("plane.batched.instances", batched)
     counters.increment("plane.fallback.instances", fallback)
+    if masker is not None:
+        counters.increment("pushdown.rows.masked", masked)
     if obs.enabled:
         obs.metrics.counter("plane.batched.instances").inc(batched)
         obs.metrics.counter("plane.fallback.instances").inc(fallback)
+        if masker is not None:
+            obs.metrics.counter("pushdown.rows.masked").inc(masked)
 
     with obs.phase("map.spill", task_span):
         files: list[ColumnarMapOutput] = []

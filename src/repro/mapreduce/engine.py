@@ -49,6 +49,7 @@ results committed so far (``JobConf.on_deadline``).
 
 from __future__ import annotations
 
+import heapq
 import random
 import threading
 import time
@@ -880,6 +881,53 @@ class LocalEngine:
     # ------------------------------------------------------------------ #
     # Reduce task
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _with_synth_records(
+        job: JobConf, partition: int, out: list[KeyValue]
+    ) -> list[KeyValue]:
+        """Merge planner-synthesized records into a reduce's output.
+
+        Split pruning can leave an intermediate key with no producing
+        map at all; the planner proved its finalized value is a constant
+        and handed the keys over via ``job.context``.  Merged in key
+        order so per-partition outputs stay sorted (output writers and
+        early-result consumers rely on that), and rebuilt from the value
+        factory on every attempt so retries and speculative re-runs emit
+        identical, independent records.
+        """
+        synth = job.context.get("synth_records")
+        if not synth:
+            return out
+        keys = synth.get(partition)
+        if not keys:
+            return out
+        factory = job.context["synth_value_factory"]
+        return list(
+            heapq.merge(
+                out,
+                [(key, factory()) for key in keys],
+                key=lambda kv: kv[0],
+            )
+        )
+
+    def _seed_prune_counters(
+        self, job: JobConf, counters: Counters, obs: JobObservability
+    ) -> None:
+        """Surface the planner's pruning decision once per run (not per
+        reduce attempt, so retries cannot inflate the counts)."""
+        stats = job.context.get("prune_stats")
+        if not stats:
+            return
+        counters.increment("plan.splits.pruned", stats["splits_pruned"])
+        counters.increment("plan.keys.synthesized", stats["keys_synthesized"])
+        if obs.enabled:
+            obs.metrics.counter("plan.splits.pruned").inc(
+                stats["splits_pruned"]
+            )
+            obs.metrics.counter("plan.keys.synthesized").inc(
+                stats["keys_synthesized"]
+            )
+
     def _run_reduce(
         self,
         job: JobConf,
@@ -956,9 +1004,13 @@ class LocalEngine:
                 )
 
             if job.data_plane == "columnar":
-                return run_columnar_reduce(
-                    job, files, counters, obs, task_span,
-                    cancel=cancel, heartbeat=hb,
+                return self._with_synth_records(
+                    job,
+                    partition,
+                    run_columnar_reduce(
+                        job, files, counters, obs, task_span,
+                        cancel=cancel, heartbeat=hb,
+                    ),
                 )
 
             segments = [f.records for f in files]
@@ -988,7 +1040,7 @@ class LocalEngine:
                 obs.metrics.histogram(
                     "reduce.group.size", COUNT_BUCKETS
                 ).observe_many(group_sizes)
-            return out
+            return self._with_synth_records(job, partition, out)
 
     # ------------------------------------------------------------------ #
     # Attempt-based retry & dependency-aware recovery
@@ -1298,6 +1350,7 @@ class LocalEngine:
         state = _RunState(self, job)
         store = self._new_store(obs, state)
         counters = Counters()
+        self._seed_prune_counters(job, counters, obs)
         total_maps = job.num_map_tasks
         outputs: dict[int, list[KeyValue]] = {}
         pending = set(range(job.num_reduce_tasks))
@@ -1431,6 +1484,7 @@ class LocalEngine:
         state = _RunState(self, job)
         store = self._new_store(obs, state)
         counters = Counters()
+        self._seed_prune_counters(job, counters, obs)
         total_maps = job.num_map_tasks
         outputs: dict[int, list[KeyValue]] = {}
         lock = threading.Lock()

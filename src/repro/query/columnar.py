@@ -27,8 +27,11 @@ The query half of the columnar data plane (engine half:
   ``combine`` implementations' built-in ``sum``/``min``/``max`` — and
   finalization reconstructs the exact scalar state per key, so columnar
   output is byte-identical to the record plane.  Holistic operators
-  (median, sort) and variable-length partials (filter_gt) return
-  ``None``: those jobs run on the record plane.
+  (median, sort) return ``None``: those jobs run on the record plane.
+  ``filter_gt`` — a variable-length partial — gets the dedicated
+  :class:`_FilterBatchOperator`, which pushes the predicate down into
+  one whole-batch boolean mask (its single state column is object-dtype:
+  element ``i`` is instance ``i``'s surviving values in cell order).
 """
 
 from __future__ import annotations
@@ -401,9 +404,74 @@ def _build_minmax(op: StructuralOperator) -> StructuralBatchOperator:
     )
 
 
-#: Operator name -> batch adapter builder.  Only bounded-fixed-width
-#: distributive states qualify; holistic operators (median, sort) and
-#: variable-length partials (filter_gt) stay on the record plane.
+class _FilterBatchOperator(StructuralBatchOperator):
+    """filter_gt's vectorized face: predicate pushdown.
+
+    One boolean mask per batch replaces the record plane's per-instance
+    ``arr[arr > t]`` — the batch-path half of split skipping: splits the
+    zone map could not prune entirely still do a single vectorized
+    compare instead of per-instance Python.  The single state column is
+    object-dtype; element ``i`` is instance ``i``'s surviving values in
+    cell order, so the segmented combine's left-to-right concatenation
+    reproduces the scalar ``np.concatenate`` order exactly and
+    finalization (a sort) is byte-identical to the record plane.
+
+    An all-masked row keeps its place: an empty survivors array with the
+    row's full source count, matching the scalar ``map_partial`` on a
+    nothing-passes chunk (§2.4.2 allows empty per-instance results and
+    the §3.2.1 count annotation still needs the cells tallied).
+    """
+
+    def __init__(self, operator: StructuralOperator) -> None:
+        self._threshold = float(operator.threshold)  # type: ignore[attr-defined]
+        super().__init__(
+            operator,
+            self._mask_batch,
+            (),
+            lambda r: np.asarray(r[0], dtype=np.float64).reshape(-1),
+        )
+
+    def _mask_batch(self, values: np.ndarray) -> tuple[np.ndarray, ...]:
+        w = _f64(values)
+        mask = w > self._threshold
+        kept = mask.sum(axis=1)
+        pieces = np.split(w[mask], np.cumsum(kept)[:-1]) if kept.size else []
+        col = np.empty(w.shape[0], dtype=object)
+        for i, piece in enumerate(pieces):
+            # Per-element assignment: a slice assignment would try to
+            # broadcast the ragged pieces into a 2-D block.
+            col[i] = piece
+        return (col,)
+
+    def combine_columns(
+        self, columns: tuple[np.ndarray, ...], starts: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        col = columns[0]
+        n = len(col)
+        if starts.size == 0:
+            return (col[:0].copy(),)
+        ends = np.append(starts[1:], n)
+        out = np.empty(len(starts), dtype=object)
+        for i in range(len(starts)):
+            segs = [
+                np.asarray(col[j], dtype=np.float64).reshape(-1)
+                for j in range(int(starts[i]), int(ends[i]))
+            ]
+            out[i] = segs[0] if len(segs) == 1 else np.concatenate(segs)
+        return (out,)
+
+    def masked_cells(
+        self, values: np.ndarray, columns: tuple[np.ndarray, ...]
+    ) -> int:
+        """Cells the pushdown mask dropped from this batch (the engine's
+        ``pushdown.rows.masked`` counter)."""
+        kept = sum(int(np.asarray(row).size) for row in columns[0])
+        return int(values.size) - kept
+
+
+#: Operator name -> batch adapter builder.  Only holistic operators
+#: (median, sort) stay on the record plane: their reduce-side state is
+#: the full value multiset, which no fixed set of columns carries.
 _BUILDERS: dict[str, Callable[[StructuralOperator], StructuralBatchOperator]] = {
     "sum": _build_sum,
     "count": _build_count,
@@ -413,6 +481,7 @@ _BUILDERS: dict[str, Callable[[StructuralOperator], StructuralBatchOperator]] = 
     "stddev": _build_stddev,
     "range": _build_minmax,
     "range_exceeds": _build_minmax,
+    "filter_gt": _FilterBatchOperator,
 }
 
 

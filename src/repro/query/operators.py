@@ -65,6 +65,48 @@ class Partial:
             raise QueryError("negative source_count")
 
 
+class PrunePredicate(ABC):
+    """Zone-map predicate allowing whole input regions to be skipped.
+
+    An operator may expose one (see
+    :meth:`StructuralOperator.prune_predicate`) when two facts hold for
+    regions its :meth:`region_prunable` accepts:
+
+    1. provably **no cell** in the region satisfies the operator's
+       selection, given only a conservative ``[lo, hi]`` value envelope;
+    2. the region's exact contribution to every overlapping key is the
+       operator's combine identity, so dropping it cannot change any
+       key's finalized output — and a key *all* of whose input was
+       pruned finalizes to the constant :meth:`pruned_key_value`.
+
+    Both are needed: pruning must be invisible in the output bytes, not
+    just "approximately right".
+    """
+
+    @abstractmethod
+    def region_prunable(self, lo: float, hi: float) -> bool:
+        """May a region whose values all lie in ``[lo, hi]`` be skipped?"""
+
+    @abstractmethod
+    def pruned_key_value(self) -> Any:
+        """Finalized output of a key whose entire input was pruned."""
+
+
+class _GreaterThanPrune(PrunePredicate):
+    """filter_gt: a region with max <= threshold contributes only empty
+    passing-lists (the combine identity), and a fully-pruned key's
+    output is the empty list."""
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = float(threshold)
+
+    def region_prunable(self, lo: float, hi: float) -> bool:
+        return hi <= self.threshold
+
+    def pruned_key_value(self) -> list[float]:
+        return []
+
+
 class StructuralOperator(ABC):
     """Base class for per-instance operators."""
 
@@ -81,6 +123,12 @@ class StructuralOperator(ABC):
 
     @abstractmethod
     def finalize(self, partial: Partial) -> Any: ...
+
+    def prune_predicate(self) -> PrunePredicate | None:
+        """Zone-map pruning predicate, or None when the operator's
+        output depends on every cell (the common case: any aggregate
+        whose value changes with non-matching data)."""
+        return None
 
     def reference(self, values: np.ndarray) -> Any:
         """Direct evaluation over all of an instance's cells — the serial
@@ -257,6 +305,9 @@ class ThresholdFilterOp(StructuralOperator):
     def finalize(self, partial: Partial) -> list[float]:
         return sorted(float(x) for x in np.asarray(partial.state).reshape(-1))
 
+    def prune_predicate(self) -> PrunePredicate:
+        return _GreaterThanPrune(self.threshold)
+
 
 class RangeOp(StructuralOperator):
     """max - min per instance — the paper's §2.2 query 2 building block
@@ -284,7 +335,12 @@ class RangeOp(StructuralOperator):
 class RangeExceedsOp(StructuralOperator):
     """§2.2 query 2 exactly: does the per-instance variation (max - min)
     exceed a threshold?  Output is the boolean flag plus the variation —
-    enough for the "find all locations where..." selection downstream."""
+    enough for the "find all locations where..." selection downstream.
+
+    Deliberately *not* split-prunable: even an instance that provably
+    cannot exceed the threshold still outputs its data-dependent
+    ``variation``, so no region's contribution is a combine identity
+    (``prune_predicate`` stays None; see docs/PERFORMANCE.md)."""
 
     name = "range_exceeds"
 

@@ -1,0 +1,256 @@
+"""Split skipping: zone-map-driven pruning of whole input splits.
+
+The planner calls :func:`prune_splits` after compiling a query and
+partitioning K'_T.  Given the variable's zone map and the operator's
+:class:`~repro.query.operators.PrunePredicate`, it decides per
+:class:`~repro.query.splits.CoordinateSplit` whether the split's entire
+covered region provably contributes only combine identities — in which
+case the split never becomes a map task.
+
+Pruning must be invisible in the output bytes.  That takes more than
+dropping splits:
+
+* **surviving-key mask** — every intermediate key keeps at least one
+  surviving producer, or its reduce-side group would vanish from the
+  output.  Keys with no surviving producer are *synthesized*: the
+  planner emits ``(key, predicate.pruned_key_value())`` directly into
+  the owning reduce's output (sound by predicate contract: the key's
+  entire input was identity).
+* **expected-count repair** — the §3.2.1 count-annotation validator
+  expects per-keyblock source-cell totals.  Pruned cells never arrive,
+  so each keyblock touched by a pruned split gets its expectation
+  recomputed as the exact cell volume the *surviving* splits deliver.
+* **empty blocks** — a keyblock all of whose producers were pruned has
+  an empty dependency set I_l; the dependency validator is told to
+  allow it (its barrier is trivially ready and it expects zero cells).
+
+Everything here is geometry over the same exact machinery the
+dependency map uses, so pruning cannot disagree with routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.arrays.extraction import StridedExtraction
+from repro.arrays.shape import Coord
+from repro.arrays.slab import Slab
+from repro.query.language import QueryPlan
+from repro.query.operators import PrunePredicate
+from repro.query.splits import CoordinateSplit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scidata.zonemaps import ZoneMap
+    from repro.sidr.keyblocks import KeyBlockPartition
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Everything the planner needs to build a pruned-but-equivalent job."""
+
+    #: Surviving splits, re-indexed 0..n-1 (CoordinateSplit.index must
+    #: equal list position for the engine's task numbering).
+    surviving: tuple[CoordinateSplit, ...]
+    #: Original indices of the splits that were pruned.
+    pruned_indices: tuple[int, ...]
+    #: Original split count before pruning.
+    original_splits: int
+    #: keyblock index -> sorted intermediate keys to synthesize.
+    synth_keys: dict[int, tuple[Coord, ...]]
+    #: Keyblocks whose every key is synthesized (empty I_l allowed).
+    empty_blocks: frozenset[int]
+    #: Pruning-aware expected source cells per keyblock (validator input).
+    expected_counts: tuple[int, ...]
+
+    @property
+    def num_pruned(self) -> int:
+        return len(self.pruned_indices)
+
+    @property
+    def num_synth_keys(self) -> int:
+        return sum(len(keys) for keys in self.synth_keys.values())
+
+
+def split_prunable(
+    plan: QueryPlan,
+    split: CoordinateSplit,
+    zone_map: "ZoneMap",
+    predicate: PrunePredicate,
+) -> bool:
+    """May this split be skipped entirely?
+
+    True iff every slab's covered work region either is empty or has a
+    zone-map value envelope the predicate accepts.  The envelope comes
+    from all tiles *overlapping* the region, so it is conservative —
+    a prunable verdict is proof, a non-prunable one may be a false
+    alarm (which only costs speed, never correctness).
+    """
+    covered = plan.covered
+    for slab in split.slabs:
+        work = slab.intersect(covered)
+        if work.is_empty:
+            continue
+        bounds = zone_map.region_bounds(work)
+        if bounds is None or not predicate.region_prunable(*bounds):
+            return False
+    return True
+
+
+def _mark_surviving_keys(
+    plan: QueryPlan, surviving: tuple[CoordinateSplit, ...]
+) -> np.ndarray:
+    """Boolean grid over K'_T: True where a key keeps >=1 surviving
+    producer.
+
+    Dense extractions use the exact image of each work region (per-dim
+    interval arithmetic, vectorized slab assignment).  Strided
+    extractions fall back to a per-key membership test inside the image
+    box, because a box image may contain keys whose instances only meet
+    the region in stride gaps.
+    """
+    space = plan.intermediate_space
+    mask = np.zeros(space, dtype=bool)
+    strided = isinstance(plan.extraction, StridedExtraction)
+    covered = plan.covered
+    for sp in surviving:
+        for slab in sp.slabs:
+            work = slab.intersect(covered)
+            if work.is_empty:
+                continue
+            image = plan.image_of(work)
+            if image.is_empty:
+                continue
+            if not strided:
+                mask[image.as_slices()] = True
+            else:
+                for key in image.iter_coords():
+                    if not mask[key] and not (
+                        plan.instance_region(key).intersect(work).is_empty
+                    ):
+                        mask[key] = True
+    return mask
+
+
+def _group_missing_keys(
+    mask: np.ndarray, partition: "KeyBlockPartition"
+) -> dict[int, tuple[Coord, ...]]:
+    """Keys with no surviving producer, grouped by owning keyblock.
+
+    ``np.argwhere`` yields C-order rows, so each group's keys come out
+    sorted in row-major key order — the order reduce outputs use.
+    """
+    missing = np.argwhere(~mask)
+    if missing.size == 0:
+        return {}
+    lin = np.ravel_multi_index(tuple(missing.T), mask.shape)
+    boundaries = np.asarray(partition.cell_boundaries(), dtype=np.int64)
+    owners = np.searchsorted(boundaries, lin, side="right")
+    groups: dict[int, tuple[Coord, ...]] = {}
+    for b in np.unique(owners):
+        rows = missing[owners == b]
+        groups[int(b)] = tuple(
+            tuple(int(x) for x in row) for row in rows
+        )
+    return groups
+
+
+def _expected_counts(
+    plan: QueryPlan,
+    partition: "KeyBlockPartition",
+    surviving: tuple[CoordinateSplit, ...],
+    pruned: tuple[CoordinateSplit, ...],
+) -> tuple[int, ...]:
+    """Per-keyblock source-cell totals under pruning — exactly what the
+    surviving maps will deliver, so the count-annotation validator stays
+    exact instead of being weakened to >=."""
+    space = plan.intermediate_space
+    covered = plan.covered
+    per_key = np.empty(space, dtype=np.int64)
+    if plan.extraction.truncate:
+        per_key.fill(plan.cells_per_instance)
+    else:
+        for key in Slab.whole(space).iter_coords():
+            per_key[key] = plan.expected_cells_for_key(key)
+    # Keys possibly fed by a pruned split lose cells: recompute those
+    # exactly as the volume delivered by surviving splits.  Keys outside
+    # every pruned image keep their full instance volume.
+    touched = np.zeros(space, dtype=bool)
+    for sp in pruned:
+        for slab in sp.slabs:
+            work = slab.intersect(covered)
+            if work.is_empty:
+                continue
+            image = plan.image_of(work)
+            if not image.is_empty:
+                touched[image.as_slices()] = True
+    surviving_work = [
+        work
+        for sp in surviving
+        for work in (s.intersect(covered) for s in sp.slabs)
+        if not work.is_empty
+    ]
+    for row in np.argwhere(touched):
+        key = tuple(int(x) for x in row)
+        inst = plan.instance_region(key)
+        per_key[key] = sum(
+            inst.intersect(work).volume for work in surviving_work
+        )
+    totals = []
+    for blk in partition.blocks:
+        totals.append(
+            int(sum(per_key[s.as_slices()].sum() for s in blk.slabs))
+        )
+    return tuple(totals)
+
+
+def prune_splits(
+    plan: QueryPlan,
+    splits: list[CoordinateSplit] | tuple[CoordinateSplit, ...],
+    partition: "KeyBlockPartition",
+    zone_map: "ZoneMap | None",
+    predicate: PrunePredicate | None,
+) -> PruneResult | None:
+    """Decide which splits can be skipped; None when nothing prunes.
+
+    A zone map for the wrong variable or space (e.g. stale metadata) is
+    ignored — degrading to no pruning is always sound.
+    """
+    if zone_map is None or predicate is None:
+        return None
+    if (
+        zone_map.variable != plan.variable
+        or tuple(zone_map.space) != tuple(plan.input_space)
+    ):
+        return None
+    flags = [
+        split_prunable(plan, sp, zone_map, predicate) for sp in splits
+    ]
+    if not any(flags):
+        return None
+    if all(flags):
+        # Keep one split: a job needs at least one map task, and an
+        # all-identity run through one split is still cheap.
+        flags[0] = False
+    surviving = tuple(
+        replace(sp, index=i)
+        for i, sp in enumerate(sp for sp, f in zip(splits, flags) if not f)
+    )
+    pruned = tuple(sp for sp, f in zip(splits, flags) if f)
+    mask = _mark_surviving_keys(plan, surviving)
+    synth = _group_missing_keys(mask, partition)
+    empty_blocks = frozenset(
+        b for b, keys in synth.items()
+        if len(keys) == partition.blocks[b].num_keys
+    )
+    expected = _expected_counts(plan, partition, surviving, pruned)
+    return PruneResult(
+        surviving=surviving,
+        pruned_indices=tuple(sp.index for sp in pruned),
+        original_splits=len(splits),
+        synth_keys=synth,
+        empty_blocks=empty_blocks,
+        expected_counts=expected,
+    )

@@ -26,6 +26,7 @@ from repro.scidata.metadata import DatasetMetadata, simple_metadata
 from repro.scidata.nclite import (
     Header,
     read_header,
+    strip_zone_maps,
     write_nclite,
     write_nclite_empty,
 )
@@ -129,6 +130,10 @@ class Dataset:
         """Write ``data`` (shape must equal the slab's) into the variable."""
         if self._mode != "r+":
             raise DatasetError("dataset opened read-only")
+        # Writing under the zone maps would leave stale statistics that a
+        # later pruned read could trust; invalidate them on-disk first.
+        if self.metadata.zone_maps:
+            self._header = strip_zone_maps(self._fh, self._header)
         base, dtype, space = self._var_layout(name)
         self._check_slab(name, slab, space)
         data = np.ascontiguousarray(data, dtype=dtype)

@@ -15,12 +15,13 @@ Figure 1::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.arrays.shape import Shape
 from repro.errors import DatasetError, FormatError
+from repro.scidata.zonemaps import ZoneMap
 
 #: Supported element types: NCLite name -> numpy dtype.  The subset covers
 #: what scientific formats commonly store and what the paper's queries use.
@@ -113,11 +114,22 @@ class DatasetMetadata:
     dimensions: tuple[Dimension, ...]
     variables: tuple[Variable, ...]
     attributes: tuple[Attribute, ...] = ()
+    #: Optional per-variable zone maps (derived statistics, not
+    #: structural identity — excluded from equality so metadata round
+    #: trips compare equal whether or not an index was computed).
+    zone_maps: tuple[ZoneMap, ...] = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "dimensions", tuple(self.dimensions))
         object.__setattr__(self, "variables", tuple(self.variables))
         object.__setattr__(self, "attributes", tuple(self.attributes))
+        object.__setattr__(self, "zone_maps", tuple(self.zone_maps))
+        var_names = {v.name for v in self.variables}
+        for z in self.zone_maps:
+            if z.variable not in var_names:
+                raise DatasetError(
+                    f"zone map for unknown variable {z.variable!r}"
+                )
         seen: set[str] = set()
         for d in self.dimensions:
             if d.name in seen:
@@ -166,6 +178,22 @@ class DatasetMetadata:
     def variable_nbytes(self, name: str) -> int:
         return self.variable_cells(name) * self.variable(name).numpy_dtype.itemsize
 
+    def zone_map(self, name: str) -> ZoneMap | None:
+        """Zone map for a variable, or None when none was recorded
+        (pre-index files): callers must degrade to no pruning."""
+        for z in self.zone_maps:
+            if z.variable == name:
+                return z
+        return None
+
+    def with_zone_maps(self, zone_maps: tuple[ZoneMap, ...]) -> "DatasetMetadata":
+        return DatasetMetadata(
+            dimensions=self.dimensions,
+            variables=self.variables,
+            attributes=self.attributes,
+            zone_maps=tuple(zone_maps),
+        )
+
     # ------------------------------------------------------------------ #
     # CDL rendering (paper Figure 1 style)
     # ------------------------------------------------------------------ #
@@ -192,7 +220,7 @@ class DatasetMetadata:
     # Plain-dict round trip for the binary header
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "dimensions": [[d.name, d.length] for d in self.dimensions],
             "variables": [
                 {
@@ -205,6 +233,11 @@ class DatasetMetadata:
             ],
             "attributes": [[a.name, a.value] for a in self.attributes],
         }
+        # Emitted only when present so un-indexed files keep their exact
+        # pre-zone-map header bytes.
+        if self.zone_maps:
+            doc["zone_maps"] = [z.to_dict() for z in self.zone_maps]
+        return doc
 
     @classmethod
     def from_dict(cls, d: dict) -> "DatasetMetadata":
@@ -220,9 +253,15 @@ class DatasetMetadata:
                 for v in d["variables"]
             )
             attrs = tuple(Attribute(n, val) for n, val in d["attributes"])
+            zones = tuple(
+                ZoneMap.from_dict(z) for z in d.get("zone_maps", ())
+            )
         except (KeyError, TypeError, ValueError) as exc:
             raise FormatError(f"malformed metadata dictionary: {exc}") from exc
-        return cls(dimensions=dims, variables=variables, attributes=attrs)
+        return cls(
+            dimensions=dims, variables=variables, attributes=attrs,
+            zone_maps=zones,
+        )
 
 
 def simple_metadata(

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import FormatError
 from repro.scidata.metadata import DatasetMetadata
+from repro.scidata.zonemaps import build_zone_map, constant_zone_map
 
 NCLITE_MAGIC = b"NCLITE\x01\n"
 _LEN_BYTES = 4
@@ -93,15 +94,57 @@ def read_header(path: str | os.PathLike) -> Header:
         return Header(metadata=meta, offsets=offsets, data_start=data_start)
 
 
+def strip_zone_maps(fh, header: Header) -> Header:
+    """Drop zone maps from an open writable file's header, in place.
+
+    Slab writes mutate the payload under the statistics, so the first
+    mutation must invalidate them or later pruned reads would be
+    unsound.  The header's byte length cannot change (payload offsets
+    are relative to ``data_start``), so the shorter JSON is padded with
+    trailing spaces to the exact original length — ``json.loads``
+    accepts trailing whitespace.  Returns the updated header.
+    """
+    meta = header.metadata
+    if not meta.zone_maps:
+        return header
+    bare = meta.with_zone_maps(())
+    rel = {
+        name: off - header.data_start for name, off in header.offsets.items()
+    }
+    total = sum(bare.variable_nbytes(v.name) for v in bare.variables)
+    doc = {"meta": bare.to_dict(), "offsets": rel, "total_data": total}
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    room = header.data_start - len(NCLITE_MAGIC) - _LEN_BYTES
+    if len(payload) > room:  # pragma: no cover - strip only shrinks
+        raise FormatError("zone-map strip grew the header")
+    fh.seek(len(NCLITE_MAGIC) + _LEN_BYTES)
+    fh.write(payload + b" " * (room - len(payload)))
+    fh.flush()
+    return Header(
+        metadata=bare, offsets=header.offsets, data_start=header.data_start
+    )
+
+
 def write_nclite(
     path: str | os.PathLike,
     metadata: DatasetMetadata,
     arrays: dict[str, np.ndarray],
+    *,
+    zone_maps: bool = True,
+    tile_shape: tuple[int, ...] | None = None,
 ) -> None:
     """Write a complete NCLite file from in-memory arrays.
 
     Every variable in ``metadata`` must be present in ``arrays`` with the
     exact declared shape and a dtype castable to the declared one.
+
+    Unless ``zone_maps=False``, a per-tile min/max/count zone map is
+    computed for every variable while the data is in memory and stored
+    in the header (the load-time indexing of "aggressive elephants"),
+    enabling split pruning at plan time.  Statistics are taken over the
+    payload *after* the cast to the declared on-disk dtype, so they
+    bound exactly what a reader will see.  Metadata that already carries
+    zone maps is written as-is.
     """
     for v in metadata.variables:
         if v.name not in arrays:
@@ -113,15 +156,23 @@ def write_nclite(
                 f"variable {v.name!r}: payload shape {arr.shape} != "
                 f"declared {want}"
             )
+    casted = {
+        v.name: np.ascontiguousarray(
+            arrays[v.name], dtype=v.numpy_dtype.newbyteorder("<")
+        )
+        for v in metadata.variables
+    }
+    if zone_maps and not metadata.zone_maps:
+        metadata = metadata.with_zone_maps(tuple(
+            build_zone_map(v.name, casted[v.name], tile_shape=tile_shape)
+            for v in metadata.variables
+        ))
     header, _rel = encode_header(metadata)
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "wb") as fh:
         fh.write(header)
         for v in metadata.variables:
-            arr = np.ascontiguousarray(
-                arrays[v.name], dtype=v.numpy_dtype.newbyteorder("<")
-            )
-            fh.write(arr.tobytes())
+            fh.write(casted[v.name].tobytes())
     os.replace(tmp, path)
 
 
@@ -129,6 +180,9 @@ def write_nclite_empty(
     path: str | os.PathLike,
     metadata: DatasetMetadata,
     fill: float | int = 0,
+    *,
+    zone_maps: bool = True,
+    tile_shape: tuple[int, ...] | None = None,
 ) -> None:
     """Create an NCLite file with all variables filled with ``fill``.
 
@@ -136,7 +190,20 @@ def write_nclite_empty(
     into (the sentinel-file strategy of §4.4 pre-fills with a sentinel).
     The fill is written in bounded chunks so creating a file much larger
     than RAM stays safe.
+
+    Zone maps for a constant-fill variable need no scan: every tile's
+    min and max are the fill value and every tile is flagged pure-fill.
+    They are valid only while the file stays constant —
+    ``Dataset.write_slab`` invalidates them in place on first mutation.
     """
+    if zone_maps and not metadata.zone_maps:
+        metadata = metadata.with_zone_maps(tuple(
+            constant_zone_map(
+                v.name, metadata.variable_shape(v.name), fill,
+                tile_shape=tile_shape,
+            )
+            for v in metadata.variables
+        ))
     header, _rel = encode_header(metadata)
     tmp = f"{path}.tmp.{os.getpid()}"
     chunk_cells = 1 << 20

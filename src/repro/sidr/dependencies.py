@@ -104,11 +104,19 @@ class DependencyMap:
             return 0.0
         return self.sidr_connections / self.num_blocks
 
-    def validate_complete(self) -> None:
+    def validate_complete(
+        self, allow_empty: frozenset[int] = frozenset()
+    ) -> None:
         """Every keyblock must depend on at least one split and every
-        producer edge must appear in both directions."""
+        producer edge must appear in both directions.
+
+        ``allow_empty`` lists keyblocks legitimately without producers:
+        split pruning can remove every split feeding a block, whose keys
+        the planner then synthesizes (its barrier is trivially ready and
+        its expected source-cell count is zero).
+        """
         for l, deps in enumerate(self.dependencies):
-            if not deps:
+            if not deps and l not in allow_empty:
                 raise PartitionError(
                     f"keyblock {l} has no producing splits — partition and "
                     "splits disagree about the covered keyspace"
@@ -157,9 +165,15 @@ def compute_dependencies(
     plan: QueryPlan,
     splits: Sequence[CoordinateSplit],
     partition: KeyBlockPartition,
+    *,
+    allow_empty: frozenset[int] = frozenset(),
 ) -> DependencyMap:
     """Build the stored dependency map (the paper's chosen side of the
-    store-vs-recompute trade-off)."""
+    store-vs-recompute trade-off).
+
+    ``allow_empty`` names keyblocks permitted to end up with an empty
+    I_l (every producer was pruned; see ``DependencyMap.validate_complete``).
+    """
     if partition.space != plan.intermediate_space:
         raise PartitionError(
             f"partition space {partition.space} != query K'_T "
@@ -185,7 +199,7 @@ def compute_dependencies(
         producers=tuple(producers),
         dependencies=tuple(frozenset(d) for d in deps),
     )
-    dm.validate_complete()
+    dm.validate_complete(allow_empty=allow_empty)
     return dm
 
 

@@ -17,12 +17,15 @@ input metadata" (§3.1).  The resulting plan plugs into:
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from repro.arrays.slab import Slab
-from repro.errors import JobConfigError, PartitionError
+from repro.errors import FormatError, JobConfigError, PartitionError
 from repro.mapreduce.engine import DependencyBarrier
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.mapper import ChunkAggregateMapper
@@ -30,8 +33,10 @@ from repro.mapreduce.partitioner import RangePartitioner
 from repro.mapreduce.reducer import AggregateReducer, CombinerAdapter, Reducer
 from repro.query.columnar import batch_operator_for, make_columnar_reader_factory
 from repro.query.language import QueryPlan
+from repro.query.pruning import PruneResult, prune_splits
 from repro.query.recordreader import make_reader_factory
 from repro.query.splits import CoordinateSplit
+from repro.scidata.zonemaps import ZoneMap, build_zone_map
 from repro.sidr.annotations import CountAnnotationValidator
 from repro.sidr.dependencies import DependencyMap, compute_dependencies
 from repro.sidr.keyblocks import KeyBlockPartition
@@ -48,6 +53,9 @@ class SIDRPlan:
     partition: KeyBlockPartition
     deps: DependencyMap
     priorities: tuple[float, ...] | None = None
+    #: Zone-map pruning decision; None when pruning was off or nothing
+    #: pruned.  When set, ``splits`` are the re-indexed survivors.
+    pruning: PruneResult | None = None
 
     # ------------------------------------------------------------------ #
     # Engine-facing pieces
@@ -67,6 +75,12 @@ class SIDRPlan:
         return DependencyBarrier(self.deps.dependency_barrier())
 
     def validator(self, *, exact: bool = True) -> CountAnnotationValidator:
+        if self.pruning is not None:
+            # Pruned cells never arrive; the exact per-keyblock totals
+            # the surviving splits deliver were precomputed geometrically.
+            return CountAnnotationValidator(
+                expected=list(self.pruning.expected_counts), exact=exact
+            )
         return CountAnnotationValidator.for_plan(
             self.query_plan, self.partition, exact=exact
         )
@@ -138,6 +152,18 @@ class SIDRPlan:
         job.context["data_plane_requested"] = data_plane
         if batch_op is not None:
             job.context["batch_operator"] = batch_op
+        if self.pruning is not None:
+            pred = op.prune_predicate()
+            assert pred is not None  # pruning only exists with a predicate
+            # The engine merges these finalized records into the owning
+            # reduce's output (keys whose every producer was pruned).
+            job.context["synth_records"] = dict(self.pruning.synth_keys)
+            job.context["synth_value_factory"] = pred.pruned_key_value
+            job.context["prune_stats"] = {
+                "splits_pruned": self.pruning.num_pruned,
+                "splits_total": self.pruning.original_splits,
+                "keys_synthesized": self.pruning.num_synth_keys,
+            }
         return job, self.barrier
 
 
@@ -148,12 +174,35 @@ def build_plan(
     *,
     skew_bound: int | None = None,
     priorities: Sequence[float] | None = None,
+    zone_map: ZoneMap | None = None,
+    prune: bool = True,
 ) -> SIDRPlan:
-    """Run the SIDR front-end: partition+ then dependency analysis."""
+    """Run the SIDR front-end: partition+, split pruning, dependency
+    analysis.
+
+    With a ``zone_map`` and an operator exposing a prune predicate,
+    splits that provably contribute only combine identities are dropped
+    before task creation (``prune=False`` is the escape hatch).  The
+    partition is computed first and is identical with or without
+    pruning — keyblock ownership depends only on K'_T.
+    """
     partition = partition_plus(
         query_plan.intermediate_space, num_reduce_tasks, skew_bound=skew_bound
     )
-    deps = compute_dependencies(query_plan, splits, partition)
+    pruning: PruneResult | None = None
+    if prune and zone_map is not None:
+        pruning = prune_splits(
+            query_plan, list(splits), partition, zone_map,
+            query_plan.operator.prune_predicate(),
+        )
+    if pruning is not None:
+        splits = pruning.surviving
+        deps = compute_dependencies(
+            query_plan, splits, partition,
+            allow_empty=pruning.empty_blocks,
+        )
+    else:
+        deps = compute_dependencies(query_plan, splits, partition)
     prio = tuple(priorities) if priorities is not None else None
     if prio is not None and len(prio) != partition.num_blocks:
         raise PartitionError("priorities length must equal keyblock count")
@@ -163,7 +212,38 @@ def build_plan(
         partition=partition,
         deps=deps,
         priorities=prio,
+        pruning=pruning,
     )
+
+
+def derive_zone_map(query_plan: QueryPlan, source: Any) -> ZoneMap | None:
+    """Find (or build) a zone map for the queried variable.
+
+    Checked in order: the metadata the query compiled against, an open
+    ``Dataset``'s header, an NCLite file's header (header read only — no
+    payload scan), or a one-pass build for an in-memory array.  Returns
+    None (→ no pruning) when the operator has no prune predicate or no
+    index can be found — stale/pre-index files degrade gracefully.
+    """
+    if query_plan.operator.prune_predicate() is None:
+        return None
+    var = query_plan.variable
+    z = query_plan.metadata.zone_map(var)
+    if z is not None:
+        return z
+    src_meta = getattr(source, "metadata", None)
+    if src_meta is not None and hasattr(src_meta, "zone_map"):
+        return src_meta.zone_map(var)
+    if isinstance(source, np.ndarray):
+        return build_zone_map(var, source)
+    if isinstance(source, (str, os.PathLike)):
+        from repro.scidata.nclite import read_header
+
+        try:
+            return read_header(source).metadata.zone_map(var)
+        except (FormatError, OSError):
+            return None
+    return None
 
 
 def build_sidr_job(
@@ -173,9 +253,21 @@ def build_sidr_job(
     source: Any,
     *,
     data_plane: str = "record",
+    prune: bool = True,
+    zone_map: ZoneMap | None = None,
     **plan_kwargs: Any,
 ) -> tuple[JobConf, DependencyBarrier, SIDRPlan]:
-    """One-call convenience: plan + engine job."""
-    plan = build_plan(query_plan, splits, num_reduce_tasks, **plan_kwargs)
+    """One-call convenience: plan + engine job.
+
+    Zone-map pruning is on by default (it never changes output bytes);
+    pass ``prune=False`` or use ``repro.cli query --no-prune`` to force
+    every split to run.
+    """
+    if prune and zone_map is None:
+        zone_map = derive_zone_map(query_plan, source)
+    plan = build_plan(
+        query_plan, splits, num_reduce_tasks,
+        zone_map=zone_map, prune=prune, **plan_kwargs,
+    )
     job, barrier = plan.configure_job(source, data_plane=data_plane)
     return job, barrier, plan

@@ -69,6 +69,11 @@ class FuzzCase:
     #: (fast hang timeout) — required whenever ``fault_rules`` contains
     #: a ``hang`` rule, since an unmitigated hang blocks forever.
     speculate: bool = False
+    #: Zone-map tile shape for the pruning legs (None = the builder's
+    #: default tiling).  Only drawn for prunable operators; varying it
+    #: exercises coarse tiles (weak envelopes, little pruning) through
+    #: cell-sized tiles (exact envelopes, aggressive pruning).
+    tile: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -143,6 +148,7 @@ class FuzzCase:
             "data_high": self.data_high,
             "max_attempts": self.max_attempts,
             "speculate": self.speculate,
+            "tile": list(self.tile) if self.tile else None,
         }
 
     @classmethod
@@ -172,16 +178,22 @@ class FuzzCase:
             data_high=int(doc.get("data_high", 40)),
             max_attempts=int(doc.get("max_attempts", 6)),
             speculate=bool(doc.get("speculate", False)),
+            tile=(
+                tuple(int(x) for x in doc["tile"])
+                if doc.get("tile")
+                else None
+            ),
         )
 
     def describe(self) -> str:
         stride = f" stride={list(self.stride)}" if self.stride else ""
         faults = f" faults={len(self.fault_rules)}" if self.fault_rules else ""
         spec = " speculate" if self.speculate else ""
+        tile = f" tile={list(self.tile)}" if self.tile else ""
         return (
             f"{self.operator}{list(self.shape)}/ex{list(self.extraction)}"
             f"{stride} splits={self.num_splits} reduces={self.reduces}"
-            f" recovery={self.recovery}{faults}{spec}"
+            f" recovery={self.recovery}{faults}{spec}{tile}"
         )
 
 
@@ -256,10 +268,17 @@ def _random_faults(
     return tuple(rules), recovery, False
 
 
-def generate_case(index: int, master_seed: int = 0) -> FuzzCase:
+def generate_case(
+    index: int,
+    master_seed: int = 0,
+    operators: tuple[str, ...] | None = None,
+) -> FuzzCase:
     """Deterministic case ``index`` of the stream seeded by
     ``master_seed`` — resampled until the geometry compiles and clamped
-    so the keyblock partition is feasible."""
+    so the keyblock partition is feasible.  ``operators`` restricts the
+    operator pool (e.g. ``("filter_gt",)`` for a pruning-focused run).
+    """
+    pool = OPERATOR_NAMES if operators is None else tuple(operators)
     for salt in range(64):
         rng = random.Random(f"{master_seed}:{index}:{salt}")
         rank = rng.choice((2, 2, 2, 3))
@@ -273,12 +292,15 @@ def generate_case(index: int, master_seed: int = 0) -> FuzzCase:
         stride = None
         if rng.random() < 0.25:
             stride = tuple(e + rng.randint(0, 2) for e in extraction)
-        operator = rng.choice(OPERATOR_NAMES)
+        operator = rng.choice(pool)
         threshold = (
             float(rng.randint(-10, 10))
             if operator in _THRESHOLD_OPS
             else None
         )
+        tile = None
+        if operator == "filter_gt" and rng.random() < 0.6:
+            tile = tuple(rng.randint(1, s) for s in shape)
         num_splits = rng.randint(1, 5)
         reduces = rng.randint(1, 4)
         faults, recovery, speculate = _random_faults(rng, num_splits, reduces)
@@ -294,6 +316,7 @@ def generate_case(index: int, master_seed: int = 0) -> FuzzCase:
             recovery=recovery,
             fault_rules=faults,
             speculate=speculate,
+            tile=tile,
         )
         try:
             plan = case.compile()

@@ -6,6 +6,13 @@ compared, byte-identically in canonical form, against the brute-force
 :mod:`~repro.verify.oracle`.  Expected-failure cases (crash faults)
 must instead fail in *every* configuration.
 
+Prunable fault-free cases (``filter_gt``) additionally run a **predicate
+leg**: the same four configurations with zone-map split skipping forced
+on (a zone map built from the case data at the case's tile shape), so
+every fuzzed threshold query proves pruned plans byte-identical to
+unpruned ones.  Fault cases keep pruning off — their rules target split
+indices, which pruning renumbers.
+
 A mismatching case is **shrunk**: candidate simplifications (drop
 faults, unstride, collapse reduces/splits, halve geometry) are applied
 greedily while the mismatch persists, and the minimal failing case —
@@ -25,6 +32,7 @@ from repro.errors import ReproError
 from repro.faults import RecoveryModel
 from repro.mapreduce.engine import LocalEngine, RetryPolicy
 from repro.query.splits import slice_splits
+from repro.scidata.zonemaps import build_zone_map
 from repro.sidr.planner import build_sidr_job
 from repro.spec import SpeculationPolicy
 from repro.verify.cases import FuzzCase, generate_case
@@ -61,28 +69,40 @@ def _make_engine(case: FuzzCase, hook: Any | None = None) -> LocalEngine:
     )
 
 
-def _make_job(case: FuzzCase, data_plane: str):
+def _make_job(case: FuzzCase, data_plane: str, prune: bool = False):
     plan, data = case.build()
     splits = slice_splits(plan, num_splits=case.num_splits)
+    zone_map = None
+    if prune:
+        zone_map = build_zone_map("v", data, tile_shape=case.tile)
     job, barrier, _ = build_sidr_job(
-        plan, splits, case.reduces, data, data_plane=data_plane
+        plan, splits, case.reduces, data,
+        data_plane=data_plane, prune=prune, zone_map=zone_map,
     )
     return job, barrier
 
 
+def _prune_eligible(case: FuzzCase) -> bool:
+    """Does this case get the pruning legs?  Prunable operator, no fault
+    rules (fault indices bind to split indices, which pruning renumbers
+    — the same rule would hit a different task)."""
+    return case.operator == "filter_gt" and not case.fault_rules
+
+
 @dataclass(frozen=True)
 class ConfigOutcome:
-    """One (mode, data plane) run of a case."""
+    """One (mode, data plane[, prune]) run of a case."""
 
     mode: str
     data_plane: str
     status: str                      # "ok" | "failed"
     error_types: tuple[str, ...]
     digest: str | None
+    prune: bool = False
 
     @property
     def config(self) -> str:
-        return f"{self.mode}/{self.data_plane}"
+        return f"{self.mode}/{self.data_plane}" + ("/prune" if self.prune else "")
 
 
 @dataclass(frozen=True)
@@ -110,9 +130,13 @@ def run_case(case: FuzzCase, *, metrics: Any | None = None) -> CaseResult:
         plan, data = case.build()
         expected = records_digest(oracle_records(plan, data))
 
+    legs = [(mode, plane, False) for mode, plane in ENGINE_CONFIGS]
+    if _prune_eligible(case):
+        legs += [(mode, plane, True) for mode, plane in ENGINE_CONFIGS]
+
     outcomes: list[ConfigOutcome] = []
-    for mode, plane in ENGINE_CONFIGS:
-        job, barrier = _make_job(case, plane)
+    for mode, plane, prune in legs:
+        job, barrier = _make_job(case, plane, prune=prune)
         engine = _make_engine(case)
         try:
             if mode == "serial":
@@ -121,11 +145,13 @@ def run_case(case: FuzzCase, *, metrics: Any | None = None) -> CaseResult:
                 res = engine.run_threaded(job, barrier)
         except ReproError as exc:
             outcomes.append(
-                ConfigOutcome(mode, plane, "failed", failure_types(exc), None)
+                ConfigOutcome(
+                    mode, plane, "failed", failure_types(exc), None, prune
+                )
             )
             continue
         digest = records_digest(canonicalize_records(res.all_records()))
-        outcomes.append(ConfigOutcome(mode, plane, "ok", (), digest))
+        outcomes.append(ConfigOutcome(mode, plane, "ok", (), digest, prune))
 
     mismatch = _diff(case, expected, outcomes)
     if mismatch is not None and metrics is not None:
@@ -183,6 +209,8 @@ def _shrink_candidates(case: FuzzCase):
             yield _drop_rules(case, rest)
     if case.recovery != "persisted":
         yield replace(case, recovery="persisted")
+    if case.tile is not None:
+        yield replace(case, tile=None)
     if case.stride is not None:
         yield replace(case, stride=None)
     if case.reduces > 1:
@@ -328,15 +356,18 @@ def fuzz(
     out_dir: str | Path | None = None,
     metrics: Any | None = None,
     shrink: bool = True,
+    operators: tuple[str, ...] | None = None,
 ) -> FuzzReport:
     """Run ``num_cases`` generated cases through the differential
     comparison, plus (when ``schedules > 0``) the interleaving explorer,
-    shrinking and persisting every failure."""
+    shrinking and persisting every failure.  ``operators`` restricts the
+    drawn operator pool (CI's pruning-equivalence smoke passes
+    ``("filter_gt",)`` so every case exercises the predicate leg)."""
     failures: list[CaseReport] = []
     violations = 0
     divergent = 0
     for i in range(num_cases):
-        case = generate_case(i, seed)
+        case = generate_case(i, seed, operators=operators)
         result = run_case(case, metrics=metrics)
 
         exploration: ExplorationReport | None = None

@@ -7,6 +7,7 @@ Every test that executes a job runs under both engines by default; set
 
 import os
 
+import numpy as np
 import pytest
 
 from repro.errors import InjectedFaultError, JobFailedError, ReproError
@@ -362,6 +363,126 @@ class TestRecovery:
             )
         for p, records in seen.items():
             assert records == clean[p]
+
+
+# --------------------------------------------------------------------- #
+# Zone-map pruning composes with retry and dependency-aware recovery
+# --------------------------------------------------------------------- #
+def pruned_filter_job(data_plane="record", prune=True):
+    """A filter_gt job whose zone map prunes 4 of 6 splits.
+
+    Hot rows live only in the first and last extraction instances, so
+    splits 1..4 are provably all-below-threshold: their keys are
+    synthesized ([]) rather than computed.  Fault indices below bind to
+    the *surviving* split population (2 maps after pruning).
+    """
+    from repro.query.language import StructuralQuery
+    from repro.query.operators import ThresholdFilterOp
+    from repro.query.splits import slice_splits
+    from repro.scidata.metadata import DatasetMetadata, Dimension, Variable
+    from repro.scidata.zonemaps import build_zone_map
+    from repro.sidr.planner import build_sidr_job
+
+    rng = np.random.default_rng(7)
+    data = rng.uniform(0.0, 1.0, size=(12, 8))
+    data[1, :] = 50.0
+    data[10, :] = 60.0
+    meta = DatasetMetadata(
+        dimensions=(Dimension("t", 12), Dimension("x", 8)),
+        variables=(Variable("v", "double", ("t", "x")),),
+    )
+    plan = StructuralQuery(
+        variable="v", extraction_shape=(2, 8), operator=ThresholdFilterOp(10.0)
+    ).compile(meta)
+    splits = slice_splits(plan, num_splits=6)
+    zone_map = build_zone_map("v", data, tile_shape=(2, 8))
+    job, barrier, sidr = build_sidr_job(
+        plan, splits, 3, data,
+        data_plane=data_plane, prune=prune, zone_map=zone_map,
+    )
+    return job, barrier, sidr
+
+
+class TestPrunedPlanRecovery:
+    """ISSUE satellite: pruning must compose with REEXECUTE_DEPS
+    recovery — a re-executed map attempt over a pruned plan produces
+    the same records (and digest) as the primary attempt."""
+
+    def oracle_digest(self, data_plane):
+        from repro.verify import canonicalize_records, records_digest
+
+        job, barrier, _ = pruned_filter_job(data_plane, prune=False)
+        res = LocalEngine().run_serial(job, barrier)
+        return res.all_records(), records_digest(
+            canonicalize_records(res.all_records())
+        )
+
+    @pytest.mark.parametrize("plane", ["record", "columnar"])
+    @pytest.mark.parametrize("mode", MODES)
+    def test_transient_map_on_pruned_plan(self, mode, plane):
+        """Retried map over the pruned plan: byte-identical to the
+        unpruned fault-free oracle, with synthesized keys intact."""
+        from repro.verify import canonicalize_records, records_digest
+
+        clean, digest = self.oracle_digest(plane)
+        job, barrier, sidr = pruned_filter_job(plane)
+        assert sidr.pruning is not None and sidr.pruning.num_pruned == 4
+        assert job.num_map_tasks == 2
+        engine = LocalEngine(
+            retry=FAST_RETRY, faults=plan_of(transient_rule("map", {0}))
+        )
+        res = run(engine, mode, job, barrier)
+        assert res.all_records() == clean
+        assert records_digest(
+            canonicalize_records(res.all_records())
+        ) == digest
+        assert res.counters.get("task.retries") == 1
+        assert res.counters.get("plan.splits.pruned") == 4
+        map0 = [a for a in res.attempts if a.kind == "map" and a.index == 0]
+        assert [a.outcome for a in map0] == ["failed", "ok"]
+
+    @pytest.mark.parametrize("plane", ["record", "columnar"])
+    @pytest.mark.parametrize("mode", MODES)
+    def test_reexecute_deps_on_pruned_plan(self, mode, plane):
+        """A reduce that dies after consuming its input re-executes only
+        its dependency set — which pruning has already shrunk to the
+        surviving maps.  Partition 1 owns nothing but synthesized keys,
+        so its I_l is empty; partition 0 still depends on map 0."""
+        clean, _ = self.oracle_digest(plane)
+        job, barrier, _ = pruned_filter_job(plane)
+        assert barrier.dependencies_of(1) == frozenset()
+        assert barrier.dependencies_of(0)
+        engine = LocalEngine(
+            retry=FAST_RETRY,
+            recovery=RecoveryModel.REEXECUTE_DEPS,
+            faults=plan_of(
+                transient_rule("reduce", {0}, when=WHEN_AFTER_FETCH)
+            ),
+        )
+        res = run(engine, mode, job, barrier)
+        assert res.all_records() == clean
+        reexec = res.counters.get("recovery.maps_reexecuted")
+        assert 0 < reexec <= job.num_map_tasks
+        assert reexec == len(barrier.dependencies_of(0))
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_every_single_failure_on_pruned_plan(self, mode):
+        """Sweep: any one surviving task failing transiently leaves the
+        pruned job's output byte-identical to the unpruned oracle."""
+        clean, _ = self.oracle_digest("record")
+        cases = [("map", i) for i in range(2)] + [
+            ("reduce", l) for l in range(3)
+        ]
+        for task, idx in cases:
+            when = WHEN_AFTER_FETCH if task == "reduce" else "start"
+            engine = LocalEngine(
+                retry=FAST_RETRY,
+                recovery=RecoveryModel.REEXECUTE_DEPS,
+                faults=plan_of(transient_rule(task, {idx}, when=when)),
+            )
+            job, barrier, _ = pruned_filter_job("record")
+            res = run(engine, mode, job, barrier)
+            assert res.all_records() == clean, (task, idx)
 
 
 # --------------------------------------------------------------------- #

@@ -49,9 +49,10 @@ DISTRIBUTIVE = [
     SumOp(), CountOp(), MeanOp(), MinOp(), MaxOp(), StdDevOp(),
     RangeOp(), RangeExceedsOp(threshold=2.0),
 ]
-# No batch adapter: holistic operators plus filter_gt (variable-
-# length partials do not fit fixed state columns).
-NO_ADAPTER = [MedianOp(), SortOp(), ThresholdFilterOp(threshold=0.0)]
+# No batch adapter: holistic operators (reduce-side state is the full
+# value multiset).  filter_gt now has the dedicated predicate-pushdown
+# adapter (object-dtype survivors column) — see TestFilterBatchOperator.
+NO_ADAPTER = [MedianOp(), SortOp()]
 
 
 @pytest.fixture(scope="module")
@@ -224,6 +225,85 @@ class TestBatchOperators:
         want = op.map_partial(chunk)
         assert count == want.source_count
         assert row == pytest.approx(want.state, rel=0, abs=0)
+
+
+# --------------------------------------------------------------------- #
+# filter_gt predicate-pushdown adapter
+# --------------------------------------------------------------------- #
+class TestFilterBatchOperator:
+    OP = ThresholdFilterOp(threshold=5.0)
+
+    def test_adapter_exists(self):
+        from repro.query.columnar import _FilterBatchOperator
+
+        assert isinstance(batch_operator_for(self.OP), _FilterBatchOperator)
+
+    def test_map_batch_matches_map_partial(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(5.0, 4.0, (9, 14)).astype(np.float32)
+        bop = batch_operator_for(self.OP)
+        (col,) = bop.map_batch(values)
+        assert col.shape == (9,) and col.dtype == object
+        for i in range(values.shape[0]):
+            want = self.OP.map_partial(Chunk(values[i], values.shape[1]))
+            np.testing.assert_array_equal(
+                np.asarray(col[i]), np.asarray(want.state)
+            )
+
+    def test_empty_after_mask_row_keeps_its_place(self):
+        """An all-masked instance still occupies a row (empty survivors,
+        full source count) — the §3.2.1 tally must see its cells."""
+        values = np.array([[1.0, 2.0], [9.0, 1.0], [0.0, 0.0]])
+        bop = batch_operator_for(self.OP)
+        (col,) = bop.map_batch(values)
+        assert col.shape == (3,)
+        assert np.asarray(col[0]).size == 0
+        np.testing.assert_array_equal(np.asarray(col[1]), [9.0])
+        assert np.asarray(col[2]).size == 0
+
+    def test_combine_and_finalize_match_scalar_path(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(5.0, 3.0, (6, 8))
+        bop = batch_operator_for(self.OP)
+        cols = bop.map_batch(values)
+        counts = np.full(6, values.shape[1], dtype=np.int64)
+        starts = np.array([0, 4], dtype=np.int64)
+        merged = bop.combine_columns(cols, starts)
+        for g, (lo, hi) in enumerate([(0, 4), (4, 6)]):
+            partials = [
+                Partial(np.asarray(cols[0][i]), int(counts[i]))
+                for i in range(lo, hi)
+            ]
+            want = self.OP.finalize(self.OP.combine(partials))
+            got = bop.finalize_row(
+                tuple(c[g] for c in merged), int(counts[lo:hi].sum())
+            )
+            assert got == want
+
+    def test_masked_cells_accounting(self):
+        values = np.array([[1.0, 9.0], [0.0, 2.0], [7.0, 8.0]])
+        bop = batch_operator_for(self.OP)
+        cols = bop.map_batch(values)
+        # 6 cells total, 3 survive (9, 7, 8) -> 3 masked.
+        assert bop.masked_cells(values, cols) == 3
+
+    def test_fallback_cell_wraps_arrays_into_object_column(self):
+        """A fallback record's array-valued state must concatenate with
+        the batch path's object columns (regression: np.asarray([arr])
+        built a (1, k) numeric block instead)."""
+        from repro.mapreduce.columnar import _fallback_cell
+
+        bop = batch_operator_for(self.OP)
+        row, count = bop.map_record(Chunk(np.array([1.0, 9.0, 8.0]), 3))
+        assert count == 3
+        cell = _fallback_cell(row[0])
+        assert cell.shape == (1,) and cell.dtype == object
+        np.testing.assert_array_equal(cell[0], [9.0, 8.0])
+        (batch_col,) = bop.map_batch(np.array([[6.0, 2.0]]))
+        joined = np.concatenate([batch_col, cell])
+        assert joined.dtype == object and joined.shape == (2,)
+        # Scalar components keep the direct numeric path.
+        assert _fallback_cell(3.5).dtype != object
 
 
 # --------------------------------------------------------------------- #

@@ -128,6 +128,47 @@ class TestSourceCounts:
         assert p.source_count == 2
         assert op.finalize(p) == []
 
+    def test_filter_empty_after_mask_partial_combines(self):
+        """An empty-after-mask partial must still be a real Partial —
+        empty state, full source count — and combining it with a
+        non-empty one keeps both the values and the tally."""
+        op = ThresholdFilterOp(5.0)
+        empty = op.map_partial(chunk_of([1.0, 2.0, 3.0]))
+        assert np.asarray(empty.state).size == 0
+        assert empty.source_count == 3
+        full = op.map_partial(chunk_of([9.0, 4.0]))
+        combined = op.combine([empty, full])
+        assert combined.source_count == 5
+        assert op.finalize(combined) == [9.0]
+        # Order of combination is irrelevant after the finalize sort.
+        assert op.finalize(op.combine([full, empty])) == [9.0]
+
+
+class TestPrunePredicates:
+    def test_filter_gt_region_prunable_iff_max_below_threshold(self):
+        pred = ThresholdFilterOp(5.0).prune_predicate()
+        assert pred is not None
+        assert pred.region_prunable(-10.0, 5.0)      # hi == t: nothing > t
+        assert pred.region_prunable(-10.0, 4.9)
+        assert not pred.region_prunable(-10.0, 5.1)  # some cell may match
+
+    def test_filter_gt_pruned_key_value_is_fresh_empty_list(self):
+        pred = ThresholdFilterOp(5.0).prune_predicate()
+        a, b = pred.pruned_key_value(), pred.pruned_key_value()
+        assert a == [] and b == []
+        assert a is not b  # synthesized records must not share state
+
+    def test_range_exceeds_is_not_prunable(self):
+        """range_exceeds outputs a data-dependent variation for every
+        key, so no region's contribution is a combine identity."""
+        from repro.query.operators import RangeExceedsOp
+
+        assert RangeExceedsOp(threshold=3.0).prune_predicate() is None
+
+    def test_default_operators_have_no_predicate(self):
+        for op in ALL_OPS:
+            assert op.prune_predicate() is None
+
 
 class TestErrors:
     def test_combine_empty_raises(self):

@@ -355,6 +355,52 @@ class TestWeeklyMeanRoundTrip:
 
 
 # --------------------------------------------------------------------- #
+# Zone-map pruning composes with speculative execution
+# --------------------------------------------------------------------- #
+class TestPrunedPlanSpeculation:
+    """ISSUE satellite: a hedged backup attempt over a pruned plan must
+    produce the same records as the primary — synthesized keys are
+    rebuilt per attempt, never double-merged by the losing attempt."""
+
+    @pytest.mark.parametrize("plane", ["record", "columnar"])
+    def test_backup_wins_race_on_pruned_plan(self, plane):
+        from tests.test_fault_tolerance import pruned_filter_job
+
+        job, barrier, _ = pruned_filter_job(plane, prune=False)
+        clean = LocalEngine().run_serial(job, barrier).all_records()
+
+        job, barrier, sidr = pruned_filter_job(plane)
+        assert sidr.pruning is not None and sidr.pruning.num_pruned == 4
+        eng = LocalEngine(
+            speculation=FAST,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=hang_plan(index=1),
+        )
+        res = eng.run_threaded(job, barrier)
+        assert res.all_records() == clean
+        assert res.counters.get("task.speculations") == 1
+        assert res.counters.get("task.cancelled") == 1
+        assert res.counters.get("plan.splits.pruned") == 4
+
+    @pytest.mark.parametrize("plane", ["record", "columnar"])
+    def test_serial_cancel_retry_on_pruned_plan(self, plane):
+        from tests.test_fault_tolerance import pruned_filter_job
+
+        job, barrier, _ = pruned_filter_job(plane, prune=False)
+        clean = LocalEngine().run_serial(job, barrier).all_records()
+
+        job, barrier, _ = pruned_filter_job(plane)
+        eng = LocalEngine(
+            speculation=FAST,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            faults=hang_plan(index=1),
+        )
+        res = eng.run_serial(job, barrier)
+        assert res.all_records() == clean
+        assert res.counters.get("task.cancelled") == 1
+
+
+# --------------------------------------------------------------------- #
 # Deadlines
 # --------------------------------------------------------------------- #
 class TestDeadline:

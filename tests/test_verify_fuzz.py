@@ -39,10 +39,17 @@ class TestOracle:
     def test_every_operator_matches_oracle(self, operator):
         """Engines × planes agree byte-identically with the brute-force
         oracle for every registered operator — including the holistic
-        median/sort the columnar plane falls back on."""
+        median/sort the columnar plane falls back on.  Prunable
+        fault-free operators (filter_gt) additionally run the predicate
+        leg: the same configurations with zone-map pruning forced on."""
         result = run_case(base_case(operator))
         assert result.ok, result.mismatch
-        assert len(result.outcomes) == len(ENGINE_CONFIGS)
+        expected_legs = (
+            2 * len(ENGINE_CONFIGS)
+            if operator == "filter_gt"
+            else len(ENGINE_CONFIGS)
+        )
+        assert len(result.outcomes) == expected_legs
         assert all(o.digest == result.oracle_digest for o in result.outcomes)
 
     def test_oracle_is_engine_independent(self):
@@ -118,6 +125,50 @@ class TestCases:
         assert result.ok, result.mismatch
 
 
+class TestPruningLeg:
+    def test_prune_legs_cover_every_engine_config(self):
+        """A fault-free filter_gt case runs each engine configuration
+        twice — prune off and prune on — and every leg matches the
+        oracle digest byte-identically."""
+        case = base_case("filter_gt", threshold=100.0, tile=(2, 2))
+        result = run_case(case)
+        assert result.ok, result.mismatch
+        pruned = [o for o in result.outcomes if o.prune]
+        assert {(o.mode, o.data_plane) for o in pruned} == set(ENGINE_CONFIGS)
+        assert all(o.config.endswith("/prune") for o in pruned)
+        assert all(o.digest == result.oracle_digest for o in pruned)
+
+    def test_fault_cases_skip_prune_legs(self):
+        """Fault rules bind to split indices; pruning renumbers splits,
+        so fault cases must not grow pruning legs."""
+        case = base_case(
+            "filter_gt",
+            fault_rules=(
+                {"task": "map", "fault": "transient", "indices": [0],
+                 "times": 1},
+            ),
+        )
+        result = run_case(case)
+        assert result.ok, result.mismatch
+        assert not any(o.prune for o in result.outcomes)
+
+    def test_non_prunable_operators_skip_prune_legs(self):
+        result = run_case(base_case("range_exceeds"))
+        assert result.ok, result.mismatch
+        assert not any(o.prune for o in result.outcomes)
+
+    def test_tile_serializes_and_describes(self):
+        case = base_case("filter_gt", tile=(3, 2))
+        assert FuzzCase.from_json(case.to_json()) == case
+        assert "tile=[3, 2]" in case.describe()
+        assert FuzzCase.from_json(base_case("sum").to_json()).tile is None
+
+    def test_operator_restriction_draws_only_those(self):
+        for i in range(12):
+            case = generate_case(i, 0, operators=("filter_gt",))
+            assert case.operator == "filter_gt"
+
+
 class TestShrinking:
     def failing_case(self):
         """A case whose 'must fail' crash rule cannot bind (index 10 of
@@ -174,7 +225,7 @@ class TestFuzzDriver:
 
         F = importlib.import_module("repro.verify.fuzz")
         bad = TestShrinking().failing_case()
-        monkeypatch.setattr(F, "generate_case", lambda i, s: bad)
+        monkeypatch.setattr(F, "generate_case", lambda i, s, operators=None: bad)
         report = F.fuzz(1, seed=0, schedules=0, out_dir=tmp_path)
         assert not report.ok
         assert len(report.failures) == 1
