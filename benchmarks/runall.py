@@ -318,6 +318,33 @@ def main() -> int:
         json.dumps(pruning, indent=1, sort_keys=True) + "\n"
     )
 
+    # Process engine: 1 -> N-core scaling on the weekly-mean workload --
+    parallel = _measure_parallel()
+    save(
+        "parallel",
+        "process-engine scaling (weekly-mean columnar workload, "
+        f"{parallel['cells']:,} cells, {parallel['cpu_count']} core(s), "
+        f"min of {parallel['runs']}):\n"
+        f"  threaded baseline: {parallel['threaded']['seconds']:.3f} s\n"
+        + "\n".join(
+            f"  process x{row['workers']}: {row['seconds']:.3f} s  "
+            f"({row['speedup_vs_threaded']:.2f}x vs threaded)"
+            for row in parallel["scaling"]
+        )
+        + f"\n  >=2.5x gate at 4+ workers "
+        f"({'applicable' if parallel['gate_applicable'] else 'skipped: needs >=4 cores'}): "
+        f"{'yes' if parallel['speedup_ok'] else 'NO'}  "
+        f"(byte-identical: {'yes' if parallel['identical'] else 'NO'})",
+        data={
+            "speedup_ok": parallel["speedup_ok"],
+            "identical": parallel["identical"],
+            "cpu_count": parallel["cpu_count"],
+        },
+    )
+    (out / "BENCH_parallel.json").write_text(
+        json.dumps(parallel, indent=1, sort_keys=True) + "\n"
+    )
+
     bench["total_seconds"] = round(time.time() - t0, 3)
     (out / "BENCH_obs.json").write_text(
         json.dumps(bench, indent=1, sort_keys=True) + "\n"
@@ -712,6 +739,98 @@ def _measure_pruning(runs: int = 3) -> dict:
         "threshold": 500.0,
         "sweep": sweep,
         "identical": identical,
+        "speedup_ok": speedup_ok,
+    }
+
+
+def _measure_parallel(runs: int = 3, worker_counts=(1, 2, 4)) -> dict:
+    """Process-engine scaling curve on the weekly-mean columnar
+    workload (``BENCH_parallel.json``).
+
+    Reports seconds and speedup-vs-``run_threaded`` for worker pools of
+    1 -> N processes.  The acceptance gate (>= 2.5x over threaded at 4+
+    workers) is only *applicable* on machines with >= 4 cores — the
+    result records ``cpu_count`` so a 1-core CI box publishes an honest
+    curve (fork + segment-file overhead with nothing to parallelize
+    against) without pretending to demonstrate scaling it physically
+    cannot.  Byte-identity vs the threaded run is checked on the same
+    runs that are timed.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.mapreduce.engine import LocalEngine
+    from repro.query.language import StructuralQuery
+    from repro.query.operators import MeanOp
+    from repro.query.splits import slice_splits
+    from repro.scidata.generators import temperature_dataset
+    from repro.sidr.planner import build_sidr_job
+
+    field = temperature_dataset(days=364, lat=40, lon=40, seed=3)
+    data = field.arrays["temperature"].astype(np.float64)
+    plan = StructuralQuery(
+        variable="temperature", extraction_shape=(7, 5, 2), operator=MeanOp()
+    ).compile(field.metadata)
+    sp = slice_splits(plan, num_splits=16)
+
+    def job():
+        j, barrier, _ = build_sidr_job(
+            plan, sp, 8, data, data_plane="columnar"
+        )
+        return j, barrier
+
+    def best(engine, mode):
+        run = getattr(engine, mode)
+        j, barrier = job()
+        res = run(j, barrier)  # warmup (forks the pool, touches caches)
+        t = float("inf")
+        for _ in range(runs):
+            j, barrier = job()
+            s = time.perf_counter()
+            res = run(j, barrier)
+            t = min(t, time.perf_counter() - s)
+        return t, res.all_records()
+
+    t_thr, out_thr = best(
+        LocalEngine(observability=False), "run_threaded"
+    )
+    scaling = []
+    identical = True
+    for w in worker_counts:
+        eng = LocalEngine(
+            observability=False,
+            map_workers=w,
+            reduce_workers=max(1, w // 2) if w > 1 else 1,
+        )
+        t, out = best(eng, "run_processes")
+        identical = identical and out == out_thr
+        scaling.append(
+            {
+                "workers": w,
+                "seconds": round(t, 4),
+                "speedup_vs_threaded": round(t_thr / t, 2),
+            }
+        )
+
+    cpu_count = os.cpu_count() or 1
+    gate_applicable = cpu_count >= 4
+    at_four = [
+        row["speedup_vs_threaded"]
+        for row in scaling
+        if row["workers"] >= 4
+    ]
+    speedup_ok = (not gate_applicable) or (
+        bool(at_four) and max(at_four) >= 2.5
+    )
+    return {
+        "runs": runs,
+        "cells": int(data.size),
+        "cpu_count": cpu_count,
+        "threaded": {"seconds": round(t_thr, 4)},
+        "scaling": scaling,
+        "identical": identical,
+        "gate_applicable": gate_applicable,
         "speedup_ok": speedup_ok,
     }
 

@@ -125,6 +125,8 @@ def cmd_query(args: argparse.Namespace) -> int:
 
         speculation = SpeculationPolicy(hang_timeout=args.hang_timeout)
     engine = LocalEngine(
+        map_workers=args.map_workers,
+        reduce_workers=args.reduce_workers,
         retry=RetryPolicy(max_attempts=args.max_attempts),
         faults=fault_plan,
         recovery=RecoveryModel.parse(args.recovery),
@@ -184,7 +186,12 @@ def cmd_query(args: argparse.Namespace) -> int:
             renderer = LiveRenderer(progress, detector).start()
 
     try:
-        res = engine.run_threaded(job, barrier, obs=obs)
+        if args.engine == "serial":
+            res = engine.run_serial(job, barrier, obs=obs)
+        elif args.engine == "process":
+            res = engine.run_processes(job, barrier, obs=obs)
+        else:
+            res = engine.run_threaded(job, barrier, obs=obs)
     finally:
         if detector is not None:
             detector.stop_ticker()
@@ -640,6 +647,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable zone-map split skipping (run every split; the "
         "output is byte-identical either way)",
     )
+    p_query.add_argument(
+        "--engine", choices=("serial", "threaded", "process"),
+        default="threaded",
+        help="execution mode: deterministic serial, thread pools "
+        "(default), or forked worker processes with file-backed "
+        "shuffle (docs/PERFORMANCE.md)",
+    )
+    p_query.add_argument("--map-workers", type=int, default=4,
+                         help="map pool size (threaded/process engines)")
+    p_query.add_argument("--reduce-workers", type=int, default=3,
+                         help="reduce pool size (threaded/process engines)")
     p_query.add_argument("--limit", type=int, default=20,
                          help="max output rows (0 = all)")
     p_query.add_argument("--live", action="store_true",

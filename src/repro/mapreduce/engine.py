@@ -1,6 +1,8 @@
 """LocalEngine: executes MapReduce jobs for real, with pluggable barriers.
 
-Two execution modes:
+Three execution modes, a ladder of increasing parallelism with
+byte-identical outputs (the verify fuzzer holds all three against the
+brute-force oracle):
 
 * **serial** — deterministic single-threaded execution.  Maps run in
   split order; after each map commits, any reduce whose barrier is now
@@ -12,6 +14,15 @@ Two execution modes:
   wall-clock timestamps in the trace let integration tests observe
   genuine overlap of reduce execution with map execution under the
   dependency barrier.
+* **process** (``run_processes``) — the same orchestration, but task
+  *bodies* execute in a pool of worker processes
+  (:mod:`repro.mapreduce.procpool`) and the shuffle moves by **file
+  handoff**: map spills become on-disk segment files
+  (:mod:`repro.mapreduce.spillfiles`), the parent's store tracks only
+  manifests, and reduce workers ``mmap`` the segments they fetch.  The
+  control plane — barriers, commit gate, races, retries, recovery,
+  deadlines — stays in the parent, so every invariant the threaded
+  engine enforces holds unchanged.
 
 The engine enforces, not merely assumes, the barrier: a reduce task's
 fetch set is checked against completed maps and a
@@ -195,6 +206,44 @@ HOOK_POINTS = (
 )
 
 
+class TaskRunner(Protocol):
+    """Where task *bodies* execute (the process engine's seam).
+
+    When a run installs a runner, ``_run_map``/``_run_reduce`` delegate
+    the attempt body to it instead of executing inline; everything
+    around the body — retry loops, races, barriers, recovery — is
+    untouched.  See :class:`repro.mapreduce.procpool.ProcessRunner`.
+    """
+
+    def run_map(
+        self,
+        job: JobConf,
+        split_index: int,
+        store: "ShuffleStore",
+        counters: Counters,
+        obs: JobObservability,
+        *,
+        attempt: int,
+        faults: "BoundFaults | None",
+        cancel: "CancelToken | None",
+    ) -> None: ...
+
+    def run_reduce(
+        self,
+        job: JobConf,
+        partition: int,
+        barrier: "BarrierPolicy",
+        store: "ShuffleStore",
+        counters: Counters,
+        obs: JobObservability,
+        completed_at_start: frozenset[int],
+        *,
+        attempt: int,
+        faults: "BoundFaults | None",
+        cancel: "CancelToken | None",
+    ) -> list[KeyValue]: ...
+
+
 class SchedulerHook(Protocol):
     """Observation/perturbation seam at the engine's scheduling points.
 
@@ -290,6 +339,9 @@ class _RunState:
         #: that reached the shuffle store's gate first (latched once).
         self.races: dict[tuple[str, int], dict[str, Any]] = {}
         self.deadline_expired = False
+        #: Installed by ``run_processes``: task bodies execute through
+        #: this instead of inline (None = in-thread execution).
+        self.runner: TaskRunner | None = None
         self.faults: BoundFaults | None = None
         if engine.faults is not None:
             self.faults = engine.faults.bind(
@@ -771,7 +823,14 @@ class LocalEngine:
         attempt: int = 0,
         faults: BoundFaults | None = None,
         cancel: CancelToken | None = None,
+        runner: TaskRunner | None = None,
     ) -> None:
+        if runner is not None:
+            runner.run_map(
+                job, split_index, store, counters, obs,
+                attempt=attempt, faults=faults, cancel=cancel,
+            )
+            return
         hb = Heartbeat(obs.bus, "map", split_index, attempt, self._hb_interval)
         with obs.task("map", split_index, attempt) as task_span:
             if faults is not None:
@@ -786,97 +845,11 @@ class LocalEngine:
                     cancel=cancel, heartbeat=hb,
                 )
                 return
-            split = job.splits[split_index]
-            mapper = job.mapper_factory()
-            mapper.setup()
-            # Partition intermediate records as they are produced — Hadoop
-            # partitions in-line with map execution (§4.5).
-            buckets: dict[int, list[KeyValue]] = {}
-            source_counts: dict[int, int] = {}
-            n = job.num_reduce_tasks
-            records_in = 0
-            records_out = 0
-
-            def consume(kv_iter) -> None:
-                nonlocal records_out
-                for k2, v2 in kv_iter:
-                    p = job.partitioner.partition(k2, n)
-                    if not (0 <= p < n):
-                        raise ShuffleError(
-                            f"partitioner returned {p} for {n} reduce tasks"
-                        )
-                    buckets.setdefault(p, []).append((k2, v2))
-                    records_out += 1
-
-            # The reader streams into the mapper, so reading and mapping
-            # share one phase span (see docs/OBSERVABILITY.md).
-            with obs.phase("map.read", task_span) as read_span:
-                for k, v in job.reader_factory(split):
-                    # Per-record cancellation/liveness checkpoint: a
-                    # latched-Event probe plus a modulo-gated heartbeat,
-                    # cheap enough for the record hot path.
-                    if cancel is not None:
-                        cancel.check()
-                    hb.beat()
-                    records_in += 1
-                    consume(mapper.map(k, v))
-                consume(mapper.cleanup())
-            counters.increment("map.input.records", records_in)
-            counters.increment("map.output.records", records_out)
-
-            # Source-count annotation: before combining, every intermediate
-            # record represents exactly one source record of this map.  (For
-            # chunked structural readers each record already aggregates a
-            # chunk; the reader is responsible for emitting per-record source
-            # counts via the value's `source_count` attribute/key.)
-            with obs.phase("map.spill", task_span):
-                files: list[MapOutputFile] = []
-                for p, recs in buckets.items():
-                    src = 0
-                    for _k, v in recs:
-                        src += _source_count_of(v)
-                    source_counts[p] = src
-                    if job.combiner_factory is not None:
-                        combiner = job.combiner_factory()
-                        counters.increment("combine.input.records", len(recs))
-                        combined: list[KeyValue] = []
-                        for k2, vals in group_sorted(sort_records(recs)):
-                            combined.extend(combiner.reduce(k2, vals))
-                        recs = combined
-                        counters.increment("combine.output.records", len(recs))
-                    run = tuple(sort_records(recs))
-                    if corrupt:
-                        # Injected torn spill: reversing the sorted run
-                        # breaks key order, so MapOutputFile validation
-                        # rejects the commit and the attempt fails here.
-                        run = tuple(reversed(run))
-                    files.append(
-                        MapOutputFile(
-                            map_id=MapTaskId(split_index),
-                            partition=p,
-                            records=run,
-                            source_records=src,
-                        )
-                    )
-                if corrupt:
-                    # Every run was too uniform for the reversal to break
-                    # ordering; surface the injected corruption directly.
-                    raise InjectedFaultError(
-                        f"injected corrupt-spill fault in map {split_index} "
-                        f"(attempt {attempt})"
-                    )
-                if files:
-                    store.spill(files, attempt=attempt)
-                else:
-                    store.spill_empty(MapTaskId(split_index), attempt=attempt)
-            counters.increment("shuffle.segments", len(files))
-            if obs.enabled and read_span is not None:
-                obs.metrics.counter("map.emit.records").inc(records_out)
-                dur = read_span.duration
-                if dur > 0 and records_out:
-                    obs.metrics.histogram(
-                        "map.emit.records_per_sec", RATE_BUCKETS
-                    ).observe(records_out / dur)
+            run_record_map(
+                job, split_index, store, counters, obs, task_span,
+                attempt=attempt, corrupt=corrupt,
+                cancel=cancel, heartbeat=hb,
+            )
 
     # ------------------------------------------------------------------ #
     # Reduce task
@@ -941,7 +914,14 @@ class LocalEngine:
         attempt: int = 0,
         faults: BoundFaults | None = None,
         cancel: CancelToken | None = None,
+        runner: TaskRunner | None = None,
     ) -> list[KeyValue]:
+        if runner is not None:
+            return runner.run_reduce(
+                job, partition, barrier, store, counters, obs,
+                completed_at_start,
+                attempt=attempt, faults=faults, cancel=cancel,
+            )
         hb = Heartbeat(obs.bus, "reduce", partition, attempt, self._hb_interval)
         with obs.task("reduce", partition, attempt) as task_span:
             self._hook_event(
@@ -1013,34 +993,14 @@ class LocalEngine:
                     ),
                 )
 
-            segments = [f.records for f in files]
-            reducer = job.reducer_factory()
-            reducer.setup()
-            out: list[KeyValue] = []
-            groups = 0
-            records = 0
-            group_sizes: list[int] | None = [] if obs.enabled else None
-            # Merging streams into the reducer, so merge + reduce share
-            # one phase span; group sizes land in the skew histogram.
-            with obs.phase("reduce.reduce", task_span):
-                for key, values in group_sorted(merge_segments(segments)):
-                    if cancel is not None:
-                        cancel.check()
-                    hb.beat()
-                    groups += 1
-                    records += len(values)
-                    if group_sizes is not None:
-                        group_sizes.append(len(values))
-                    out.extend(reducer.reduce(key, values))
-                out.extend(reducer.cleanup())
-            counters.increment("reduce.input.groups", groups)
-            counters.increment("reduce.input.records", records)
-            counters.increment("reduce.output.records", len(out))
-            if group_sizes:
-                obs.metrics.histogram(
-                    "reduce.group.size", COUNT_BUCKETS
-                ).observe_many(group_sizes)
-            return self._with_synth_records(job, partition, out)
+            return self._with_synth_records(
+                job,
+                partition,
+                run_record_reduce(
+                    job, files, counters, obs, task_span,
+                    cancel=cancel, heartbeat=hb,
+                ),
+            )
 
     # ------------------------------------------------------------------ #
     # Attempt-based retry & dependency-aware recovery
@@ -1154,6 +1114,7 @@ class LocalEngine:
             lambda attempt, cancel: self._run_map(
                 job, i, store, counters, obs,
                 attempt=attempt, faults=state.faults, cancel=cancel,
+                runner=state.runner,
             ),
         )
 
@@ -1190,6 +1151,7 @@ class LocalEngine:
             return self._run_map(
                 job, i, store, counters, obs,
                 attempt=attempt, faults=state.faults, cancel=cancel,
+                runner=state.runner,
             )
 
         return self._execute_with_retry("map", i, state, counters, obs, body)
@@ -1221,6 +1183,7 @@ class LocalEngine:
             out = self._run_reduce(
                 job, p, barrier, store, counters, obs, snapshot,
                 attempt=attempt, faults=state.faults, cancel=cancel,
+                runner=state.runner,
             )
             # Attempt-aware invalidation: if any map we fetched from was
             # re-executed while we ran, our input is superseded — raise
@@ -1478,6 +1441,61 @@ class LocalEngine:
         collected task errors is raised.  Reduce results already
         delivered through ``on_reduce_complete`` are never retracted.
         """
+        return self._run_pooled(
+            job, barrier,
+            on_reduce_complete=on_reduce_complete, obs=obs,
+            runner_factory=None,
+        )
+
+    def run_processes(
+        self,
+        job: JobConf,
+        barrier: BarrierPolicy | None = None,
+        *,
+        on_reduce_complete: Callable[[int, list[KeyValue]], None] | None = None,
+        obs: JobObservability | None = None,
+    ) -> JobResult:
+        """Concurrent execution with task bodies in worker *processes*.
+
+        Orchestration is identical to :meth:`run_threaded` (same pools,
+        same barrier/retry/race/deadline machinery, same fail-fast
+        semantics); only the task bodies move: map and reduce attempts
+        execute in a pool of forked workers
+        (:class:`~repro.mapreduce.procpool.WorkerPool`), and the shuffle
+        travels as on-disk segment files instead of in-memory objects
+        (:mod:`repro.mapreduce.spillfiles`).  A worker that dies
+        mid-attempt surfaces as a retryable
+        :class:`~repro.errors.WorkerCrashError` — the paper's lost
+        tasktracker.  The per-job spill directory (rooted at
+        ``$REPRO_SPILL_DIR`` when set) is removed on every exit path:
+        success, :class:`JobFailedError`, and deadline-partial alike.
+        """
+        from repro.mapreduce.procpool import ProcessRunner
+
+        def runner_factory(state: _RunState, run_obs: JobObservability):
+            return ProcessRunner(self, job, state, run_obs)
+
+        return self._run_pooled(
+            job, barrier,
+            on_reduce_complete=on_reduce_complete, obs=obs,
+            runner_factory=runner_factory,
+        )
+
+    def _run_pooled(
+        self,
+        job: JobConf,
+        barrier: BarrierPolicy | None,
+        *,
+        on_reduce_complete: Callable[[int, list[KeyValue]], None] | None,
+        obs: JobObservability | None,
+        runner_factory: Callable[
+            ["_RunState", JobObservability], Any
+        ] | None,
+    ) -> JobResult:
+        """Shared pooled-run structure behind ``run_threaded`` and
+        ``run_processes``: thread pools drive the orchestration either
+        way; ``runner_factory`` (when given) installs a
+        :class:`TaskRunner` that moves the task bodies out-of-process."""
         barrier = barrier or GlobalBarrier()
         obs = self._make_obs(job, obs)
         obs.job_started(job.num_map_tasks, job.num_reduce_tasks)
@@ -1522,6 +1540,14 @@ class LocalEngine:
                 return tuple(pending)
 
         with ExitStack() as stack:
+            if runner_factory is not None:
+                # Fork the worker pool before any run thread starts, so
+                # the children inherit a quiescent parent; close() runs
+                # after the task pools drain (LIFO), tearing down the
+                # workers and the spill directory on every exit path —
+                # including the JobFailedError raised below.
+                state.runner = runner_factory(state, obs)
+                stack.callback(state.runner.close)
             spec_rt = self._spec_runtime(job, barrier, state, obs)
             if spec_rt is not None:
                 spec_rt.pending_partitions = pending_snapshot
@@ -1684,6 +1710,167 @@ class LocalEngine:
             obs=obs,
             attempts=tuple(state.attempt_log),
         )
+
+
+def run_record_map(
+    job: JobConf,
+    split_index: int,
+    store: ShuffleStore,
+    counters: Counters,
+    obs: JobObservability,
+    task_span: Any,
+    *,
+    attempt: int = 0,
+    corrupt: bool = False,
+    cancel: CancelToken | None = None,
+    heartbeat: Heartbeat | None = None,
+) -> None:
+    """Record-plane map-task body (read → partition → combine → spill).
+
+    A module-level function (mirroring :func:`run_columnar_map`) so the
+    process engine's workers can execute the identical body against a
+    sink store; the engine's ``_run_map`` wraps it in the task span,
+    fault injection, and heartbeat plumbing.
+    """
+    split = job.splits[split_index]
+    mapper = job.mapper_factory()
+    mapper.setup()
+    # Partition intermediate records as they are produced — Hadoop
+    # partitions in-line with map execution (§4.5).
+    buckets: dict[int, list[KeyValue]] = {}
+    n = job.num_reduce_tasks
+    records_in = 0
+    records_out = 0
+
+    def consume(kv_iter) -> None:
+        nonlocal records_out
+        for k2, v2 in kv_iter:
+            p = job.partitioner.partition(k2, n)
+            if not (0 <= p < n):
+                raise ShuffleError(
+                    f"partitioner returned {p} for {n} reduce tasks"
+                )
+            buckets.setdefault(p, []).append((k2, v2))
+            records_out += 1
+
+    # The reader streams into the mapper, so reading and mapping
+    # share one phase span (see docs/OBSERVABILITY.md).
+    with obs.phase("map.read", task_span) as read_span:
+        for k, v in job.reader_factory(split):
+            # Per-record cancellation/liveness checkpoint: a
+            # latched-Event probe plus a modulo-gated heartbeat,
+            # cheap enough for the record hot path.
+            if cancel is not None:
+                cancel.check()
+            if heartbeat is not None:
+                heartbeat.beat()
+            records_in += 1
+            consume(mapper.map(k, v))
+        consume(mapper.cleanup())
+    counters.increment("map.input.records", records_in)
+    counters.increment("map.output.records", records_out)
+
+    # Source-count annotation: before combining, every intermediate
+    # record represents exactly one source record of this map.  (For
+    # chunked structural readers each record already aggregates a
+    # chunk; the reader is responsible for emitting per-record source
+    # counts via the value's `source_count` attribute/key.)
+    with obs.phase("map.spill", task_span):
+        files: list[MapOutputFile] = []
+        for p, recs in buckets.items():
+            src = 0
+            for _k, v in recs:
+                src += _source_count_of(v)
+            if job.combiner_factory is not None:
+                combiner = job.combiner_factory()
+                counters.increment("combine.input.records", len(recs))
+                combined: list[KeyValue] = []
+                for k2, vals in group_sorted(sort_records(recs)):
+                    combined.extend(combiner.reduce(k2, vals))
+                recs = combined
+                counters.increment("combine.output.records", len(recs))
+            run = tuple(sort_records(recs))
+            if corrupt:
+                # Injected torn spill: reversing the sorted run
+                # breaks key order, so MapOutputFile validation
+                # rejects the commit and the attempt fails here.
+                run = tuple(reversed(run))
+            files.append(
+                MapOutputFile(
+                    map_id=MapTaskId(split_index),
+                    partition=p,
+                    records=run,
+                    source_records=src,
+                )
+            )
+        if corrupt:
+            # Every run was too uniform for the reversal to break
+            # ordering; surface the injected corruption directly.
+            raise InjectedFaultError(
+                f"injected corrupt-spill fault in map {split_index} "
+                f"(attempt {attempt})"
+            )
+        if files:
+            store.spill(files, attempt=attempt)
+        else:
+            store.spill_empty(MapTaskId(split_index), attempt=attempt)
+    counters.increment("shuffle.segments", len(files))
+    if obs.enabled and read_span is not None:
+        obs.metrics.counter("map.emit.records").inc(records_out)
+        dur = read_span.duration
+        if dur > 0 and records_out:
+            obs.metrics.histogram(
+                "map.emit.records_per_sec", RATE_BUCKETS
+            ).observe(records_out / dur)
+
+
+def run_record_reduce(
+    job: JobConf,
+    files: list[MapOutputFile],
+    counters: Counters,
+    obs: JobObservability,
+    task_span: Any,
+    *,
+    cancel: CancelToken | None = None,
+    heartbeat: Heartbeat | None = None,
+) -> list[KeyValue]:
+    """Record-plane reduce-task body (merge → group → reduce).
+
+    ``files`` are the partition's fetched spill files in map order.
+    Module-level (mirroring :func:`run_columnar_reduce`) so the process
+    engine's reduce workers run the identical merge against segment
+    files loaded from disk; synthesized-record merging stays with the
+    caller.
+    """
+    segments = [f.records for f in files]
+    reducer = job.reducer_factory()
+    reducer.setup()
+    out: list[KeyValue] = []
+    groups = 0
+    records = 0
+    group_sizes: list[int] | None = [] if obs.enabled else None
+    # Merging streams into the reducer, so merge + reduce share
+    # one phase span; group sizes land in the skew histogram.
+    with obs.phase("reduce.reduce", task_span):
+        for key, values in group_sorted(merge_segments(segments)):
+            if cancel is not None:
+                cancel.check()
+            if heartbeat is not None:
+                heartbeat.beat()
+            groups += 1
+            records += len(values)
+            if group_sizes is not None:
+                group_sizes.append(len(values))
+            out.extend(reducer.reduce(key, values))
+        out.extend(reducer.cleanup())
+    counters.increment("reduce.input.groups", groups)
+    counters.increment("reduce.input.records", records)
+    counters.increment("reduce.output.records", len(out))
+    if group_sizes:
+        obs.metrics.histogram(
+            "reduce.group.size", COUNT_BUCKETS
+        ).observe_many(group_sizes)
+    return out
 
 
 def _source_count_of(value: Any) -> int:

@@ -1,0 +1,234 @@
+"""File-backed shuffle segments for the process engine.
+
+The threaded engine hands ``MapOutputFile``/``ColumnarMapOutput``
+objects between threads by reference; worker *processes* cannot.
+Instead of pickling every intermediate record across the pipe, a map
+worker writes its spill as on-disk **segment files** — one ``.npy``
+per column for the columnar plane, one pickle per partition for the
+record plane — and ships only a compact manifest (path + row counts +
+byte sizes) back to the parent.  The parent's
+:class:`~repro.mapreduce.shuffle.ShuffleStore` then tracks
+:class:`SegmentHandle` objects (duck-compatible with the in-memory
+spill files: ``map_id``/``partition``/``num_records``/
+``source_records``/``approx_serialized_bytes``), and the reduce worker
+that fetches a handle ``mmap``s the arrays back via
+``np.load(mmap_mode="r")`` — the data itself never crosses a pipe.
+
+SIDR's shuffle lifecycle maps onto plain filesystem operations:
+
+* **commit** — the worker writes segments into a temp directory and
+  ``os.rename``s it to its final per-attempt name (atomic on POSIX);
+  the *logical* commit stays the parent store's guard/gate.
+* **supersede** — when attempt *n+1* commits, the parent unlinks
+  attempt *n*'s directory; an in-flight reader racing the unlink gets
+  :class:`~repro.errors.SegmentMissingError`, which is retryable —
+  exactly the store's no-stale-serve rule.
+* **consume-on-fetch** — logical consumption happens at fetch time in
+  the store (the handle leaves ``_files``); the physical unlink is
+  deferred to the end of the consuming reduce attempt.
+* **job end** — the whole per-job spill directory is removed, success
+  or failure (:envvar:`REPRO_SPILL_DIR` overrides its parent dir).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import uuid
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SegmentMissingError, ShuffleError
+from repro.mapreduce.columnar import ColumnarMapOutput
+from repro.mapreduce.shuffle import MapOutputFile
+from repro.mapreduce.types import MapTaskId
+
+#: Parent directory for per-job spill dirs (defaults to the system
+#: temp dir).  Honored so tests and operators can isolate/inspect
+#: spills; cleanup on job exit keeps repeated failing runs from
+#: accumulating segments there.
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+
+
+class SpillDirectory:
+    """One job run's spill area: ``<root>/repro-spill-<name>-<pid>-<rand>``.
+
+    Layout: one subdirectory per committed map attempt
+    (``map-00003-a0001/``) holding that attempt's segment files, plus
+    transient ``tmp-*`` build directories that only ever become visible
+    through an atomic rename.
+    """
+
+    def __init__(self, job_name: str) -> None:
+        root = os.environ.get(SPILL_DIR_ENV) or tempfile.gettempdir()
+        os.makedirs(root, exist_ok=True)
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in job_name)
+        self.path = os.path.join(
+            root, f"repro-spill-{safe[:40]}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        os.makedirs(self.path)
+
+    def attempt_dir(self, map_index: int, attempt: int) -> str:
+        return os.path.join(self.path, f"map-{map_index:05d}-a{attempt:04d}")
+
+    def build_dir(self, map_index: int, attempt: int) -> str:
+        """A fresh temp dir the worker fills before the atomic rename."""
+        d = os.path.join(
+            self.path, f"tmp-{map_index:05d}-a{attempt:04d}-{uuid.uuid4().hex[:8]}"
+        )
+        os.makedirs(d)
+        return d
+
+    def drop_attempt(self, map_index: int, attempt: int) -> None:
+        """Unlink one attempt's segments (supersede / lost race)."""
+        shutil.rmtree(self.attempt_dir(map_index, attempt), ignore_errors=True)
+
+    def cleanup(self) -> None:
+        """Remove the whole per-job spill area (idempotent)."""
+        shutil.rmtree(self.path, ignore_errors=True)
+
+
+@dataclass(frozen=True)
+class SegmentHandle:
+    """Parent-side manifest entry for one (map, partition) segment.
+
+    Small and picklable — this is what crosses the pipe to a reduce
+    worker, and what the :class:`~repro.mapreduce.shuffle.ShuffleStore`
+    tracks in place of an in-memory spill file.  ``load()`` reconstructs
+    the spill object, memory-mapping numeric arrays.
+    """
+
+    map_id: MapTaskId
+    partition: int
+    num_records: int
+    source_records: int
+    approx_serialized_bytes: int
+    plane: str                       # "record" | "columnar"
+    directory: str                   # committed per-attempt dir
+    #: Columnar only: state-column count and which columns hold object
+    #: dtype (saved with allow_pickle; loaded without mmap).
+    num_state_cols: int = 0
+    object_cols: tuple[int, ...] = field(default_factory=tuple)
+
+    def _file(self, suffix: str) -> str:
+        return os.path.join(self.directory, f"p{self.partition:05d}.{suffix}")
+
+    def load(self) -> MapOutputFile | ColumnarMapOutput:
+        try:
+            if self.plane == "record":
+                with open(self._file("records.pkl"), "rb") as fh:
+                    records = pickle.load(fh)
+                return MapOutputFile(
+                    map_id=self.map_id,
+                    partition=self.partition,
+                    records=records,
+                    source_records=self.source_records,
+                )
+            keys = np.load(self._file("keys.npy"), mmap_mode="r")
+            states = tuple(
+                np.load(self._file(f"col{j}.npy"), allow_pickle=True)
+                if j in self.object_cols
+                else np.load(self._file(f"col{j}.npy"), mmap_mode="r")
+                for j in range(self.num_state_cols)
+            )
+            counts = np.load(self._file("counts.npy"), mmap_mode="r")
+            return ColumnarMapOutput(
+                map_id=self.map_id,
+                partition=self.partition,
+                keys=keys,
+                states=states,
+                source_counts=counts,
+                source_records=self.source_records,
+            )
+        except FileNotFoundError as exc:
+            raise SegmentMissingError(
+                f"shuffle segment for map {self.map_id.index} partition "
+                f"{self.partition} vanished (superseded?): {exc}"
+            ) from exc
+
+    def unlink(self) -> None:
+        """Physically remove this segment's files (consume-on-fetch)."""
+        if self.plane == "record":
+            _unlink_quiet(self._file("records.pkl"))
+            return
+        _unlink_quiet(self._file("keys.npy"))
+        _unlink_quiet(self._file("counts.npy"))
+        for j in range(self.num_state_cols):
+            _unlink_quiet(self._file(f"col{j}.npy"))
+
+
+def _unlink_quiet(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Worker side: spill object -> segment files + manifest
+# --------------------------------------------------------------------- #
+def write_segments(
+    build_dir: str,
+    files: list[MapOutputFile | ColumnarMapOutput],
+) -> list[dict]:
+    """Serialize one map attempt's spill files into ``build_dir``.
+
+    Returns the manifest: one picklable dict per (map, partition)
+    segment, from which the parent builds :class:`SegmentHandle`\\ s
+    once the directory has been atomically renamed into place.
+    """
+    manifest: list[dict] = []
+    for f in files:
+        entry = {
+            "partition": f.partition,
+            "num_records": f.num_records,
+            "source_records": f.source_records,
+            "bytes": f.approx_serialized_bytes,
+        }
+        prefix = os.path.join(build_dir, f"p{f.partition:05d}")
+        if isinstance(f, ColumnarMapOutput):
+            np.save(f"{prefix}.keys.npy", np.ascontiguousarray(f.keys))
+            np.save(f"{prefix}.counts.npy", np.ascontiguousarray(f.source_counts))
+            object_cols = []
+            for j, col in enumerate(f.states):
+                if col.dtype == object:
+                    object_cols.append(j)
+                    np.save(f"{prefix}.col{j}.npy", col, allow_pickle=True)
+                else:
+                    np.save(f"{prefix}.col{j}.npy", np.ascontiguousarray(col))
+            entry.update(
+                plane="columnar",
+                num_state_cols=len(f.states),
+                object_cols=tuple(object_cols),
+            )
+        elif isinstance(f, MapOutputFile):
+            with open(f"{prefix}.records.pkl", "wb") as fh:
+                pickle.dump(f.records, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            entry.update(plane="record", num_state_cols=0, object_cols=())
+        else:  # pragma: no cover - defensive
+            raise ShuffleError(f"unknown spill file type {type(f).__name__}")
+        manifest.append(entry)
+    return manifest
+
+
+def handles_from_manifest(
+    map_index: int, directory: str, manifest: list[dict]
+) -> list[SegmentHandle]:
+    """Parent side: manifest dicts -> store-committable handles."""
+    return [
+        SegmentHandle(
+            map_id=MapTaskId(map_index),
+            partition=entry["partition"],
+            num_records=entry["num_records"],
+            source_records=entry["source_records"],
+            approx_serialized_bytes=entry["bytes"],
+            plane=entry["plane"],
+            directory=directory,
+            num_state_cols=entry["num_state_cols"],
+            object_cols=tuple(entry["object_cols"]),
+        )
+        for entry in manifest
+    ]

@@ -13,6 +13,7 @@ sparse scattered output expensive — the effect Table 2 measures.
 
 from __future__ import annotations
 
+import mmap
 import os
 from dataclasses import dataclass
 
@@ -61,6 +62,8 @@ class Dataset:
         self._mode = mode
         self._header: Header = read_header(path)
         self._fh = open(path, "rb" if mode == "r" else "r+b")
+        self._mm: mmap.mmap | None = None
+        self._mm_failed = False
         self.io_stats = IOStats()
 
     # ------------------------------------------------------------------ #
@@ -103,13 +106,67 @@ class Dataset:
                 f"slab {slab!r} outside variable {name!r} space {space!r}"
             )
 
+    def _map(self) -> mmap.mmap | None:
+        """Lazily mmap the file for the zero-copy read path.
+
+        Read-only datasets only: a writable dataset keeps the seek/read
+        path so ``write_slab`` never races its own mapping (and zone-map
+        stripping can rewrite the header in place).  A failed ``mmap``
+        (exotic filesystem, empty file) disables itself permanently and
+        falls back to buffered reads.
+        """
+        if self._mode != "r" or self._mm_failed:
+            return None
+        if self._mm is None:
+            try:
+                self._mm = mmap.mmap(
+                    self._fh.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (OSError, ValueError):
+                self._mm_failed = True
+                return None
+        return self._mm
+
     def read_slab(self, name: str, slab: Slab) -> np.ndarray:
-        """Read ``slab`` of variable ``name`` into a new C-order array of
-        the slab's shape."""
+        """Read ``slab`` of variable ``name`` with the slab's shape.
+
+        Read-only datasets return mmap-backed arrays: a single
+        contiguous run is a zero-copy read-only *view* of the file
+        mapping (no bytes cross userspace until touched); a
+        multi-run slab is one gather from per-run views into a fresh
+        array.  Writable datasets use buffered per-run reads and
+        always return fresh C-order arrays.  ``io_stats`` counts the
+        same logical seeks/reads either way, so the Table 2 physical
+        cost model is path-independent.
+        """
         base, dtype, space = self._var_layout(name)
         self._check_slab(name, slab, space)
-        out = np.empty(slab.volume, dtype=dtype)
         itemsize = dtype.itemsize
+        mm = self._map()
+        if mm is not None:
+            views = []
+            for lo, hi in slab_to_index_runs(slab, space):
+                n = hi - lo
+                offset = base + lo * itemsize
+                if offset + n * itemsize > len(mm):
+                    raise DatasetError(
+                        f"short read in {self._path} variable {name!r}"
+                    )
+                views.append(
+                    np.frombuffer(mm, dtype=dtype, count=n, offset=offset)
+                )
+                self.io_stats.seeks += 1
+                self.io_stats.read_calls += 1
+                self.io_stats.bytes_read += n * itemsize
+            if len(views) == 1:
+                return views[0].reshape(slab.shape)
+            out = np.empty(slab.volume, dtype=dtype)
+            pos = 0
+            for v in views:
+                out[pos : pos + len(v)] = v
+                pos += len(v)
+            return out.reshape(slab.shape)
+        out = np.empty(slab.volume, dtype=dtype)
         pos = 0
         for lo, hi in slab_to_index_runs(slab, space):
             n = hi - lo
@@ -170,6 +227,20 @@ class Dataset:
         self._fh.flush()
 
     def close(self) -> None:
+        """Release the file handle and (if mapped) the mmap.
+
+        A zero-copy view handed out by :meth:`read_slab` keeps the
+        mapping alive through its ``.base`` reference; closing the
+        mapping under it would raise ``BufferError``, so the map is
+        left for the garbage collector in that case — the *file
+        descriptor* still closes either way.
+        """
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:
+                pass
+            self._mm = None
         if not self._fh.closed:
             self._fh.close()
 

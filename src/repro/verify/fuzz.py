@@ -1,13 +1,13 @@
 """Cross-engine differential fuzzing with automatic shrinking.
 
-Every :class:`~repro.verify.cases.FuzzCase` is executed through four
-engine configurations — {serial, threaded} × {record, columnar} — and
-compared, byte-identically in canonical form, against the brute-force
-:mod:`~repro.verify.oracle`.  Expected-failure cases (crash faults)
-must instead fail in *every* configuration.
+Every :class:`~repro.verify.cases.FuzzCase` is executed through six
+engine configurations — {serial, threaded, process} × {record,
+columnar} — and compared, byte-identically in canonical form, against
+the brute-force :mod:`~repro.verify.oracle`.  Expected-failure cases
+(crash faults) must instead fail in *every* configuration.
 
 Prunable fault-free cases (``filter_gt``) additionally run a **predicate
-leg**: the same four configurations with zone-map split skipping forced
+leg**: the same configurations with zone-map split skipping forced
 on (a zone map built from the case data at the case's tile shape), so
 every fuzzed threshold query proves pruned plans byte-identical to
 unpruned ones.  Fault cases keep pruning off — their rules target split
@@ -24,6 +24,7 @@ can replay exactly.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
@@ -43,19 +44,43 @@ from repro.verify.explorer import (
 )
 from repro.verify.oracle import canonicalize_records, oracle_records, records_digest
 
-#: Engine configurations every case is pushed through.
-ENGINE_CONFIGS: tuple[tuple[str, str], ...] = (
+#: Engine configurations every case is pushed through.  The serial
+#: legs anchor the ladder (closest to the oracle); threaded and
+#: process must match them byte-for-byte.  ``REPRO_VERIFY_ENGINES``
+#: (comma-separated modes) narrows the matrix, e.g. a CI leg that
+#: fuzzes only the process engine.
+_ALL_ENGINE_CONFIGS: tuple[tuple[str, str], ...] = (
     ("serial", "record"),
     ("threaded", "record"),
+    ("process", "record"),
     ("serial", "columnar"),
     ("threaded", "columnar"),
+    ("process", "columnar"),
 )
 
 
-def _make_engine(case: FuzzCase, hook: Any | None = None) -> LocalEngine:
+def _engine_configs() -> tuple[tuple[str, str], ...]:
+    allow = os.environ.get("REPRO_VERIFY_ENGINES", "").strip()
+    if not allow:
+        return _ALL_ENGINE_CONFIGS
+    modes = {m.strip() for m in allow.split(",") if m.strip()}
+    picked = tuple(c for c in _ALL_ENGINE_CONFIGS if c[0] in modes)
+    return picked or _ALL_ENGINE_CONFIGS
+
+
+ENGINE_CONFIGS = _ALL_ENGINE_CONFIGS
+
+
+def _make_engine(
+    case: FuzzCase, hook: Any | None = None, mode: str = "threaded"
+) -> LocalEngine:
+    # Fuzz cases are tiny; the process legs cap the pool so each case
+    # forks 4 workers, not the production default of 7.
+    workers = {"map_workers": 2, "reduce_workers": 2} if mode == "process" else {}
     return LocalEngine(
         observability=False,
         retry=RetryPolicy(max_attempts=case.max_attempts, backoff_base=0.0),
+        **workers,
         faults=case.injection_plan(),
         recovery=RecoveryModel.parse(case.recovery),
         scheduler_hook=hook,
@@ -130,17 +155,20 @@ def run_case(case: FuzzCase, *, metrics: Any | None = None) -> CaseResult:
         plan, data = case.build()
         expected = records_digest(oracle_records(plan, data))
 
-    legs = [(mode, plane, False) for mode, plane in ENGINE_CONFIGS]
+    configs = _engine_configs()
+    legs = [(mode, plane, False) for mode, plane in configs]
     if _prune_eligible(case):
-        legs += [(mode, plane, True) for mode, plane in ENGINE_CONFIGS]
+        legs += [(mode, plane, True) for mode, plane in configs]
 
     outcomes: list[ConfigOutcome] = []
     for mode, plane, prune in legs:
         job, barrier = _make_job(case, plane, prune=prune)
-        engine = _make_engine(case)
+        engine = _make_engine(case, mode=mode)
         try:
             if mode == "serial":
                 res = engine.run_serial(job, barrier)
+            elif mode == "process":
+                res = engine.run_processes(job, barrier)
             else:
                 res = engine.run_threaded(job, barrier)
         except ReproError as exc:

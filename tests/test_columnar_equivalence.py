@@ -6,7 +6,8 @@ reader geometry, and both engines, the columnar plane must produce
 reference reader is also compared where its accumulation order is
 exactly the chunked path's (see the sum note below).
 
-Set ``REPRO_ENGINE_MODE=serial`` or ``=threaded`` to restrict the
+Set ``REPRO_ENGINE_MODE=serial``, ``=threaded``, or ``=process`` to
+restrict the
 engine matrix, as in :mod:`tests.test_fault_tolerance`.
 """
 
@@ -40,9 +41,13 @@ from repro.query.splits import slice_splits
 from repro.scidata.generators import temperature_dataset, windspeed_dataset
 from repro.sidr.planner import build_sidr_job
 
+#: ``process`` is opt-in (env), not in the default matrix: forking
+#: a pool per test would triple suite wall-clock for bodies the
+#: fuzz matrix already covers cross-process.
 _ALL_MODES = ("serial", "threaded")
+_KNOWN = ("serial", "threaded", "process")
 _env = os.environ.get("REPRO_ENGINE_MODE", "")
-MODES = (_env,) if _env in _ALL_MODES else _ALL_MODES
+MODES = (_env,) if _env in _KNOWN else _ALL_MODES
 
 FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0)
 
@@ -69,6 +74,8 @@ CELL_EXACT = ("count", "min", "max", "median")
 def run(engine, mode, job, barrier, **kw):
     if mode == "serial":
         return engine.run_serial(job, barrier, **kw)
+    if mode == "process":
+        return engine.run_processes(job, barrier, **kw)
     return engine.run_threaded(job, barrier, **kw)
 
 

@@ -1,0 +1,461 @@
+"""Process-engine tests: oracle identity, worker crashes, spill lifecycle.
+
+``run_processes`` must sit on the serial → threaded → process ladder
+without changing a single output byte: every fuzz operator, both data
+planes, worker death mid-map, speculation races over file segments, and
+the per-job spill directory's no-leak guarantee (success, failure, and
+deadline-partial) are pinned here.  The cross-engine fuzz matrix
+(``repro.cli verify``) covers the same ground probabilistically; these
+are the deterministic anchors.
+"""
+
+import glob
+import os
+import signal
+
+import pytest
+
+from repro.errors import JobFailedError, WorkerCrashError
+from repro.faults import FaultKind, FaultRule, InjectionPlan
+from repro.mapreduce.engine import (
+    DependencyBarrier,
+    GlobalBarrier,
+    LocalEngine,
+    RetryPolicy,
+)
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.mapper import IdentityMapper
+from repro.mapreduce.partitioner import RangePartitioner
+from repro.mapreduce.reducer import FunctionReducer
+from repro.mapreduce.spillfiles import SpillDirectory
+from repro.mapreduce.splits import ByteRangeSplit
+from repro.spec import SpeculationPolicy
+from repro.verify.cases import OPERATOR_NAMES, generate_case
+from repro.verify.fuzz import _make_job
+from repro.verify.oracle import (
+    canonicalize_records,
+    oracle_records,
+    records_digest,
+)
+
+from tests.test_mapreduce_engine import counting_job, ranged_job
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0)
+FAST_SPEC = SpeculationPolicy(hang_timeout=0.08, heartbeat_interval=0.01)
+
+
+def small_engine(**kw):
+    """Process engine sized for 1-core CI boxes: four workers total."""
+    kw.setdefault("map_workers", 2)
+    kw.setdefault("reduce_workers", 2)
+    return LocalEngine(**kw)
+
+
+def spill_entries(root):
+    return glob.glob(os.path.join(str(root), "repro-spill-*"))
+
+
+# --------------------------------------------------------------------- #
+# Oracle byte-identity
+# --------------------------------------------------------------------- #
+class TestOracleIdentity:
+    """Every fuzz operator, both planes, vs the brute-force oracle."""
+
+    @pytest.mark.parametrize("operator", OPERATOR_NAMES)
+    @pytest.mark.parametrize("plane", ["record", "columnar"])
+    def test_operator_matches_oracle(self, operator, plane):
+        case = generate_case(0, operators=(operator,))
+        plan, data = case.build()
+        expected = records_digest(oracle_records(plan, data))
+        job, barrier = _make_job(case, plane)
+        res = small_engine().run_processes(job, barrier)
+        got = records_digest(canonicalize_records(res.all_records()))
+        assert got == expected
+
+    def test_matches_serial_and_threaded(self):
+        """Ladder check on one job conf: all three modes byte-identical."""
+        serial = LocalEngine().run_serial(counting_job(), GlobalBarrier())
+        threaded = LocalEngine().run_threaded(counting_job(), GlobalBarrier())
+        proc = small_engine().run_processes(counting_job(), GlobalBarrier())
+        assert (
+            proc.all_records()
+            == serial.all_records()
+            == threaded.all_records()
+        )
+        # The counters the shuffle derives from segment manifests must
+        # match the in-memory planes' accounting too.
+        for name in ("map.output.records", "shuffle.records",
+                     "reduce.output.records"):
+            assert proc.counters.get(name) == serial.counters.get(name), name
+
+
+# --------------------------------------------------------------------- #
+# Worker crash ≈ FaultKind.CRASH
+# --------------------------------------------------------------------- #
+def suicidal_job(tmp_path, num_splits=4, num_reduces=2):
+    """Map 1's first attempt SIGKILLs its own worker process; later
+    attempts find the sentinel file and run normally."""
+    sentinel = str(tmp_path / "killed-once")
+
+    def reader(split):
+        if split.index == 1 and not os.path.exists(sentinel):
+            with open(sentinel, "w") as fh:
+                fh.write("x")
+            os.kill(os.getpid(), signal.SIGKILL)
+        for j in range(5):
+            yield ((j,), 1)
+
+    return JobConf(
+        name="suicidal",
+        splits=[
+            ByteRangeSplit(index=i, path="/f", start=i * 10, length=10)
+            for i in range(num_splits)
+        ],
+        reader_factory=reader,
+        mapper_factory=IdentityMapper,
+        reducer_factory=lambda: FunctionReducer(
+            lambda k, vals: [(k, sum(vals))]
+        ),
+        partitioner=RangePartitioner((5,), [2, 5]),
+        num_reduce_tasks=num_reduces,
+    )
+
+
+class TestWorkerCrash:
+    def test_killed_worker_is_retried_like_a_crash_fault(self, tmp_path):
+        clean = LocalEngine().run_serial(
+            counting_job(num_splits=4, num_reduces=2), GlobalBarrier()
+        )
+        res = small_engine(retry=FAST_RETRY).run_processes(
+            suicidal_job(tmp_path), GlobalBarrier()
+        )
+        assert res.all_records() == clean.all_records()
+        assert res.counters.get("task.retries") == 1
+        assert res.counters.get("task.failures") == 1
+
+    def test_killed_worker_without_retry_fails_with_worker_crash(
+        self, tmp_path
+    ):
+        eng = small_engine(retry=RetryPolicy(max_attempts=1))
+        with pytest.raises(JobFailedError) as ei:
+            eng.run_processes(suicidal_job(tmp_path), GlobalBarrier())
+        assert any(
+            isinstance(e, WorkerCrashError) for e in ei.value.errors
+        )
+
+    def test_injected_fault_fires_inside_worker(self):
+        """The plan's attempt-windowed faults fire inside the worker and
+        the error type round-trips the pipe for normal retry
+        accounting (``active_on_attempt`` is pure over the attempt
+        number, so per-worker copies of the plan stay consistent)."""
+        plan = InjectionPlan(
+            rules=(
+                FaultRule(
+                    task="map",
+                    kind=FaultKind.TRANSIENT,
+                    indices=frozenset({2}),
+                    times=1,
+                ),
+            )
+        )
+        clean = LocalEngine().run_serial(counting_job(), GlobalBarrier())
+        res = small_engine(retry=FAST_RETRY, faults=plan).run_processes(
+            counting_job(), GlobalBarrier()
+        )
+        assert res.all_records() == clean.all_records()
+        assert res.counters.get("faults.injected") == 1
+
+
+# --------------------------------------------------------------------- #
+# Speculation races over file segments
+# --------------------------------------------------------------------- #
+def hang_plan(index=1, times=1):
+    return InjectionPlan(
+        rules=(
+            FaultRule(
+                task="map",
+                kind=FaultKind.HANG,
+                indices=frozenset({index}),
+                times=times,
+            ),
+        )
+    )
+
+
+class TestSpeculationRace:
+    def test_backup_wins_and_loser_segments_are_dropped(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        clean = LocalEngine().run_serial(counting_job(), GlobalBarrier())
+        eng = small_engine(
+            retry=FAST_RETRY, speculation=FAST_SPEC, faults=hang_plan()
+        )
+        res = eng.run_processes(counting_job(), GlobalBarrier())
+        assert res.all_records() == clean.all_records()
+        # The hung primary was killed (cancelled), the backup committed.
+        assert res.counters.get("task.speculations") == 1
+        assert res.counters.get("task.cancelled") == 1
+        assert spill_entries(tmp_path) == []
+
+    def test_supersede_unlinks_older_attempt_dirs(self, tmp_path, monkeypatch):
+        """Unit check of the on-disk supersede rule: committing attempt
+        n+1 removes attempt n's segment directory."""
+        from repro.mapreduce.procpool import ProcessRunner
+
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        runner = ProcessRunner.__new__(ProcessRunner)
+        runner._spill = SpillDirectory("supersede-unit")
+        import threading
+
+        runner._lock = threading.Lock()
+        runner._on_disk = {}
+        d0 = runner._spill.attempt_dir(3, 0)
+        d1 = runner._spill.attempt_dir(3, 1)
+        os.makedirs(d0)
+        runner._note_committed(3, 0, d0)
+        os.makedirs(d1)
+        runner._note_committed(3, 1, d1)
+        assert not os.path.exists(d0)
+        assert os.path.exists(d1)
+        runner._spill.cleanup()
+        assert spill_entries(tmp_path) == []
+
+
+# --------------------------------------------------------------------- #
+# Spill-directory lifecycle
+# --------------------------------------------------------------------- #
+class TestSpillLifecycle:
+    def test_no_leak_after_success(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        small_engine().run_processes(counting_job(), GlobalBarrier())
+        assert spill_entries(tmp_path) == []
+
+    def test_no_leak_after_job_failure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        plan = InjectionPlan(
+            rules=(
+                FaultRule(
+                    task="map",
+                    kind=FaultKind.CRASH,
+                    indices=frozenset({0}),
+                    times=99,
+                ),
+            )
+        )
+        eng = small_engine(retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+                           faults=plan)
+        with pytest.raises(JobFailedError):
+            eng.run_processes(counting_job(), GlobalBarrier())
+        assert spill_entries(tmp_path) == []
+
+    def test_no_leak_after_deadline_partial(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        job, deps = ranged_job()
+        job.deadline = 0.3
+        job.on_deadline = "partial"
+        eng = small_engine(
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            faults=hang_plan(index=0, times=5),
+        )
+        res = eng.run_processes(job, DependencyBarrier(deps))
+        assert res.partial
+        assert spill_entries(tmp_path) == []
+
+    def test_spill_dir_env_is_honored(self, tmp_path, monkeypatch):
+        """Segments really live under $REPRO_SPILL_DIR while running."""
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        seen = []
+
+        def on_reduce(partition, records):
+            seen.extend(spill_entries(tmp_path))
+
+        small_engine().run_processes(
+            counting_job(), GlobalBarrier(), on_reduce_complete=on_reduce
+        )
+        assert seen  # the per-job dir existed mid-run, under tmp_path
+        assert spill_entries(tmp_path) == []
+
+
+# --------------------------------------------------------------------- #
+# Worker bodies, in-process
+# --------------------------------------------------------------------- #
+class _RecordingBus:
+    def __init__(self):
+        self.events = []
+
+    def publish(self, type, **fields):
+        self.events.append((type, fields))
+
+
+def _worker_ctx(job, spill_root):
+    from repro.obs import JobObservability
+
+    return {
+        "job": job,
+        "faults": None,
+        "spill_root": str(spill_root),
+        "hb_interval": 999.0,  # no heartbeat noise in unit tests
+        "obs": JobObservability(job.name + "-worker", enabled=False),
+    }
+
+
+class TestWorkerFunctions:
+    """The map/reduce bodies that normally run inside forked workers,
+    driven in-process: segment round-trip, protocol loop, error ferry.
+    (Fork-side execution is exercised end-to-end above; these pin the
+    pieces deterministically and keep them visible to coverage.)"""
+
+    def _map_all(self, job, ctx, bus):
+        from repro.mapreduce.procpool import _worker_map
+        from repro.mapreduce.spillfiles import handles_from_manifest
+
+        handles = []
+        for i in range(job.num_map_tasks):
+            out = _worker_map(ctx, {"index": i, "attempt": 0}, bus)
+            assert out["manifest"], f"split {i} spilled nothing"
+            assert os.path.basename(out["directory"]) == f"map-{i:05d}-a0000"
+            handles.extend(
+                handles_from_manifest(i, out["directory"], out["manifest"])
+            )
+        return handles
+
+    @pytest.mark.parametrize("plane", ["record", "columnar"])
+    def test_map_reduce_round_trip_through_segments(self, tmp_path, plane):
+        from repro.mapreduce.procpool import _worker_reduce
+
+        case = generate_case(0, operators=("sum",))
+        job, _ = _make_job(case, plane)
+        expected = LocalEngine().run_serial(job, GlobalBarrier())
+        ctx = _worker_ctx(job, tmp_path)
+        bus = _RecordingBus()
+        handles = self._map_all(job, ctx, bus)
+        if plane == "columnar":
+            # The documented segment format: one keys/counts pair plus
+            # one .npy per state column, per partition.
+            names = os.listdir(handles[0].directory)
+            assert any(n.endswith(".keys.npy") for n in names)
+            assert any(n.endswith(".counts.npy") for n in names)
+        records = []
+        for p in range(job.num_reduce_tasks):
+            out = _worker_reduce(
+                ctx,
+                {
+                    "partition": p,
+                    "attempt": 0,
+                    "segments": [h for h in handles if h.partition == p],
+                },
+                bus,
+            )
+            records.extend(out["records"])
+        assert canonicalize_records(records) == canonicalize_records(
+            expected.all_records()
+        )
+
+    def test_worker_main_protocol_loop(self, tmp_path):
+        import multiprocessing as mp
+        import threading
+        import uuid
+
+        from repro.errors import SegmentMissingError
+        from repro.mapreduce.procpool import _CONTEXTS, _worker_main
+        from repro.mapreduce.spillfiles import SegmentHandle
+        from repro.mapreduce.types import MapTaskId
+
+        job = counting_job(num_splits=1, num_reduces=1)
+        pool_id = uuid.uuid4().hex
+        _CONTEXTS[pool_id] = _worker_ctx(job, tmp_path)
+        req_recv, req_send = mp.Pipe(duplex=False)
+        res_recv, res_send = mp.Pipe(duplex=False)
+        t = threading.Thread(
+            target=_worker_main, args=(pool_id, req_recv, res_send)
+        )
+        t.start()
+
+        def next_reply():
+            while True:
+                msg = res_recv.recv()
+                if msg[0] != "event":  # skip forwarded heartbeats
+                    return msg
+
+        try:
+            req_send.send(("map", 7, {"index": 0, "attempt": 0}))
+            tag, task_id, body = next_reply()
+            assert (tag, task_id) == ("done", 7)
+            assert body["manifest"]
+            # A reduce whose segments vanished (supersede race) ferries
+            # the retryable error back instead of killing the loop.
+            bad = SegmentHandle(
+                map_id=MapTaskId(0),
+                partition=0,
+                num_records=3,
+                source_records=3,
+                approx_serialized_bytes=24,
+                plane="record",
+                directory=str(tmp_path / "gone"),
+            )
+            req_send.send(
+                ("reduce", 8, {"partition": 0, "attempt": 0, "segments": [bad]})
+            )
+            tag, task_id, body = next_reply()
+            assert (tag, task_id) == ("err", 8)
+            assert isinstance(body, SegmentMissingError)
+        finally:
+            req_send.send(None)  # graceful-shutdown sentinel
+            t.join(timeout=5.0)
+            _CONTEXTS.pop(pool_id, None)
+        assert not t.is_alive()
+
+    def test_sendable_wraps_unpicklable_errors(self):
+        from repro.errors import ReproError
+        from repro.mapreduce.procpool import _sendable
+
+        plain = ValueError("boom")
+        assert _sendable(plain) is plain
+
+        class Unpicklable(Exception):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        wrapped = _sendable(Unpicklable("lost"))
+        assert isinstance(wrapped, ReproError)
+        assert "Unpicklable" in str(wrapped)
+
+
+# --------------------------------------------------------------------- #
+# Composition: recovery + consume-on-fetch over file manifests
+# --------------------------------------------------------------------- #
+class TestRecoveryComposition:
+    @pytest.mark.parametrize(
+        "recovery,reexec_min",
+        [("persisted", 0), ("reexecute-deps", 2)],
+    )
+    def test_reduce_failure_recovers_over_segments(
+        self, recovery, reexec_min, tmp_path, monkeypatch
+    ):
+        from repro.faults import RecoveryModel, WHEN_AFTER_FETCH
+
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        job, deps = ranged_job()
+        plan = InjectionPlan(
+            rules=(
+                FaultRule(
+                    task="reduce",
+                    kind=FaultKind.TRANSIENT,
+                    indices=frozenset({1}),
+                    times=1,
+                    when=WHEN_AFTER_FETCH,
+                ),
+            )
+        )
+        eng = small_engine(
+            retry=FAST_RETRY,
+            faults=plan,
+            recovery=RecoveryModel.parse(recovery),
+        )
+        res = eng.run_processes(job, DependencyBarrier(deps))
+        clean_job, _ = ranged_job()
+        clean = LocalEngine().run_serial(clean_job, GlobalBarrier())
+        assert res.all_records() == clean.all_records()
+        assert res.counters.get("recovery.maps_reexecuted") == reexec_min
+        assert spill_entries(tmp_path) == []

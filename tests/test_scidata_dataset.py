@@ -136,3 +136,73 @@ class TestCreate:
         data = np.zeros((2,))
         with create_dataset(tmp_path / "c.nc", var_name="v", data=data) as ds:
             assert ds.variable_shape("v") == (2,)
+
+
+class TestMmapReadPath:
+    """Read-only datasets serve slabs from an mmap (zero-copy views for
+    contiguous runs); writable datasets keep buffered reads.  Both paths
+    must agree on data *and* on the physical-IO accounting."""
+
+    @pytest.fixture()
+    def ro_ds(self, tmp_path):
+        data = np.arange(5 * 6 * 7, dtype=np.float64).reshape(5, 6, 7)
+        create_dataset(tmp_path / "ro.nc", var_name="v", data=data).close()
+        ds = open_dataset(tmp_path / "ro.nc")  # mode="r" -> mmap path
+        yield ds, data
+        ds.close()
+
+    def test_values_match_buffered_path(self, ro_ds, tmp_path):
+        ds, data = ro_ds
+        rw = open_dataset(ds.path, mode="r+")
+        for slab in (
+            Slab((0, 0, 0), (5, 6, 7)),
+            Slab((2, 0, 0), (2, 6, 7)),
+            Slab((0, 0, 3), (5, 6, 1)),
+            Slab((1, 2, 3), (2, 2, 2)),
+        ):
+            assert np.array_equal(ds.read_slab("v", slab),
+                                  rw.read_slab("v", slab))
+        rw.close()
+
+    def test_contiguous_run_is_zero_copy_view(self, ro_ds):
+        ds, data = ro_ds
+        out = ds.read_slab("v", Slab((2, 0, 0), (2, 6, 7)))
+        assert out.base is not None  # a view of the mapping, not a copy
+        assert not out.flags.writeable
+        assert np.array_equal(out, data[2:4])
+
+    def test_io_stats_identical_to_buffered_path(self, ro_ds):
+        ds, _ = ro_ds
+        rw = open_dataset(ds.path, mode="r+")
+        for slab in (Slab((2, 0, 0), (2, 6, 7)), Slab((0, 0, 3), (5, 6, 1))):
+            ds.io_stats.reset()
+            rw.io_stats.reset()
+            ds.read_slab("v", slab)
+            rw.read_slab("v", slab)
+            assert ds.io_stats.seeks == rw.io_stats.seeks
+            assert ds.io_stats.read_calls == rw.io_stats.read_calls
+            assert ds.io_stats.bytes_read == rw.io_stats.bytes_read
+        rw.close()
+
+    def test_multi_run_slab_is_fresh_writable_gather(self, ro_ds):
+        ds, data = ro_ds
+        out = ds.read_slab("v", Slab((0, 0, 3), (5, 6, 1)))
+        out[0, 0, 0] = -1.0  # gathers are owned, safe to mutate
+        assert np.array_equal(
+            ds.read_slab("v", Slab((0, 0, 3), (5, 6, 1))),
+            data[:, :, 3:4],
+        )
+
+    def test_close_with_live_view_keeps_view_valid(self, tmp_path):
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        create_dataset(tmp_path / "cv.nc", var_name="v", data=data).close()
+        ds = open_dataset(tmp_path / "cv.nc")
+        view = ds.read_slab("v", Slab((1, 0), (1, 4)))
+        ds.close()  # BufferError suppressed; fd closed, map GC'd later
+        assert np.array_equal(view, data[1:2])
+        ds.close()  # idempotent
+
+    def test_writable_dataset_never_maps(self, small_ds):
+        ds, _ = small_ds
+        ds.read_slab("v", Slab((0, 0, 0), (1, 1, 7)))
+        assert ds._mm is None
