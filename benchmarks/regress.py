@@ -40,7 +40,8 @@ from pathlib import Path
 BASELINE_DIR = Path(__file__).parent / "baselines"
 RESULT_FILES = ("BENCH_throughput.json", "BENCH_recovery.json",
                 "BENCH_speculation.json", "BENCH_pruning.json",
-                "BENCH_parallel.json", "BENCH_obs.json")
+                "BENCH_parallel.json", "BENCH_service.json",
+                "BENCH_obs.json")
 
 
 @dataclass(frozen=True)
@@ -110,6 +111,17 @@ CHECKS: tuple[Check, ...] = (
     Check("BENCH_parallel.json", "cells", "exact"),
     Check("BENCH_parallel.json", "threaded.seconds", "relative", 0.60),
     Check("BENCH_parallel.json", "scaling[0].seconds", "relative", 0.75),
+    # Resident service: oracle byte-identity and the cached-faster-
+    # than-cold gate are exact booleans.  The raw plan-cache speedup is
+    # a ratio of sub-millisecond timings — far too noisy to band — so
+    # only the cold planning cost and the sequential serving time get
+    # the usual wide wall-clock bands.
+    Check("BENCH_service.json", "identical", "exact"),
+    Check("BENCH_service.json", "cached_faster", "exact"),
+    Check("BENCH_service.json", "cells", "exact"),
+    Check("BENCH_service.json", "jobs", "exact"),
+    Check("BENCH_service.json", "plan.cold_ms", "relative", 0.75),
+    Check("BENCH_service.json", "sequential_seconds", "relative", 0.75),
     # Observability: overhead ratios are near zero, so band them
     # absolutely — baseline 0.04 vs fresh 0.09 is fine; 0.25 is not.
     Check("BENCH_obs.json", "sections.obs_overhead.overhead", "absolute",

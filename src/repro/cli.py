@@ -17,7 +17,9 @@ Subcommands mirroring the library's main entry points::
     python -m repro.cli recovery FILE --variable V --extract 7,5,1 ...
                                 [--fail-reduce L] [--fault-seed N]
     python -m repro.cli verify  [--cases N] [--seed S] [--schedules K]
-                                [--out DIR] [--repro FILE]
+                                [--out DIR] [--repro FILE] [--engines TOKS]
+    python -m repro.cli serve   [FILE ...] [--host H] [--port P]
+                                [--workers N] [--events out.jsonl]
 
 ``query`` executes a structural query for real through the SIDR engine
 (dependency barriers + count validation) and prints the output records;
@@ -32,6 +34,12 @@ ETA, flagged stragglers) while the query runs; ``--events`` streams the
 live event feed to a JSONL file as it happens; ``--status`` writes the
 final ``snapshot()`` JSON status document.  See the "Live events"
 section of ``docs/OBSERVABILITY.md``.
+
+``serve`` keeps datasets open in a resident query service (shared
+engine, content-keyed plan cache, per-tenant admission control) behind
+a stdlib HTTP/JSON endpoint; ``query --server URL`` submits to it
+instead of executing locally, with FILE naming a dataset registered on
+the server.  See ``docs/SERVICE.md``.
 
 ``--inject-faults`` loads a fault-injection plan (schema in
 ``docs/FAULT_TOLERANCE.md``) and runs the query under it with
@@ -105,6 +113,71 @@ def _compile_query(args: argparse.Namespace):
     return plan, splits
 
 
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """Client mode: submit the query to a running ``repro.cli serve``
+    instance instead of executing locally.  FILE is the *dataset name*
+    registered with the server."""
+    import json
+
+    from repro.service import HttpServiceClient, QueryRequest
+
+    client = HttpServiceClient(args.server)
+    rules = ()
+    if args.inject_faults:
+        from pathlib import Path
+
+        plan_doc = json.loads(Path(args.inject_faults).read_text())
+        rules = tuple(plan_doc.get("rules", ()))
+    request = QueryRequest(
+        dataset=args.file,
+        variable=args.variable,
+        extract=_parse_shape(args.extract),
+        stride=_parse_shape(args.stride) if args.stride else None,
+        operator=args.operator,
+        threshold=args.threshold,
+        splits=args.splits,
+        reduces=args.reduces,
+        data_plane=args.data_plane,
+        engine=args.engine,
+        prune=not args.no_prune,
+        tenant=args.tenant,
+        priority=args.priority,
+        deadline=args.deadline,
+        on_deadline=args.on_deadline,
+        max_attempts=args.max_attempts,
+        recovery=args.recovery,
+        fault_rules=rules,
+        fault_seed=args.fault_seed or 0,
+        speculate=args.speculate,
+        hang_timeout=args.hang_timeout,
+    )
+    request.validate()
+    job_id = client.submit(request)
+    print(f"# submitted as {job_id} to {args.server}", file=sys.stderr)
+    doc = client.result(job_id, timeout=600.0)
+    if doc["state"] != "done":
+        print(
+            f"error: job {job_id} {doc['state']}: {doc.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"# job {job_id}: plan cache "
+        f"{'hit' if doc['plan_cache_hit'] else 'miss'}, "
+        f"digest {doc['digest'][:12]}, {doc['num_records']} records",
+        file=sys.stderr,
+    )
+    if doc.get("partial"):
+        print("# DEADLINE EXPIRED — partial result", file=sys.stderr)
+    limit = args.limit
+    for i, (key, value) in enumerate(doc["records"]):
+        if limit and i >= limit:
+            print(f"... ({len(doc['records']) - limit} more)")
+            break
+        print(f"{','.join(map(str, key))}\t{value}")
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -112,6 +185,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.faults import InjectionPlan, RecoveryModel
     from repro.mapreduce.engine import LocalEngine, RetryPolicy
     from repro.sidr.planner import build_sidr_job
+
+    if args.server:
+        return _cmd_query_remote(args)
 
     fault_plan = None
     if args.inject_faults:
@@ -450,10 +526,53 @@ def cmd_speculation(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the resident query service (docs/SERVICE.md)."""
+    import asyncio
+    import os
+
+    from repro.service import QueryService, TenantQuota, serve
+
+    default_quota = None
+    if args.max_active or args.failure_budget:
+        default_quota = TenantQuota(
+            max_active=args.max_active or None,
+            failure_budget=args.failure_budget or None,
+        )
+    service = QueryService(
+        workers=args.workers,
+        map_workers=args.map_workers,
+        reduce_workers=args.reduce_workers,
+        plan_cache_capacity=args.plan_cache,
+        default_quota=default_quota,
+        events_path=args.events,
+    )
+    for path in args.files:
+        name = os.path.splitext(os.path.basename(path))[0]
+        session = service.open_dataset(name, path)
+        print(
+            f"# dataset {name!r} from {path} "
+            f"(digest {session.digest[:12]}, mmap={session.snapshot()['mmap']})",
+            file=sys.stderr,
+        )
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("# interrupted; shutting down", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Differential fuzzing + interleaving exploration (docs/TESTING.md)."""
+    import os
+
     from repro.obs.metrics import MetricsRegistry
     from repro.verify import fuzz, load_repro, run_case
+
+    if args.engines:
+        os.environ["REPRO_VERIFY_ENGINES"] = args.engines
 
     metrics = MetricsRegistry()
 
@@ -698,7 +817,46 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("fail", "partial"),
                          help="fail the job or return the partitions "
                          "completed so far")
+    p_query.add_argument("--server", default=None, metavar="URL",
+                         help="submit to a running `repro serve` instance "
+                         "instead of executing locally; FILE is then the "
+                         "dataset *name* registered on the server")
+    p_query.add_argument("--tenant", default="default",
+                         help="tenant id for admission control "
+                         "(with --server)")
+    p_query.add_argument("--priority", type=int, default=0,
+                         help="scheduling priority, higher first "
+                         "(with --server)")
     p_query.set_defaults(fn=cmd_query)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the resident query service (docs/SERVICE.md)",
+    )
+    p_srv.add_argument("files", nargs="*", metavar="FILE",
+                       help="NCLite files to open at startup; each is "
+                       "registered under its basename without extension")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = ephemeral, printed on start)")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="concurrent jobs executed by the service")
+    p_srv.add_argument("--map-workers", type=int, default=4,
+                       help="map pool size per job")
+    p_srv.add_argument("--reduce-workers", type=int, default=3,
+                       help="reduce pool size per job")
+    p_srv.add_argument("--plan-cache", type=int, default=256,
+                       help="plan cache capacity (entries)")
+    p_srv.add_argument("--events", default=None, metavar="FILE.jsonl",
+                       help="append every job's live events (job-id "
+                       "stamped) to one JSONL stream")
+    p_srv.add_argument("--max-active", type=int, default=0,
+                       help="default per-tenant cap on in-flight jobs "
+                       "(0 = unlimited)")
+    p_srv.add_argument("--failure-budget", type=int, default=0,
+                       help="default per-tenant failed-job budget before "
+                       "lockout (0 = unlimited)")
+    p_srv.set_defaults(fn=cmd_serve)
 
     p_rec = sub.add_parser(
         "recovery",
@@ -760,6 +918,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "instead of fuzzing")
     p_ver.add_argument("--no-shrink", action="store_true",
                        help="skip shrinking failing cases")
+    p_ver.add_argument("--engines", default=None, metavar="TOK[,TOK...]",
+                       help="restrict the differential matrix to these "
+                       "engine legs (serial, threaded, process, "
+                       "service); sets REPRO_VERIFY_ENGINES")
     p_ver.add_argument("--operators", default=None, metavar="NAME[,NAME...]",
                        help="restrict generated cases to these operators "
                        "(e.g. filter_gt for a pruning-equivalence run)")

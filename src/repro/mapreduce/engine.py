@@ -1289,6 +1289,39 @@ class LocalEngine:
             tok.cancel(REASON_DEADLINE)
 
     # ------------------------------------------------------------------ #
+    # Mode dispatch
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        job: JobConf,
+        barrier: BarrierPolicy | None = None,
+        *,
+        mode: str = "threaded",
+        on_reduce_complete: Callable[[int, list[KeyValue]], None] | None = None,
+        obs: JobObservability | None = None,
+    ) -> JobResult:
+        """Dispatch to :meth:`run_serial` / :meth:`run_threaded` /
+        :meth:`run_processes` by name — the seam callers with a
+        string-valued engine knob (CLI ``--engine``, the resident
+        service's per-request engine field) use instead of an
+        ``if``-ladder."""
+        if mode == "serial":
+            return self.run_serial(
+                job, barrier, on_reduce_complete=on_reduce_complete, obs=obs
+            )
+        if mode == "threaded":
+            return self.run_threaded(
+                job, barrier, on_reduce_complete=on_reduce_complete, obs=obs
+            )
+        if mode == "process":
+            return self.run_processes(
+                job, barrier, on_reduce_complete=on_reduce_complete, obs=obs
+            )
+        raise JobConfigError(
+            f"unknown engine mode {mode!r}; expected serial|threaded|process"
+        )
+
+    # ------------------------------------------------------------------ #
     # Serial execution
     # ------------------------------------------------------------------ #
     def run_serial(

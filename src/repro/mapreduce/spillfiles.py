@@ -32,6 +32,7 @@ SIDR's shuffle lifecycle maps onto plain filesystem operations:
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import shutil
@@ -53,8 +54,22 @@ from repro.mapreduce.types import MapTaskId
 SPILL_DIR_ENV = "REPRO_SPILL_DIR"
 
 
+#: Process-wide monotonic nonce: two concurrent jobs in one process get
+#: distinct spill dirs even if they share a job name *and* the random
+#: suffix collides (seeded/monkeypatched uuid, cheap entropy).
+_DIR_NONCE = itertools.count()
+
+
 class SpillDirectory:
-    """One job run's spill area: ``<root>/repro-spill-<name>-<pid>-<rand>``.
+    """One job run's spill area:
+    ``<root>/repro-spill-<name>-<pid>-n<nonce>-<rand>``.
+
+    The name is collision-proof by construction for concurrent jobs in
+    one process — pid scopes it to the process, the monotonic nonce
+    orders creations within the process, and the random tail guards
+    against cross-process reuse of a recycled pid.  ``os.makedirs`` is
+    still exclusive (no ``exist_ok``) and retried with a fresh nonce as
+    a belt-and-braces final guard.
 
     Layout: one subdirectory per committed map attempt
     (``map-00003-a0001/``) holding that attempt's segment files, plus
@@ -62,14 +77,27 @@ class SpillDirectory:
     through an atomic rename.
     """
 
-    def __init__(self, job_name: str) -> None:
+    def __init__(self, job_name: str, *, job_id: str | None = None) -> None:
         root = os.environ.get(SPILL_DIR_ENV) or tempfile.gettempdir()
         os.makedirs(root, exist_ok=True)
-        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in job_name)
-        self.path = os.path.join(
-            root, f"repro-spill-{safe[:40]}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
-        )
-        os.makedirs(self.path)
+        tag = job_id or job_name
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in tag)
+        for _ in range(1000):
+            nonce = next(_DIR_NONCE)
+            path = os.path.join(
+                root,
+                f"repro-spill-{safe[:40]}-{os.getpid()}"
+                f"-n{nonce:06d}-{uuid.uuid4().hex[:8]}",
+            )
+            try:
+                os.makedirs(path)
+            except FileExistsError:
+                continue
+            self.path = path
+            return
+        raise ShuffleError(
+            f"could not create a unique spill directory under {root!r}"
+        )  # pragma: no cover - requires 1000 consecutive collisions
 
     def attempt_dir(self, map_index: int, attempt: int) -> str:
         return os.path.join(self.path, f"map-{map_index:05d}-a{attempt:04d}")

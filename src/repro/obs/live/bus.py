@@ -81,6 +81,11 @@ class Event:
     index: int = -1
     attempt: int = 0
     data: dict[str, Any] = field(default_factory=dict)
+    #: Owning job id for interleaved multi-job streams ("" = unscoped).
+    #: Stamped by the bus (``EventBus(job=...)``), so every event a
+    #: per-job bus publishes carries its job even when several jobs
+    #: append to one JSONL file.
+    job: str = ""
 
     def to_json(self) -> dict[str, Any]:
         doc: dict[str, Any] = {
@@ -88,6 +93,8 @@ class Event:
             "t": round(self.t, 6),
             "type": self.type,
         }
+        if self.job:
+            doc["job"] = self.job
         if self.kind:
             doc["kind"] = self.kind
         if self.index >= 0:
@@ -175,8 +182,10 @@ class EventBus:
         *,
         clock: Callable[[], float] | None = None,
         metrics: Any | None = None,
+        job: str = "",
     ) -> None:
         self._lock = threading.Lock()
+        self._job = job
         self._seq = 0
         self._published = 0
         self._dropped = 0
@@ -252,6 +261,7 @@ class EventBus:
                 index=index,
                 attempt=attempt,
                 data=data,
+                job=self._job,
             )
             self._seq += 1
             self._published += 1

@@ -47,10 +47,16 @@ class JsonlEventWriter:
         path: str | Path,
         *,
         maxsize: int = DEFAULT_QUEUE_SIZE,
+        append: bool = False,
     ) -> None:
         self.path = Path(path)
         self._sub = bus.subscribe(maxsize=maxsize)
-        self._file = open(self.path, "w", encoding="utf-8")
+        # ``append`` lets several per-job writers share one stream file
+        # (the resident service's audit log): each line carries the
+        # publishing bus's job id, and replay filters with
+        # ``read_events(path, job=...)``.  Lines are written whole under
+        # a lock, so interleaving is per-line, never intra-line.
+        self._file = open(self.path, "a" if append else "w", encoding="utf-8")
         self._written = 0
         self._wlock = threading.Lock()
         self._thread = threading.Thread(
@@ -104,8 +110,14 @@ class JsonlEventWriter:
         self.close()
 
 
-def read_events(path: str | Path) -> list[Event]:
-    """Load a ``--events`` JSONL file back into :class:`Event` objects."""
+def read_events(path: str | Path, *, job: str | None = None) -> list[Event]:
+    """Load a ``--events`` JSONL file back into :class:`Event` objects.
+
+    ``job`` filters an interleaved multi-job stream down to one job's
+    events (file order preserved — each per-job bus assigns its own
+    ``seq``, so cross-job seq comparison is meaningless, but any one
+    job's subsequence is still totally ordered).
+    """
     events: list[Event] = []
     with open(path, encoding="utf-8") as f:
         for line in f:
@@ -113,17 +125,19 @@ def read_events(path: str | Path) -> list[Event]:
             if not line:
                 continue
             doc = json.loads(line)
-            events.append(
-                Event(
-                    seq=doc["seq"],
-                    t=doc["t"],
-                    type=doc["type"],
-                    kind=doc.get("kind", ""),
-                    index=doc.get("index", -1),
-                    attempt=doc.get("attempt", 0),
-                    data=doc.get("data", {}),
-                )
+            ev = Event(
+                seq=doc["seq"],
+                t=doc["t"],
+                type=doc["type"],
+                kind=doc.get("kind", ""),
+                index=doc.get("index", -1),
+                attempt=doc.get("attempt", 0),
+                data=doc.get("data", {}),
+                job=doc.get("job", ""),
             )
+            if job is not None and ev.job != job:
+                continue
+            events.append(ev)
     return events
 
 

@@ -43,6 +43,14 @@ DataSource = "str | os.PathLike | np.ndarray"
 def _read_slab(source: Any, variable: str, slab: Slab) -> np.ndarray:
     if isinstance(source, np.ndarray):
         return source[slab.as_slices()]
+    # An already-open Dataset (the resident service's SessionRegistry
+    # keeps one per dataset): read through its zero-copy mmap path
+    # without re-opening the file per split.  Callers sharing a handle
+    # across threads must have called ``ensure_mapped()`` — the buffered
+    # fallback shares a file position and is not concurrency-safe.
+    read = getattr(source, "read_slab", None)
+    if read is not None:
+        return read(variable, slab)
     from repro.scidata.dataset import open_dataset
 
     with open_dataset(source) as ds:

@@ -127,6 +127,18 @@ class Dataset:
                 return None
         return self._mm
 
+    def ensure_mapped(self) -> bool:
+        """Establish the read-only mmap now (idempotent).
+
+        Returns True when the zero-copy path is active.  Callers that
+        share one handle across threads (the resident query service)
+        call this once up front: it removes the lazy-init race in
+        :meth:`_map`, and a False return tells them to fall back to
+        per-reader opens — the buffered path shares the handle's file
+        position and must not be used concurrently.
+        """
+        return self._map() is not None
+
     def read_slab(self, name: str, slab: Slab) -> np.ndarray:
         """Read ``slab`` of variable ``name`` with the slab's shape.
 

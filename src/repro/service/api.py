@@ -1,0 +1,253 @@
+"""Wire-level schema of the resident query service.
+
+:class:`QueryRequest` is the one submission document: it names a
+registered dataset and a structural query, plus the execution knobs the
+CLI exposes per invocation (engine mode, data plane, retries, faults,
+speculation, deadline) and the multi-tenant scheduling fields (tenant,
+priority).  It round-trips through JSON, so the in-process client and
+the HTTP server share one schema.
+
+The request also defines the **canonical query** half of the plan-cache
+key (:meth:`QueryRequest.plan_key`): exactly the fields
+:func:`repro.sidr.planner.build_plan` consumes.  Two requests with equal
+plan keys over the same dataset content produce the *same*
+:class:`~repro.sidr.planner.SIDRPlan` — partition+ keyspaces, keyblock
+partitions, and dependency maps ``I_l`` are pure functions of (dataset
+metadata, query) — so ``data_plane``/``engine`` deliberately do NOT
+participate: they only affect the cheap per-submission
+``configure_job`` step, and repeated shapes reuse keyblock partitions
+across planes and engines.  ``prune`` DOES participate: it changes the
+surviving split set and dependency map, i.e. the plan itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+ENGINES = ("serial", "threaded", "process")
+DATA_PLANES = ("record", "columnar")
+ON_DEADLINE = ("fail", "partial")
+
+#: Job lifecycle states, in order of progress.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class ServiceError(ReproError):
+    """Base class for resident-service errors."""
+
+
+class AdmissionError(ServiceError):
+    """Submission refused by admission control (quota/budget/validation)."""
+
+
+class UnknownDatasetError(ServiceError):
+    """Request names a dataset the registry has not opened."""
+
+
+class UnknownJobError(ServiceError):
+    """No job with that id (never submitted, or a different service)."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One structural-query submission.
+
+    Plan-affecting fields (the canonical-query key): ``variable``,
+    ``extract``, ``stride``, ``operator``, ``threshold``, ``splits``,
+    ``reduces``, ``prune``.  Everything else configures the individual
+    run.
+    """
+
+    dataset: str
+    variable: str
+    extract: tuple[int, ...]
+    operator: str = "mean"
+    threshold: float | None = None
+    stride: tuple[int, ...] | None = None
+    splits: int = 16
+    reduces: int = 4
+    data_plane: str = "record"
+    engine: str = "threaded"
+    prune: bool = True
+    tenant: str = "default"
+    priority: int = 0
+    deadline: float | None = None
+    on_deadline: str = "fail"
+    max_attempts: int = 1
+    recovery: str = "persisted"
+    #: FaultRule JSON documents (schema: docs/FAULT_TOLERANCE.md).
+    fault_rules: tuple[dict, ...] = ()
+    fault_seed: int = 0
+    speculate: bool = False
+    hang_timeout: float = 0.5
+
+    def __post_init__(self) -> None:
+        # Normalize list-typed JSON input into the hashable tuple forms.
+        object.__setattr__(self, "extract", tuple(int(x) for x in self.extract))
+        if self.stride is not None:
+            object.__setattr__(
+                self, "stride", tuple(int(x) for x in self.stride)
+            )
+        object.__setattr__(self, "fault_rules", tuple(self.fault_rules))
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        if not self.dataset:
+            raise AdmissionError("request missing dataset name")
+        if not self.variable:
+            raise AdmissionError("request missing variable name")
+        if not self.extract or any(e < 1 for e in self.extract):
+            raise AdmissionError(f"invalid extraction shape {self.extract!r}")
+        if self.engine not in ENGINES:
+            raise AdmissionError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.data_plane not in DATA_PLANES:
+            raise AdmissionError(
+                f"unknown data plane {self.data_plane!r}; "
+                f"expected one of {DATA_PLANES}"
+            )
+        if self.on_deadline not in ON_DEADLINE:
+            raise AdmissionError(
+                f"unknown on_deadline {self.on_deadline!r}; "
+                f"expected one of {ON_DEADLINE}"
+            )
+        if self.splits < 1 or self.reduces < 1:
+            raise AdmissionError(
+                f"splits/reduces must be >= 1, got {self.splits}/{self.reduces}"
+            )
+        if self.max_attempts < 1:
+            raise AdmissionError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise AdmissionError(f"deadline must be positive, got {self.deadline}")
+
+    # ------------------------------------------------------------------ #
+    # Plan-cache key
+    # ------------------------------------------------------------------ #
+    def plan_key(self) -> str:
+        """Canonical JSON of exactly the plan-affecting fields."""
+        return json.dumps(
+            {
+                "variable": self.variable,
+                "extract": list(self.extract),
+                "stride": list(self.stride) if self.stride else None,
+                "operator": self.operator,
+                "threshold": self.threshold,
+                "splits": self.splits,
+                "reduces": self.reduces,
+                "prune": self.prune,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> dict[str, Any]:
+        doc = asdict(self)
+        doc["extract"] = list(self.extract)
+        doc["stride"] = list(self.stride) if self.stride else None
+        doc["fault_rules"] = [dict(r) for r in self.fault_rules]
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any] | str) -> "QueryRequest":
+        if isinstance(doc, str):
+            try:
+                doc = json.loads(doc)
+            except json.JSONDecodeError as exc:
+                raise AdmissionError(f"request is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise AdmissionError(
+                f"request must be a JSON object, got {type(doc).__name__}"
+            )
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(doc) - known
+        if unknown:
+            raise AdmissionError(f"unknown request field(s) {sorted(unknown)}")
+        missing = {"dataset", "variable", "extract"} - set(doc)
+        if missing:
+            raise AdmissionError(f"request missing field(s) {sorted(missing)}")
+        kwargs = dict(doc)
+        if kwargs.get("stride") is not None:
+            kwargs["stride"] = tuple(kwargs["stride"])
+        kwargs["extract"] = tuple(kwargs["extract"])
+        kwargs["fault_rules"] = tuple(kwargs.get("fault_rules") or ())
+        try:
+            req = cls(**kwargs)
+        except TypeError as exc:
+            raise AdmissionError(f"malformed request: {exc}") from exc
+        req.validate()
+        return req
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    ``max_active`` bounds queued+running jobs at once; ``max_jobs``
+    bounds lifetime submissions; ``failure_budget`` generalizes
+    :class:`~repro.mapreduce.engine.RetryPolicy`'s per-job budget to the
+    tenant: after that many *failed jobs*, further submissions are
+    refused until the operator resets the tenant.  ``None`` = unlimited.
+    """
+
+    max_active: int | None = None
+    max_jobs: int | None = None
+    failure_budget: int | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class TenantState:
+    """Mutable accounting the service keeps per tenant (guarded by the
+    service lock)."""
+
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    submitted: int = 0
+    active: int = 0
+    failures: int = 0
+
+    def check_admission(self, tenant: str) -> None:
+        q = self.quota
+        if q.failure_budget is not None and self.failures >= q.failure_budget:
+            raise AdmissionError(
+                f"tenant {tenant!r} failure budget exhausted "
+                f"({self.failures}/{q.failure_budget} failed jobs)"
+            )
+        if q.max_jobs is not None and self.submitted >= q.max_jobs:
+            raise AdmissionError(
+                f"tenant {tenant!r} job quota exhausted "
+                f"({self.submitted}/{q.max_jobs} submissions)"
+            )
+        if q.max_active is not None and self.active >= q.max_active:
+            raise AdmissionError(
+                f"tenant {tenant!r} has {self.active} active jobs "
+                f"(max {q.max_active}); retry after one finishes"
+            )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "quota": self.quota.to_json(),
+            "submitted": self.submitted,
+            "active": self.active,
+            "failures": self.failures,
+        }

@@ -1,0 +1,263 @@
+"""Job queue: admission, priorities, deterministic dispatch order.
+
+The queue is deliberately simple and fully deterministic: jobs are
+dispatched strictly by ``(-priority, submission sequence)`` — higher
+priority first, FIFO within a priority — from a heap guarded by one
+condition variable.  Worker threads (the *executor pool*; each runs one
+job at a time through the shared engine components) block on the
+condition, so an idle service costs nothing.
+
+``pause()``/``resume()`` exist for the deterministic concurrency
+harness: tests pause the queue, submit a batch (fixing the admission
+order), then resume — dispatch order is then a pure function of the
+batch, independent of submission-thread timing.
+
+Cancellation: a *queued* job is cancelled by marking it — the worker
+that eventually pops it observes the mark and retires it without
+running.  A *running* job is bounded by its request deadline (the
+engine's deadline watchdog cancels in-flight attempts cooperatively);
+the queue does not preempt running jobs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.service.api import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    QueryRequest,
+)
+
+
+class ServiceJob:
+    """One submission's full lifecycle record.
+
+    State transitions (guarded by ``lock``): ``queued -> running ->
+    done|failed``, or ``queued -> cancelled``.  ``finished`` is set on
+    every terminal transition — :meth:`wait` is how clients block for a
+    result.
+    """
+
+    def __init__(self, job_id: str, request: QueryRequest, seq: int) -> None:
+        self.id = job_id
+        self.request = request
+        self.seq = seq
+        self.lock = threading.Lock()
+        self.finished = threading.Event()
+        self.state = QUEUED
+        self.cancel_requested = False
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        # Result-side fields, set by the service runner.
+        self.records: list | None = None   # canonical records
+        self.digest: str | None = None
+        self.partial = False
+        self.error: str | None = None
+        self.error_types: tuple[str, ...] = ()
+        self.plan_cache_hit: bool | None = None
+        self.plan_seconds: float | None = None
+        self.run_seconds: float | None = None
+        self.counters: dict[str, int] = {}
+        #: Live progress (a ProgressTracker attached by the runner);
+        #: ``status()`` embeds its snapshot while the job runs.
+        self.progress: Any | None = None
+        #: Called once with the job on every terminal transition (the
+        #: service hooks tenant accounting here) — after state is set,
+        #: before waiters wake.
+        self.on_finish: Callable[["ServiceJob"], None] | None = None
+
+    # ------------------------------------------------------------------ #
+    def finish(self, state: str, **fields: Any) -> None:
+        assert state in TERMINAL_STATES
+        with self.lock:
+            for k, v in fields.items():
+                setattr(self, k, v)
+            self.state = state
+            self.finished_at = time.time()
+        if self.on_finish is not None:
+            self.on_finish(self)
+        self.finished.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self.finished.wait(timeout)
+
+    def status(self) -> dict[str, Any]:
+        with self.lock:
+            doc: dict[str, Any] = {
+                "id": self.id,
+                "state": self.state,
+                "tenant": self.request.tenant,
+                "priority": self.request.priority,
+                "dataset": self.request.dataset,
+                "engine": self.request.engine,
+                "data_plane": self.request.data_plane,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "partial": self.partial,
+                "plan_cache_hit": self.plan_cache_hit,
+                "plan_seconds": self.plan_seconds,
+                "run_seconds": self.run_seconds,
+            }
+            if self.error is not None:
+                doc["error"] = self.error
+                doc["error_types"] = list(self.error_types)
+            if self.digest is not None:
+                doc["digest"] = self.digest
+                doc["num_records"] = len(self.records or ())
+            progress = self.progress
+        if progress is not None:
+            doc["progress"] = progress.snapshot()
+        return doc
+
+
+class JobQueue:
+    """Priority dispatch queue feeding a small worker pool."""
+
+    def __init__(
+        self,
+        runner: Callable[[ServiceJob], None],
+        *,
+        workers: int = 2,
+        start_paused: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"queue needs >= 1 worker, got {workers}")
+        self._runner = runner
+        self._cond = threading.Condition()
+        self._heap: list[tuple[int, int, ServiceJob]] = []
+        self._tick = itertools.count()
+        self._paused = start_paused
+        self._shutdown = False
+        self._running = 0
+        self._dispatched: list[str] = []  # dispatch order, for tests/stats
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"svc-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: ServiceJob) -> None:
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("queue is shut down")
+            heapq.heappush(
+                self._heap, (-job.request.priority, next(self._tick), job)
+            )
+            self._cond.notify()
+
+    def cancel(self, job: ServiceJob) -> bool:
+        """Cancel a queued job.  Returns False once it is running or
+        already terminal — running jobs are bounded by their deadline,
+        not preempted."""
+        with job.lock:
+            if job.state != QUEUED:
+                return False
+            job.cancel_requested = True
+        return True
+
+    def pause(self) -> None:
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._shutdown and (self._paused or not self._heap):
+                    self._cond.wait()
+                if self._shutdown:
+                    return
+                _, _, job = heapq.heappop(self._heap)
+                self._running += 1
+                self._dispatched.append(job.id)
+            try:
+                self._dispatch(job)
+            finally:
+                with self._cond:
+                    self._running -= 1
+                    self._cond.notify_all()
+
+    def _dispatch(self, job: ServiceJob) -> None:
+        with job.lock:
+            if job.cancel_requested:
+                cancelled = True
+            else:
+                cancelled = False
+                job.state = RUNNING
+                job.started_at = time.time()
+        if cancelled:
+            job.finish(CANCELLED, error="cancelled before dispatch")
+            return
+        try:
+            self._runner(job)
+        except BaseException as exc:  # the runner is the last line of defense
+            job.finish(
+                FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                error_types=(type(exc).__name__,),
+            )
+        if not job.finished.is_set():  # pragma: no cover - defensive
+            job.finish(DONE)
+
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the queue is empty and no job is running."""
+        deadline = None if timeout is None else time.time() + timeout
+        with self._cond:
+            while self._heap or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.time()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining)
+            return True
+
+    def shutdown(self) -> None:
+        """Stop the workers; jobs still queued are retired as cancelled
+        so no client waits forever on a job that will never run."""
+        with self._cond:
+            self._shutdown = True
+            leftover = [job for _, _, job in self._heap]
+            self._heap.clear()
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        for job in leftover:
+            job.finish(CANCELLED, error="service shut down")
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._cond:
+            return {
+                "queued": len(self._heap),
+                "running": self._running,
+                "paused": self._paused,
+                "workers": len(self._threads),
+                "dispatched": len(self._dispatched),
+            }
+
+    @property
+    def dispatch_order(self) -> list[str]:
+        with self._cond:
+            return list(self._dispatched)

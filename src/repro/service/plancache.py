@@ -1,0 +1,118 @@
+"""Content-keyed plan cache.
+
+SIDR's planning artifacts — partition+ keyspaces, keyblock partitions,
+dependency maps ``I_l``, pruning decisions — are pure functions of
+(dataset content, canonical query), so the cache key is
+``(dataset name, dataset digest, plan key)``:
+
+* the *digest* (see :class:`~repro.service.sessions.DatasetSession`)
+  covers metadata, file identity, and a write generation counter, so a
+  ``write_slab`` through the service changes the digest and strands
+  every stale entry (LRU evicts them eventually);
+* :meth:`~repro.service.sessions.SessionRegistry.write_slab` *also*
+  calls :meth:`PlanCache.invalidate` with the dataset name, dropping
+  stale entries eagerly — belt and braces, and it keeps the hit-rate
+  statistics honest.
+
+A hit returns the cached :class:`~repro.sidr.planner.SIDRPlan` object
+itself: plans are frozen/immutable, and the per-submission
+``configure_job`` step builds fresh ``JobConf``/barrier state from it,
+so sharing one plan across concurrent jobs (and across data planes and
+engine modes) is safe by construction.
+
+Concurrent misses on the same key may build the plan twice; both builds
+are identical (pure function), the second insert wins, and nothing
+blocks other keys — simpler and safer than per-key build locks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Any
+
+from repro.sidr.planner import SIDRPlan
+
+CacheKey = tuple[str, str, str]  # (dataset name, dataset digest, plan key)
+
+
+class PlanCache:
+    """LRU cache of ``(dataset name, digest, canonical query) -> SIDRPlan``."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, SIDRPlan] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: CacheKey) -> SIDRPlan | None:
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+            return plan
+
+    def insert(self, key: CacheKey, plan: SIDRPlan) -> None:
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_build(
+        self,
+        dataset: str,
+        digest: str,
+        plan_key: str,
+        builder: Callable[[], SIDRPlan],
+    ) -> tuple[SIDRPlan, bool]:
+        """Return ``(plan, hit)``; on a miss, build and insert."""
+        key = (dataset, digest, plan_key)
+        plan = self.lookup(key)
+        if plan is not None:
+            return plan, True
+        plan = builder()
+        self.insert(key, plan)
+        return plan, False
+
+    def invalidate(self, dataset: str) -> int:
+        """Drop every cached plan for ``dataset``; returns the count."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == dataset]
+            for k in stale:
+                del self._entries[k]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / total) if total else 0.0,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }

@@ -1,0 +1,206 @@
+"""Stdlib-asyncio HTTP/JSON front for :class:`QueryService`.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
+— no framework, no new dependencies.  The asyncio loop only parses and
+routes; anything that can block (submitting under the admission lock,
+waiting for a result) runs in the default executor so slow jobs never
+stall the accept loop.
+
+Routes::
+
+    GET  /healthz            liveness + uptime
+    GET  /stats              plan cache, queue, tenants, datasets
+    GET  /datasets           registered sessions
+    POST /datasets           {"name": ..., "path": ...} -> open a file
+    POST /query              QueryRequest JSON -> 202 {"job": id}
+    GET  /jobs               every job's status doc
+    GET  /jobs/<id>          one live status doc (ProgressTracker feed)
+    GET  /jobs/<id>/result   block (``?timeout=S``) for records + digest
+    POST /jobs/<id>/cancel   cancel a queued job
+    POST /shutdown           drain nothing, stop serving, exit cleanly
+
+Errors map to JSON bodies: 400 for admission/validation, 404 for
+unknown dataset/job, 408 for a result-wait timeout, 500 otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import ReproError
+from repro.service.api import (
+    AdmissionError,
+    QueryRequest,
+    UnknownDatasetError,
+    UnknownJobError,
+)
+from repro.service.service import QueryService
+
+_MAX_BODY = 8 << 20
+#: Cap on a blocking result wait so an abandoned connection cannot pin
+#: an executor thread forever.
+_MAX_RESULT_WAIT = 600.0
+
+
+class ServiceServer:
+    """One listening socket bound to one :class:`QueryService`."""
+
+    def __init__(
+        self, service: QueryService, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until ``POST /shutdown`` (or :meth:`stop`)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+
+    def stop(self) -> None:
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, target, _ = request_line.decode("latin-1").split(" ", 2)
+            except ValueError:
+                await self._respond(writer, 400, {"error": "malformed request line"})
+                return
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > _MAX_BODY:
+                await self._respond(writer, 413, {"error": "body too large"})
+                return
+            body = await reader.readexactly(length) if length else b""
+            status, doc = await self._route(method.upper(), target, body)
+            await self._respond(writer, status, doc)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, doc: Any
+    ) -> None:
+        payload = json.dumps(doc).encode("utf-8")
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 408: "Request Timeout",
+                  413: "Payload Too Large", 500: "Internal Server Error"}
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, Any]:
+        path, _, query = target.partition("?")
+        parts = [p for p in path.split("/") if p]
+        loop = asyncio.get_running_loop()
+        svc = self.service
+        try:
+            if method == "GET" and parts == ["healthz"]:
+                return 200, {"ok": True, "uptime": svc.stats()["uptime"]}
+            if method == "GET" and parts == ["stats"]:
+                return 200, svc.stats()
+            if method == "GET" and parts == ["datasets"]:
+                return 200, svc.registry.snapshot()
+            if method == "POST" and parts == ["datasets"]:
+                doc = json.loads(body.decode("utf-8"))
+                session = await loop.run_in_executor(
+                    None, svc.open_dataset, doc["name"], doc["path"]
+                )
+                return 200, session.snapshot()
+            if method == "POST" and parts == ["query"]:
+                request = QueryRequest.from_json(body.decode("utf-8"))
+                job_id = await loop.run_in_executor(None, svc.submit, request)
+                return 202, {"job": job_id}
+            if method == "GET" and parts == ["jobs"]:
+                return 200, svc.list_jobs()
+            if method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+                return 200, svc.status(parts[1])
+            if (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "result"
+            ):
+                timeout = _MAX_RESULT_WAIT
+                for piece in query.split("&"):
+                    if piece.startswith("timeout="):
+                        timeout = min(float(piece[8:]), _MAX_RESULT_WAIT)
+                doc = await loop.run_in_executor(
+                    None, lambda: svc.result(parts[1], timeout=timeout)
+                )
+                return 200, doc
+            if (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "cancel"
+            ):
+                return 200, {"cancelled": svc.cancel(parts[1])}
+            if method == "POST" and parts == ["shutdown"]:
+                self.stop()
+                return 200, {"ok": True}
+            return 404, {"error": f"no route {method} {path}"}
+        except (UnknownDatasetError, UnknownJobError) as exc:
+            return 404, {"error": str(exc)}
+        except AdmissionError as exc:
+            return 400, {"error": str(exc)}
+        except TimeoutError as exc:
+            return 408, {"error": str(exc)}
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            return 400, {"error": f"bad request: {exc}"}
+        except ReproError as exc:
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+
+async def serve(
+    service: QueryService, *, host: str = "127.0.0.1", port: int = 0
+) -> None:
+    """Start and run a server until shutdown (the CLI entry point)."""
+    server = ServiceServer(service, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    print(f"# serving on http://{bound_host}:{bound_port}", flush=True)
+    await server.serve_until_shutdown()

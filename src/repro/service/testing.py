@@ -1,0 +1,122 @@
+"""Service-level test harness.
+
+The pieces tier-1 tests (and the benchmark driver) build on:
+
+* :func:`oracle_for_request` — brute-force ground truth for any
+  request, computed completely outside the service path;
+* :class:`StressDriver` — the deterministic concurrency harness: pause
+  the queue, submit a whole batch (fixing admission order), resume, and
+  wait; every served result is diffed byte-identically against its
+  oracle digest, and spill/store isolation is checked by construction
+  (unique per-job names, leak-free spill root).
+
+Determinism claim: with the queue paused during submission, dispatch
+order is a pure function of ``(priority, submission index)`` — no
+dependence on submission-thread timing.  The *completion* order of
+concurrently running jobs still varies; the harness therefore asserts
+on content (digests), never on completion order.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from repro.query.language import StructuralQuery
+from repro.query.operators import get_operator
+from repro.service.api import DONE, QueryRequest
+from repro.service.client import InProcessClient
+from repro.service.service import QueryService
+from repro.verify.oracle import oracle_records, records_digest
+
+
+@contextmanager
+def service_fixture(**kwargs: Any):
+    """A fresh in-process service + client, torn down on exit."""
+    service = QueryService(**kwargs)
+    try:
+        yield InProcessClient(service)
+    finally:
+        service.close()
+
+
+def oracle_for_request(service: QueryService, request: QueryRequest):
+    """``(canonical records, digest)`` for a request — brute force over
+    the session's full data, sharing no code with the service run path."""
+    session = service.registry.get(request.dataset)
+    params = {}
+    if request.threshold is not None:
+        params["threshold"] = request.threshold
+    query = StructuralQuery(
+        variable=request.variable,
+        extraction_shape=request.extract,
+        operator=get_operator(request.operator, **params),
+        stride=request.stride,
+    )
+    plan = query.compile(session.metadata)
+    records = oracle_records(plan, session.full_data(request.variable))
+    return records, records_digest(records)
+
+
+@dataclass
+class StressOutcome:
+    """One batch's verdict."""
+
+    job_ids: list[str]
+    results: list[dict[str, Any]]
+    oracle_digests: list[str]
+    dispatch_order: list[str]
+
+    @property
+    def all_done(self) -> bool:
+        return all(r["state"] == DONE for r in self.results)
+
+    @property
+    def all_identical(self) -> bool:
+        return all(
+            r.get("digest") == d
+            for r, d in zip(self.results, self.oracle_digests)
+        )
+
+    def mismatches(self) -> list[str]:
+        out = []
+        for r, d in zip(self.results, self.oracle_digests):
+            if r["state"] != DONE:
+                out.append(f"{r['id']}: state {r['state']} ({r.get('error')})")
+            elif r.get("digest") != d:
+                out.append(
+                    f"{r['id']}: digest {r.get('digest', '?')[:12]} != "
+                    f"oracle {d[:12]}"
+                )
+        return out
+
+
+class StressDriver:
+    """Deterministic batch submission over one shared service."""
+
+    def __init__(self, service: QueryService) -> None:
+        self.service = service
+        self.client = InProcessClient(service)
+
+    def run_batch(
+        self, requests: list[QueryRequest], *, timeout: float = 120.0
+    ) -> StressOutcome:
+        """Pause, submit all, resume, wait all; oracle-diff every result."""
+        oracle_digests = [
+            oracle_for_request(self.service, r)[1] for r in requests
+        ]
+        self.service.queue.pause()
+        try:
+            job_ids = [self.client.submit(r) for r in requests]
+        finally:
+            self.service.queue.resume()
+        results = [
+            self.client.result(job_id, timeout=timeout) for job_id in job_ids
+        ]
+        return StressOutcome(
+            job_ids=job_ids,
+            results=results,
+            oracle_digests=oracle_digests,
+            dispatch_order=self.service.queue.dispatch_order,
+        )

@@ -13,6 +13,13 @@ every fuzzed threshold query proves pruned plans byte-identical to
 unpruned ones.  Fault cases keep pruning off — their rules target split
 indices, which pruning renumbers.
 
+Listing ``service`` in ``REPRO_VERIFY_ENGINES`` adds **service legs**:
+the same case submitted to a fresh resident query service through the
+in-process client (admission → plan cache → shared session → served
+digest), so the whole serving path joins the differential ladder.
+Because legs are selected by environment, a shrunk repro re-runs the
+service path automatically.
+
 A mismatching case is **shrunk**: candidate simplifications (drop
 faults, unstride, collapse reduces/splits, halve geometry) are applied
 greedily while the mismatch persists, and the minimal failing case —
@@ -58,13 +65,25 @@ _ALL_ENGINE_CONFIGS: tuple[tuple[str, str], ...] = (
     ("process", "columnar"),
 )
 
+#: Opt-in legs that route the case through the resident query service
+#: (in-process client, docs/SERVICE.md) instead of a bare engine —
+#: enabled by listing ``service`` in ``REPRO_VERIFY_ENGINES``.  They
+#: fuzz the whole service path: admission, plan cache, shared dataset
+#: session, per-job observability, canonical result serving.
+_SERVICE_CONFIGS: tuple[tuple[str, str], ...] = (
+    ("service", "record"),
+    ("service", "columnar"),
+)
+
 
 def _engine_configs() -> tuple[tuple[str, str], ...]:
     allow = os.environ.get("REPRO_VERIFY_ENGINES", "").strip()
     if not allow:
         return _ALL_ENGINE_CONFIGS
     modes = {m.strip() for m in allow.split(",") if m.strip()}
-    picked = tuple(c for c in _ALL_ENGINE_CONFIGS if c[0] in modes)
+    picked = tuple(
+        c for c in _ALL_ENGINE_CONFIGS + _SERVICE_CONFIGS if c[0] in modes
+    )
     return picked or _ALL_ENGINE_CONFIGS
 
 
@@ -105,6 +124,59 @@ def _make_job(case: FuzzCase, data_plane: str, prune: bool = False):
         data_plane=data_plane, prune=prune, zone_map=zone_map,
     )
     return job, barrier
+
+
+def _run_service_leg(case: FuzzCase, plane: str, *, prune: bool = False) -> "ConfigOutcome":
+    """Run one case end-to-end through the resident query service.
+
+    A fresh single-worker :class:`~repro.service.QueryService` per leg:
+    the case data registered as an array session (with a zone map at the
+    case's tile for the pruning legs), submitted via the in-process
+    client path, and the *served* digest folded into the differential
+    ladder.  Expected-failure cases must come back ``failed`` here too.
+    """
+    from repro.service import QueryRequest, QueryService
+    from repro.service.api import DONE
+
+    _, data = case.build()
+    service = QueryService(workers=1, map_workers=2, reduce_workers=2)
+    try:
+        service.register_array(
+            "fuzz", "v", data, tile=case.tile, with_zone_map=prune
+        )
+        request = QueryRequest(
+            dataset="fuzz",
+            variable="v",
+            extract=case.extraction,
+            operator=case.operator,
+            threshold=case.threshold,
+            stride=case.stride,
+            splits=case.num_splits,
+            reduces=case.reduces,
+            data_plane=plane,
+            engine="threaded",
+            prune=prune,
+            max_attempts=case.max_attempts,
+            recovery=case.recovery,
+            fault_rules=case.fault_rules,
+            fault_seed=case.seed,
+            speculate=case.speculate,
+            hang_timeout=0.1,
+        )
+        try:
+            doc = service.result(service.submit(request), timeout=120.0)
+        except TimeoutError:
+            return ConfigOutcome(
+                "service", plane, "failed", ("TimeoutError",), None, prune
+            )
+    finally:
+        service.close()
+    if doc["state"] == DONE:
+        return ConfigOutcome("service", plane, "ok", (), doc["digest"], prune)
+    return ConfigOutcome(
+        "service", plane, "failed",
+        tuple(doc.get("error_types") or ()), None, prune,
+    )
 
 
 def _prune_eligible(case: FuzzCase) -> bool:
@@ -162,6 +234,9 @@ def run_case(case: FuzzCase, *, metrics: Any | None = None) -> CaseResult:
 
     outcomes: list[ConfigOutcome] = []
     for mode, plane, prune in legs:
+        if mode == "service":
+            outcomes.append(_run_service_leg(case, plane, prune=prune))
+            continue
         job, barrier = _make_job(case, plane, prune=prune)
         engine = _make_engine(case, mode=mode)
         try:

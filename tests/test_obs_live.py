@@ -458,6 +458,48 @@ class TestJsonlStream:
         for ln in lines:
             json.loads(ln)
 
+    def test_interleaved_multi_job_streams_replay_separably(self, tmp_path):
+        """Two job-tagged buses appending to ONE stream file (the
+        resident service's audit-log shape): every line lands whole,
+        carries its job id, and ``read_events(path, job=...)`` recovers
+        each job's stream in publication order."""
+        path = tmp_path / "svc-events.jsonl"
+        bus_a = EventBus(job="j00001")
+        bus_b = EventBus(job="j00002")
+        with JsonlEventWriter(bus_a, path, append=True), \
+                JsonlEventWriter(bus_b, path, append=True):
+            for i in range(20):
+                bus_a.publish("tick", index=i)
+                bus_b.publish("tick", index=i)
+
+        everything = read_events(path)
+        assert len(everything) == 40
+        assert {e.job for e in everything} == {"j00001", "j00002"}
+
+        for job in ("j00001", "j00002"):
+            stream = read_events(path, job=job)
+            assert len(stream) == 20
+            assert all(e.job == job for e in stream)
+            # per-job publication order survives the interleaving
+            assert [e.index for e in stream] == list(range(20))
+            assert [e.seq for e in stream] == sorted(e.seq for e in stream)
+
+    def test_append_false_truncates_and_untagged_events_have_no_job(
+        self, tmp_path
+    ):
+        path = tmp_path / "ev.jsonl"
+        path.write_text('{"stale": true}\n')
+        bus = EventBus()
+        with JsonlEventWriter(bus, path):
+            bus.publish("tick", index=0)
+        events = read_events(path)
+        assert len(events) == 1  # default mode truncated the stale line
+        assert events[0].job == ""
+        # untagged events serialize without a job field at all
+        assert "job" not in json.loads(path.read_text().splitlines()[0])
+        # and a job filter excludes them
+        assert read_events(path, job="j00001") == []
+
 
 # --------------------------------------------------------------------- #
 # The simulator joins the same plane

@@ -277,6 +277,76 @@ class TestSpillLifecycle:
         assert spill_entries(tmp_path) == []
 
 
+class TestSpillDirectoryNaming:
+    """Per-job spill-dir names are collision-proof by construction:
+    pid + monotonic nonce + random tail, with exclusive creation as the
+    final guard (the resident service runs many engines side by side in
+    one process)."""
+
+    def test_same_job_name_never_collides(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        dirs = [SpillDirectory("same-job") for _ in range(8)]
+        paths = [d.path for d in dirs]
+        assert len(set(paths)) == 8
+        for d in dirs:
+            assert os.path.isdir(d.path)
+
+    def test_nonce_uniquifies_even_with_a_constant_random_tail(
+        self, tmp_path, monkeypatch
+    ):
+        """Degrade uuid4 to a constant: the monotonic nonce alone must
+        still keep concurrent same-name jobs apart."""
+        import uuid as uuid_mod
+
+        from repro.mapreduce import spillfiles
+
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+
+        class FakeUuid:
+            hex = "deadbeef" * 4
+
+        monkeypatch.setattr(spillfiles.uuid, "uuid4", lambda: FakeUuid())
+        paths = [SpillDirectory("svc-j00001").path for _ in range(5)]
+        assert len(set(paths)) == 5
+        assert all("deadbeef" in p for p in paths)
+        # distinct nonce fields are what kept them apart
+        nonces = {p.split("-n")[-1].split("-")[0] for p in paths}
+        assert len(nonces) == 5
+
+    def test_job_id_tag_and_sanitization(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        d = SpillDirectory("ignored name", job_id="svc/j42!x")
+        base = os.path.basename(d.path)
+        assert base.startswith("repro-spill-svc_j42_x-")
+        assert f"-{os.getpid()}-" in base
+
+    def test_exclusive_creation_retries_past_an_existing_dir(
+        self, tmp_path, monkeypatch
+    ):
+        """Pre-create the exact path the next (nonce, uuid) draw would
+        produce: the constructor must skip it, not reuse it."""
+        import itertools
+
+        from repro.mapreduce import spillfiles
+
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+
+        class FakeUuid:
+            hex = "cafecafe" * 4
+
+        monkeypatch.setattr(spillfiles.uuid, "uuid4", lambda: FakeUuid())
+        counter = itertools.count(7)
+        monkeypatch.setattr(spillfiles, "_DIR_NONCE", counter)
+        taken = os.path.join(
+            str(tmp_path),
+            f"repro-spill-job-{os.getpid()}-n000007-cafecafe",
+        )
+        os.makedirs(taken)
+        d = SpillDirectory("job")
+        assert d.path != taken
+        assert "-n000008-" in d.path
+
+
 # --------------------------------------------------------------------- #
 # Worker bodies, in-process
 # --------------------------------------------------------------------- #

@@ -1,0 +1,265 @@
+"""Resident query service: request schema, clients, HTTP server.
+
+Covers the wire-level contract (docs/SERVICE.md): QueryRequest JSON
+round-trips and validation, the in-process client serving results
+byte-identical to the brute-force oracle, live status documents, and a
+real ``ServiceServer`` bound to an ephemeral localhost port exercised
+through :class:`HttpServiceClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AdmissionError,
+    HttpServiceClient,
+    QueryRequest,
+    QueryService,
+    ServiceServer,
+    UnknownDatasetError,
+    UnknownJobError,
+    oracle_for_request,
+    records_to_json,
+    service_fixture,
+)
+from repro.service.api import DONE, FAILED, QUEUED, TERMINAL_STATES
+
+
+def small_data(seed=0, shape=(12, 10)):
+    """Integer-valued float64 field: partial sums are exact, so the
+    engine/oracle byte-identity contract holds regardless of reduction
+    order (same convention as the fuzz case generator)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(-40, 40, size=shape, endpoint=True).astype(np.float64)
+
+
+def mean_request(**kw):
+    base = dict(
+        dataset="d", variable="v", extract=(4, 5), operator="mean",
+        splits=4, reduces=2, prune=False,
+    )
+    base.update(kw)
+    return QueryRequest(**base)
+
+
+class TestQueryRequest:
+    def test_json_round_trip_preserves_every_field(self):
+        req = QueryRequest(
+            dataset="d", variable="v", extract=[3, 2], stride=[1, 2],
+            operator="filter_gt", threshold=5.0, splits=3, reduces=2,
+            data_plane="columnar", engine="process", prune=True,
+            tenant="team-a", priority=7, deadline=9.0, on_deadline="partial",
+            max_attempts=3, recovery="reexecute-deps",
+            fault_rules=[{"task": "map", "fault": "transient", "indices": [0]}],
+            fault_seed=11, speculate=True, hang_timeout=0.25,
+        )
+        assert QueryRequest.from_json(req.to_json()) == req
+        # list inputs normalize to hashable tuples
+        assert req.extract == (3, 2)
+        assert req.stride == (1, 2)
+        assert isinstance(req.fault_rules, tuple)
+
+    @pytest.mark.parametrize(
+        "doc,fragment",
+        [
+            ({"variable": "v", "extract": [2]}, "missing field"),
+            ({"dataset": "d", "variable": "v", "extract": [2], "bogus": 1},
+             "unknown request field"),
+            ({"dataset": "d", "variable": "v", "extract": [0]},
+             "invalid extraction"),
+            ({"dataset": "d", "variable": "v", "extract": [2],
+              "engine": "quantum"}, "unknown engine"),
+            ({"dataset": "d", "variable": "v", "extract": [2],
+              "data_plane": "rowful"}, "unknown data plane"),
+            ({"dataset": "d", "variable": "v", "extract": [2],
+              "splits": 0}, "splits/reduces"),
+            ({"dataset": "d", "variable": "v", "extract": [2],
+              "deadline": -1.0}, "deadline"),
+        ],
+    )
+    def test_invalid_documents_are_refused(self, doc, fragment):
+        with pytest.raises(AdmissionError, match=fragment):
+            QueryRequest.from_json(doc)
+
+    def test_not_json_and_not_object_are_refused(self):
+        with pytest.raises(AdmissionError, match="not valid JSON"):
+            QueryRequest.from_json("{nope")
+        with pytest.raises(AdmissionError, match="JSON object"):
+            QueryRequest.from_json("[1,2]")
+
+    def test_plan_key_covers_plan_fields_only(self):
+        base = mean_request()
+        # Per-submission knobs share the canonical plan key...
+        assert base.plan_key() == mean_request(engine="serial").plan_key()
+        assert base.plan_key() == mean_request(data_plane="columnar").plan_key()
+        assert base.plan_key() == mean_request(tenant="x", priority=5).plan_key()
+        assert base.plan_key() == mean_request(max_attempts=4).plan_key()
+        # ...plan-affecting fields do not.
+        assert base.plan_key() != mean_request(prune=True).plan_key()
+        assert base.plan_key() != mean_request(extract=(2, 5)).plan_key()
+        assert base.plan_key() != mean_request(stride=(4, 5)).plan_key()
+        assert base.plan_key() != mean_request(splits=2).plan_key()
+        assert base.plan_key() != mean_request(reduces=1).plan_key()
+        assert base.plan_key() != mean_request(
+            operator="filter_gt", threshold=1.0
+        ).plan_key()
+
+
+class TestInProcessService:
+    def test_served_result_matches_oracle_byte_identically(self):
+        with service_fixture(workers=1) as client:
+            svc = client.service
+            svc.register_array("d", "v", small_data())
+            req = mean_request()
+            records, digest = oracle_for_request(svc, req)
+            doc = client.query(req)
+            assert doc["state"] == DONE
+            assert doc["digest"] == digest
+            assert doc["records"] == records_to_json(records)
+            assert doc["num_records"] == len(records)
+
+    def test_status_document_fields(self):
+        with service_fixture(workers=1) as client:
+            client.service.register_array("d", "v", small_data())
+            job_id = client.submit(mean_request())
+            doc = client.result(job_id)
+            assert doc["id"] == job_id
+            assert doc["state"] in TERMINAL_STATES
+            assert doc["tenant"] == "default"
+            assert doc["plan_cache_hit"] is False
+            assert doc["plan_seconds"] >= 0.0
+            assert doc["run_seconds"] >= 0.0
+            assert doc["partial"] is False
+            # the per-job ProgressTracker feed reached the status doc
+            assert "progress" in doc
+            # a second, identical submission hits the plan cache
+            assert client.result(client.submit(mean_request()))[
+                "plan_cache_hit"
+            ] is True
+
+    def test_unknown_dataset_refused_at_admission(self):
+        with service_fixture(workers=1) as client:
+            with pytest.raises(UnknownDatasetError):
+                client.submit(mean_request(dataset="nope"))
+
+    def test_unknown_job_raises(self):
+        with service_fixture(workers=1) as client:
+            with pytest.raises(UnknownJobError):
+                client.status("j99999")
+
+    def test_failed_job_reports_error_types(self):
+        with service_fixture(workers=1) as client:
+            client.service.register_array("d", "v", small_data())
+            doc = client.query(mean_request(
+                fault_rules=(
+                    {"task": "map", "fault": "crash", "indices": [0]},
+                ),
+            ))
+            assert doc["state"] == FAILED
+            assert "InjectedFaultError" in doc["error_types"]
+            assert "records" not in doc
+
+    def test_submit_after_close_is_refused(self):
+        service = QueryService(workers=1)
+        service.register_array("d", "v", small_data())
+        service.close()
+        with pytest.raises(AdmissionError, match="shut down"):
+            service.submit(mean_request())
+
+    def test_result_timeout_raises(self):
+        with service_fixture(workers=1, start_paused=True) as client:
+            client.service.register_array("d", "v", small_data())
+            job_id = client.submit(mean_request())
+            with pytest.raises(TimeoutError):
+                client.result(job_id, timeout=0.05)
+            assert client.status(job_id)["state"] == QUEUED
+            client.service.queue.resume()
+            assert client.result(job_id)["state"] == DONE
+
+
+class TestHttpServer:
+    """A real server on an ephemeral localhost port, driven by the wire
+    client (tier-2 by size, but fast enough for tier-1)."""
+
+    @pytest.fixture()
+    def live_server(self, tmp_path):
+        data = small_data(seed=3)
+        path = tmp_path / "d.nclite"
+        from repro.scidata.dataset import create_dataset
+
+        create_dataset(path, var_name="v", data=data).close()
+
+        service = QueryService(workers=2)
+        server = ServiceServer(service)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        bound = {}
+
+        def run():
+            asyncio.set_event_loop(loop)
+
+            async def main():
+                bound["addr"] = await server.start()
+                started.set()
+                await server.serve_until_shutdown()
+
+            loop.run_until_complete(main())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        host, port = bound["addr"]
+        client = HttpServiceClient(f"http://{host}:{port}", timeout=30)
+        try:
+            yield client, service, str(path), data
+        finally:
+            if thread.is_alive():
+                loop.call_soon_threadsafe(server.stop)
+                thread.join(timeout=10)
+            service.close()
+
+    def test_full_lifecycle_over_the_wire(self, live_server):
+        client, service, path, data = live_server
+        assert client.healthz()["ok"] is True
+        client.open_dataset("d", path)
+        assert "d" in [d["name"] for d in client.stats()["datasets"]]
+
+        req = mean_request()
+        _, digest = oracle_for_request(service, req)
+        doc = client.query(req)
+        assert doc["state"] == DONE
+        assert doc["digest"] == digest
+
+        jobs = client.jobs()
+        assert [j["id"] for j in jobs] == [doc["id"]]
+        assert client.status(doc["id"])["state"] == DONE
+
+    def test_wire_errors_map_to_http_statuses(self, live_server):
+        client, service, path, data = live_server
+        with pytest.raises(Exception, match="404"):
+            client.status("j99999")
+        with pytest.raises(Exception, match="400"):
+            client._call("POST", "/query", {"dataset": "x"})
+        with pytest.raises(Exception, match="404"):
+            client._call("GET", "/no/such/route")
+
+    def test_shutdown_endpoint_stops_the_server(self, live_server):
+        client, service, path, data = live_server
+        client.shutdown()
+        # the accept loop exits; further calls fail at the socket level
+        import time
+
+        for _ in range(100):
+            try:
+                client.healthz()
+            except OSError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("server kept serving after POST /shutdown")

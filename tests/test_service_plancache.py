@@ -1,0 +1,244 @@
+"""Plan-cache correctness for the resident query service.
+
+Property-based core (Hypothesis): for *arbitrary* dataset geometry,
+zone-map tiling, and query draws, a plan-cache **hit** serves a result
+byte-identical to the cold-planned run and to the brute-force oracle.
+Plus the invalidation contract — ``write_slab`` drops cached plans and
+zone maps, and re-served results reflect the new bytes — and the keying
+contract: plan-affecting knobs get distinct entries while
+per-submission knobs (engine, data plane) share one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scidata.dataset import create_dataset
+from repro.service import (
+    PlanCache,
+    QueryRequest,
+    QueryService,
+    oracle_for_request,
+    service_fixture,
+)
+from repro.service.api import DONE
+
+
+def int_field(seed, shape):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-30, 30, size=shape, endpoint=True).astype(np.float64)
+
+
+# --------------------------------------------------------------------- #
+# PlanCache unit behaviour
+# --------------------------------------------------------------------- #
+class TestPlanCacheUnit:
+    def test_lru_eviction_and_stats(self):
+        cache = PlanCache(capacity=2)
+        cache.insert(("d", "g1", "q1"), "plan1")
+        cache.insert(("d", "g1", "q2"), "plan2")
+        assert cache.lookup(("d", "g1", "q1")) == "plan1"  # refresh q1
+        cache.insert(("d", "g1", "q3"), "plan3")           # evicts q2
+        assert cache.lookup(("d", "g1", "q2")) is None
+        assert cache.lookup(("d", "g1", "q1")) == "plan1"
+        snap = cache.snapshot()
+        assert snap["size"] == 2
+        assert snap["evictions"] == 1
+        assert snap["hits"] == 2 and snap["misses"] == 1
+
+    def test_invalidate_drops_only_that_dataset(self):
+        cache = PlanCache()
+        cache.insert(("a", "g", "q"), 1)
+        cache.insert(("b", "g", "q"), 2)
+        assert cache.invalidate("a") == 1
+        assert cache.lookup(("a", "g", "q")) is None
+        assert cache.lookup(("b", "g", "q")) == 2
+
+    def test_digest_change_is_a_miss(self):
+        cache = PlanCache()
+        cache.insert(("d", "gen0", "q"), 1)
+        assert cache.lookup(("d", "gen1", "q")) is None
+
+    def test_get_or_build_builds_once_then_hits(self):
+        cache = PlanCache()
+        calls = []
+        plan, hit = cache.get_or_build("d", "g", "q", lambda: calls.append(1) or "p")
+        assert (plan, hit) == ("p", False)
+        plan, hit = cache.get_or_build("d", "g", "q", lambda: calls.append(1) or "p")
+        assert (plan, hit) == ("p", True)
+        assert len(calls) == 1
+
+
+# --------------------------------------------------------------------- #
+# Property: hit == cold == oracle, for arbitrary draws
+# --------------------------------------------------------------------- #
+@st.composite
+def service_case(draw):
+    shape = (
+        draw(st.integers(min_value=2, max_value=12)),
+        draw(st.integers(min_value=2, max_value=10)),
+    )
+    extract = (
+        draw(st.integers(min_value=1, max_value=shape[0])),
+        draw(st.integers(min_value=1, max_value=shape[1])),
+    )
+    operator = draw(st.sampled_from(["mean", "sum", "max", "count", "filter_gt"]))
+    threshold = (
+        draw(st.integers(min_value=-20, max_value=20)) * 1.0
+        if operator == "filter_gt" else None
+    )
+    # pruning only for the prunable operator (mirrors the fuzz matrix)
+    prune = operator == "filter_gt" and draw(st.booleans())
+    tile = (
+        draw(st.integers(min_value=1, max_value=shape[0])),
+        draw(st.integers(min_value=1, max_value=shape[1])),
+    )
+    splits = draw(st.integers(min_value=1, max_value=6))
+    # reducers may not outnumber intermediate keys (extraction cells)
+    cells = (shape[0] // extract[0]) * (shape[1] // extract[1])
+    reduces = min(draw(st.integers(min_value=1, max_value=2)), cells)
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return dict(
+        shape=shape, extract=extract, operator=operator, threshold=threshold,
+        prune=prune, tile=tile, splits=splits, reduces=reduces, seed=seed,
+    )
+
+
+class TestHitEqualsCold:
+    @settings(max_examples=20)
+    @given(case=service_case())
+    def test_cache_hit_is_byte_identical_to_cold_plan_and_oracle(self, case):
+        data = int_field(case["seed"], case["shape"])
+        with service_fixture(workers=1, map_workers=2, reduce_workers=2) as client:
+            client.service.register_array(
+                "d", "v", data, tile=case["tile"], with_zone_map=True
+            )
+            req = QueryRequest(
+                dataset="d", variable="v",
+                extract=case["extract"], operator=case["operator"],
+                threshold=case["threshold"], splits=case["splits"],
+                reduces=case["reduces"], prune=case["prune"],
+                engine="serial",
+            )
+            _, oracle_digest = oracle_for_request(client.service, req)
+            cold = client.query(req)
+            hot = client.query(req)
+            assert cold["state"] == DONE, cold.get("error")
+            assert cold["plan_cache_hit"] is False
+            assert hot["plan_cache_hit"] is True
+            assert cold["digest"] == oracle_digest
+            assert hot["digest"] == oracle_digest
+            assert hot["records"] == cold["records"]
+
+
+# --------------------------------------------------------------------- #
+# Invalidation: write_slab drops plans AND zone maps
+# --------------------------------------------------------------------- #
+class TestWriteSlabInvalidation:
+    @pytest.fixture()
+    def file_service(self, tmp_path):
+        path = tmp_path / "d.nclite"
+        create_dataset(path, var_name="v", data=int_field(1, (12, 10))).close()
+        with QueryService(workers=1, map_workers=2, reduce_workers=2) as svc:
+            svc.open_dataset("d", str(path))
+            yield svc
+
+    def req(self, **kw):
+        base = dict(
+            dataset="d", variable="v", extract=(4, 5),
+            operator="filter_gt", threshold=0.0,
+            splits=4, reduces=2, prune=True, engine="serial",
+        )
+        base.update(kw)
+        return QueryRequest(**base)
+
+    def test_write_slab_invalidates_plans_and_results_track_new_bytes(
+        self, file_service
+    ):
+        svc = file_service
+        req = self.req()
+        before = svc.result(svc.submit(req), timeout=60)
+        assert before["state"] == DONE
+        assert svc.result(svc.submit(req), timeout=60)["plan_cache_hit"] is True
+        old_digest = svc.registry.get("d").digest
+        assert len(svc.plan_cache) == 1
+
+        # overwrite a slab through the service: zone maps strip, the
+        # session reopens under a new content digest, plans drop
+        svc.write_slab("d", "v", (0, 0), np.full((4, 5), 99.0))
+        assert len(svc.plan_cache) == 0
+        assert svc.plan_cache.snapshot()["invalidations"] >= 1
+        session = svc.registry.get("d")
+        assert session.digest != old_digest
+        assert session.metadata.zone_maps == ()
+
+        after = svc.result(svc.submit(req), timeout=60)
+        assert after["state"] == DONE
+        assert after["plan_cache_hit"] is False
+        assert after["digest"] != before["digest"]
+        # and the served bytes equal the fresh oracle over the new data
+        _, oracle_digest = oracle_for_request(svc, req)
+        assert after["digest"] == oracle_digest
+        # the written region is really visible: cell (0,0) is exactly
+        # the overwritten (4,5) slab, and 99 > 0 passes the filter
+        values = {tuple(k): v for k, v in after["records"]}
+        assert values[(0, 0)] == [99.0] * 20
+
+    def test_unrelated_dataset_keeps_its_cached_plans(self, file_service):
+        svc = file_service
+        svc.register_array("other", "v", int_field(2, (8, 5)))
+        other = QueryRequest(
+            dataset="other", variable="v", extract=(4, 5),
+            splits=2, reduces=1, prune=False, engine="serial",
+        )
+        svc.result(svc.submit(other), timeout=60)
+        svc.result(svc.submit(self.req()), timeout=60)
+        assert len(svc.plan_cache) == 2
+        svc.write_slab("d", "v", (0, 0), np.zeros((2, 2)))
+        assert len(svc.plan_cache) == 1  # only dataset "d" dropped
+        assert svc.result(svc.submit(other), timeout=60)[
+            "plan_cache_hit"
+        ] is True
+
+
+# --------------------------------------------------------------------- #
+# Keying: plan knobs split entries, submission knobs share them
+# --------------------------------------------------------------------- #
+class TestCacheKeying:
+    def test_plan_knobs_get_distinct_entries(self):
+        with service_fixture(workers=1, map_workers=2, reduce_workers=2) as client:
+            svc = client.service
+            svc.register_array("d", "v", int_field(3, (12, 10)),
+                               with_zone_map=True)
+
+            def run(**kw):
+                base = dict(
+                    dataset="d", variable="v", extract=(4, 5),
+                    operator="filter_gt", threshold=0.0,
+                    splits=4, reduces=2, prune=False, engine="serial",
+                )
+                base.update(kw)
+                return client.query(QueryRequest(**base))
+
+            assert run()["plan_cache_hit"] is False
+            # prune changes the surviving split set: its own entry
+            assert run(prune=True)["plan_cache_hit"] is False
+            # so do geometry / operator knobs
+            assert run(splits=2)["plan_cache_hit"] is False
+            assert run(reduces=1)["plan_cache_hit"] is False
+            assert run(threshold=5.0)["plan_cache_hit"] is False
+            assert len(svc.plan_cache) == 5
+
+            # engine and data plane are per-submission: all pure hits,
+            # all byte-identical
+            docs = [
+                run(engine="serial", data_plane="columnar"),
+                run(engine="threaded", data_plane="record"),
+                run(engine="process", data_plane="columnar"),
+            ]
+            assert all(d["plan_cache_hit"] for d in docs)
+            assert len({d["digest"] for d in docs}) == 1
+            assert len(svc.plan_cache) == 5

@@ -234,3 +234,67 @@ class TestFuzzDriver:
         shrunk = load_repro(repro_path)
         assert shrunk.num_splits == 1
         assert not run_case(shrunk).ok
+
+
+class TestServiceLeg:
+    """Opt-in service legs: cases routed through the resident query
+    service (in-process client) join the differential ladder when
+    ``REPRO_VERIFY_ENGINES`` lists ``service``."""
+
+    def test_service_legs_are_opt_in(self, monkeypatch):
+        from repro.verify.fuzz import _engine_configs
+
+        monkeypatch.delenv("REPRO_VERIFY_ENGINES", raising=False)
+        assert ("service", "record") not in _engine_configs()
+        monkeypatch.setenv("REPRO_VERIFY_ENGINES", "serial,service")
+        configs = _engine_configs()
+        assert ("serial", "record") in configs
+        assert ("service", "record") in configs
+        assert ("service", "columnar") in configs
+        assert ("threaded", "record") not in configs
+
+    def test_small_case_smoke_matches_oracle(self, monkeypatch):
+        """Tier-1 smoke: a clean case, a crash case, and a prunable case
+        all agree across the serial and service legs."""
+        monkeypatch.setenv("REPRO_VERIFY_ENGINES", "serial,service")
+
+        clean = run_case(base_case("mean"))
+        assert clean.ok, clean.mismatch
+        served = [o for o in clean.outcomes if o.mode == "service"]
+        assert {o.data_plane for o in served} == {"record", "columnar"}
+        assert all(o.digest == clean.oracle_digest for o in served)
+
+        crash = run_case(base_case(
+            "sum",
+            fault_rules=(
+                {"task": "reduce", "fault": "crash", "indices": [0]},
+            ),
+        ))
+        assert crash.ok, crash.mismatch
+        assert all(o.status == "failed" for o in crash.outcomes)
+
+        pruned = run_case(base_case("filter_gt", tile=(3, 2)))
+        assert pruned.ok, pruned.mismatch
+        assert any(
+            o.mode == "service" and o.prune for o in pruned.outcomes
+        )
+
+    def test_shrinker_preserves_the_service_path(self, monkeypatch):
+        """Leg selection is environment-driven, so a shrunk candidate
+        re-enters run_case with the service legs still active."""
+        import importlib
+
+        F = importlib.import_module("repro.verify.fuzz")
+        monkeypatch.setenv("REPRO_VERIFY_ENGINES", "service")
+        calls = []
+        real = F._run_service_leg
+
+        def spying(case, plane, *, prune=False):
+            calls.append(case)
+            return real(case, plane, prune=prune)
+
+        monkeypatch.setattr(F, "_run_service_leg", spying)
+        result = run_case(base_case("mean"))
+        assert result.ok, result.mismatch
+        assert len(calls) == 2  # both planes went through the service
+        assert all(o.mode == "service" for o in result.outcomes)
